@@ -1,0 +1,336 @@
+// Package repro_test holds the top-level benchmark harness: one testing.B
+// benchmark per table and figure of the paper (see DESIGN.md section 5 for
+// the experiment index), plus the ablation benches for the design choices
+// called out there. `go test -bench=. -benchmem` regenerates every number;
+// `go run ./cmd/zoombench` prints the same experiments as paper-style
+// tables with result *sizes* as well as times.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/provenance"
+	"repro/internal/run"
+	"repro/internal/spec"
+	"repro/internal/warehouse"
+)
+
+// BenchmarkTable1WorkflowClasses measures workload generation per Table I
+// class (specification synthesis from pattern frequencies).
+func BenchmarkTable1WorkflowClasses(b *testing.B) {
+	for _, class := range gen.Classes() {
+		b.Run(class.Name, func(b *testing.B) {
+			g := gen.NewGenerator(1)
+			for i := 0; i < b.N; i++ {
+				s := g.Workflow(class, "bench")
+				if s.NumModules() < class.TargetModules {
+					b.Fatal("undersized workflow")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2RunClasses measures run synthesis (loop unrolling, data
+// allocation, log emission) per Table II kind.
+func BenchmarkTable2RunClasses(b *testing.B) {
+	for _, rc := range gen.RunClasses() {
+		if rc.Name == "large" {
+			rc.MaxNodes = 3000 // keep the harness snappy; -bench can be re-run with Full()
+		}
+		b.Run(rc.Name, func(b *testing.B) {
+			g := gen.NewGenerator(2)
+			s := g.Workflow(gen.Class4(), "bench")
+			b.ResetTimer()
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				r, _, err := g.Run(s, rc, "bench-run")
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps = r.NumSteps()
+			}
+			b.ReportMetric(float64(steps), "steps/run")
+		})
+	}
+}
+
+// BenchmarkViewBuilderScalability is experiment E1: RelevUserViewBuilder
+// on randomized specifications of growing size (the paper sweeps 100-1000
+// nodes and reports < 80 ms per execution).
+func BenchmarkViewBuilderScalability(b *testing.B) {
+	for _, nodes := range []int{100, 300, 1000} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			g := gen.NewGenerator(3)
+			class := gen.Class3()
+			class.TargetModules = nodes
+			s := g.Workflow(class, "scale")
+			rel := g.RandomRelevant(s, 20)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildRelevant(s, rel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkViewBuilderOptimality is experiment E2: the builder across the
+// relevant-percentage sweep, reporting the surplus composites beyond |R|.
+func BenchmarkViewBuilderOptimality(b *testing.B) {
+	for _, pct := range []int{10, 50, 90} {
+		b.Run(fmt.Sprintf("pct=%d", pct), func(b *testing.B) {
+			g := gen.NewGenerator(4)
+			s := g.Workflow(gen.Class2(), "opt")
+			rel := g.RandomRelevant(s, pct)
+			extra := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v, err := core.BuildRelevant(s, rel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				extra = v.Size() - len(rel)
+			}
+			b.ReportMetric(float64(extra), "extra-composites")
+		})
+	}
+}
+
+// fig10Site prepares one (workflow, run, warehouse) fixture.
+type fig10Site struct {
+	s     *spec.Spec
+	r     *run.Run
+	e     *provenance.Engine
+	w     *warehouse.Warehouse
+	root  string
+	admin *core.UserView
+	bio   *core.UserView
+	bb    *core.UserView
+}
+
+func newFig10Site(b *testing.B, class gen.WorkflowClass, rc gen.RunClass, seed int64) *fig10Site {
+	b.Helper()
+	g := gen.NewGenerator(seed)
+	site := &fig10Site{}
+	site.s = g.Workflow(class, "f10")
+	var err error
+	site.r, _, err = g.Run(site.s, rc, "f10-run")
+	if err != nil {
+		b.Fatal(err)
+	}
+	site.w = warehouse.New(0)
+	if err := site.w.RegisterSpec(site.s); err != nil {
+		b.Fatal(err)
+	}
+	if err := site.w.LoadRun(site.r); err != nil {
+		b.Fatal(err)
+	}
+	site.e = provenance.NewEngine(site.w)
+	finals := site.r.FinalOutputs()
+	site.root = finals[len(finals)-1]
+	site.admin = core.UAdmin(site.s)
+	if site.bio, err = core.BuildRelevant(site.s, gen.UBioRelevant(site.s)); err != nil {
+		b.Fatal(err)
+	}
+	if site.bb, err = core.UBlackBox(site.s); err != nil {
+		b.Fatal(err)
+	}
+	return site
+}
+
+// BenchmarkFig10QueryResultSize is Figure 10: deep provenance of the final
+// output under UAdmin / UBio / UBlackBox. The reported custom metric is
+// the result size in data items — the quantity the figure plots.
+func BenchmarkFig10QueryResultSize(b *testing.B) {
+	rc := gen.Medium()
+	for _, class := range gen.Classes() {
+		site := newFig10Site(b, class, rc, 10)
+		for _, v := range []struct {
+			name string
+			view *core.UserView
+		}{{"UAdmin", site.admin}, {"UBio", site.bio}, {"UBlackBox", site.bb}} {
+			b.Run(class.Name+"/"+v.name, func(b *testing.B) {
+				size := 0
+				for i := 0; i < b.N; i++ {
+					res, err := site.e.DeepProvenance(site.r.ID(), v.view, site.root)
+					if err != nil {
+						b.Fatal(err)
+					}
+					size = res.NumData()
+				}
+				b.ReportMetric(float64(size), "data-items")
+			})
+		}
+	}
+}
+
+// BenchmarkQueryResponseTime is experiment E3: the cold deep-provenance
+// query (cache reset every iteration) per run kind.
+func BenchmarkQueryResponseTime(b *testing.B) {
+	kinds := gen.RunClasses()
+	kinds[2].MaxNodes = 3000
+	for _, rc := range kinds {
+		b.Run(rc.Name, func(b *testing.B) {
+			site := newFig10Site(b, gen.Class4(), rc, 11)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				site.w.ResetCache()
+				if _, err := site.e.DeepProvenance(site.r.ID(), site.admin, site.root); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkViewSwitch is experiment E4: re-answering the query under a
+// different view with the UAdmin closure already cached (the paper's 13 ms
+// interactive switch).
+func BenchmarkViewSwitch(b *testing.B) {
+	kinds := gen.RunClasses()
+	kinds[2].MaxNodes = 3000
+	for _, rc := range kinds {
+		b.Run(rc.Name, func(b *testing.B) {
+			site := newFig10Site(b, gen.Class4(), rc, 12)
+			// Prime the closure cache and the mapping caches.
+			if _, err := site.e.DeepProvenance(site.r.ID(), site.admin, site.root); err != nil {
+				b.Fatal(err)
+			}
+			views := []*core.UserView{site.bio, site.bb}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := site.e.DeepProvenance(site.r.ID(), views[i%2], site.root); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig11Granularity is Figure 11: result size (and query cost) as
+// the percentage of relevant modules grows.
+func BenchmarkFig11Granularity(b *testing.B) {
+	site := newFig10Site(b, gen.Class4(), gen.Medium(), 13)
+	g := gen.NewGenerator(14)
+	for _, pct := range []int{0, 30, 60, 100} {
+		rel := g.RandomRelevant(site.s, pct)
+		v, err := core.BuildRelevant(site.s, rel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("pct=%d", pct), func(b *testing.B) {
+			size := 0
+			for i := 0; i < b.N; i++ {
+				res, err := site.e.DeepProvenance(site.r.ID(), v, site.root)
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = res.NumData()
+			}
+			b.ReportMetric(float64(size), "data-items")
+		})
+	}
+}
+
+// BenchmarkAblationNRPath (A1) compares the memoized nr-path fronts the
+// Analysis precomputes against answering each rpred/rsucc membership with
+// a fresh filtered BFS — the naive alternative the O(|N|²+|E|) bound of
+// the paper rules out.
+func BenchmarkAblationNRPath(b *testing.B) {
+	g := gen.NewGenerator(15)
+	class := gen.Class3()
+	class.TargetModules = 150
+	s := g.Workflow(class, "nr")
+	rel := g.RandomRelevant(s, 20)
+	relSet := make(map[string]bool, len(rel))
+	for _, r := range rel {
+		relSet[r] = true
+	}
+	b.Run("memoizedFronts", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a, err := core.NewAnalysis(s, rel)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, n := range s.ModuleNames() {
+				_ = a.RPred(n)
+				_ = a.RSucc(n)
+			}
+		}
+	})
+	b.Run("perQueryBFS", func(b *testing.B) {
+		avoid := func(n string) bool { return relSet[n] }
+		sources := append(append([]string(nil), rel...), spec.Input)
+		targets := append(append([]string(nil), rel...), spec.Output)
+		gg := s.Graph()
+		for i := 0; i < b.N; i++ {
+			for _, n := range s.ModuleNames() {
+				for _, r := range sources {
+					_ = gg.HasPathAvoiding(r, n, avoid)
+				}
+				for _, r := range targets {
+					_ = gg.HasPathAvoiding(n, r, avoid)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationStrategy (A2) compares the paper's winning evaluation
+// strategy (cached UAdmin closure, then project) against per-view direct
+// recursion and against the projected strategy with the cache disabled.
+func BenchmarkAblationStrategy(b *testing.B) {
+	site := newFig10Site(b, gen.Class4(), gen.Medium(), 16)
+	// Warm every mapping once so the comparison isolates query evaluation.
+	if _, err := site.e.DeepProvenance(site.r.ID(), site.bio, site.root); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := site.e.DeepProvenanceDirect(site.r.ID(), site.bio, site.root); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("projectCached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := site.e.DeepProvenance(site.r.ID(), site.bio, site.root); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("projectCold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			site.w.ResetCache()
+			if _, err := site.e.DeepProvenance(site.r.ID(), site.bio, site.root); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("directRecursion", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := site.e.DeepProvenanceDirect(site.r.ID(), site.bio, site.root); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHarnessEndToEnd times the whole Section V sweep at CI scale,
+// pinning the cost of `zoombench` defaults.
+func BenchmarkHarnessEndToEnd(b *testing.B) {
+	o := bench.Default()
+	o.WorkflowsPerClass = 1
+	o.RunsPerKind = 1
+	o.Trials = 1
+	o.ScaleSpecs = 4
+	o.MaxSpecNodes = 200
+	o.LargeRunCap = 500
+	for i := 0; i < b.N; i++ {
+		if got := bench.RunAll(o); len(got) != 10 {
+			b.Fatal("missing reports")
+		}
+	}
+}

@@ -1,0 +1,421 @@
+// Command zoom is the command-line face of the ZOOM*UserViews reproduction:
+// it validates and renders workflow specifications, builds user views with
+// RelevUserViewBuilder, loads runs (or raw workflow logs) into a provenance
+// warehouse snapshot, and answers provenance queries through a chosen view.
+//
+// Subcommands:
+//
+//	zoom example                          walk through the paper's Figures 1-3
+//	zoom spec    -file spec.json [-dot]   validate / render a specification
+//	zoom view    -file spec.json -relevant M2,M3,M7 [-dot]
+//	zoom load    -warehouse wh.json -file spec.json [-log run.jsonl -run id]
+//	zoom query   -warehouse wh.json -run id -data d447 [-relevant ...] [-mode deep|immediate|derived] [-dot]
+//	zoom runs    -warehouse wh.json       list warehouse contents
+//	zoom ask     -warehouse wh.json -run id -q "deep(d447)" [-relevant ...]
+//	zoom compare -warehouse wh.json -a run1 -b run2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/zoom"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "example":
+		err = cmdExample()
+	case "spec":
+		err = cmdSpec(os.Args[2:])
+	case "view":
+		err = cmdView(os.Args[2:])
+	case "load":
+		err = cmdLoad(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "runs":
+		err = cmdRuns(os.Args[2:])
+	case "ask":
+		err = cmdAsk(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "zoom: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zoom:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: zoom <example|spec|view|load|query|ask|compare|runs> [flags]
+run "zoom <subcommand> -h" for per-command flags
+canned query forms for "ask": `+strings.Join(zoom.QueryForms(), ", "))
+}
+
+// cmdCompare diffs two runs structurally (reproducibility check).
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	whPath := fs.String("warehouse", "", "warehouse snapshot file (required)")
+	aID := fs.String("a", "", "first run id (required)")
+	bID := fs.String("b", "", "second run id (required)")
+	_ = fs.Parse(args)
+	if *whPath == "" || *aID == "" || *bID == "" {
+		return fmt.Errorf("compare: -warehouse, -a and -b are required")
+	}
+	sys, err := loadSystem(*whPath)
+	if err != nil {
+		return err
+	}
+	a, err := sys.Run(*aID)
+	if err != nil {
+		return err
+	}
+	b, err := sys.Run(*bID)
+	if err != nil {
+		return err
+	}
+	fmt.Println(zoom.CompareRuns(a, b))
+	return nil
+}
+
+// cmdAsk evaluates one of the prototype's canned query forms.
+func cmdAsk(args []string) error {
+	fs := flag.NewFlagSet("ask", flag.ExitOnError)
+	whPath := fs.String("warehouse", "", "warehouse snapshot file (required)")
+	runID := fs.String("run", "", "run id (required)")
+	q := fs.String("q", "", `canned query, e.g. "deep(d447)" (required)`)
+	relevant := fs.String("relevant", "", "relevant modules for the view (empty = UAdmin)")
+	_ = fs.Parse(args)
+	if *whPath == "" || *runID == "" || *q == "" {
+		return fmt.Errorf("ask: -warehouse, -run and -q are required")
+	}
+	sys, err := loadSystem(*whPath)
+	if err != nil {
+		return err
+	}
+	r, err := sys.Run(*runID)
+	if err != nil {
+		return err
+	}
+	s, err := sys.Spec(r.SpecName())
+	if err != nil {
+		return err
+	}
+	var v *zoom.UserView
+	if *relevant == "" {
+		v = zoom.UAdmin(s)
+	} else if v, err = zoom.BuildUserView(s, splitList(*relevant)); err != nil {
+		return err
+	}
+	ans, err := sys.Ask(*runID, v, *q)
+	if err != nil {
+		return err
+	}
+	fmt.Print(zoom.RenderAnswer(ans))
+	return nil
+}
+
+// cmdExample walks through the paper's running example end to end.
+func cmdExample() error {
+	s := zoom.Phylogenomics()
+	r := zoom.PhylogenomicsRun()
+	fmt.Printf("specification: %s\n", s)
+	fmt.Printf("run:           %s\n\n", r)
+
+	sys := zoom.NewSystem()
+	if err := sys.RegisterSpec(s); err != nil {
+		return err
+	}
+	if err := sys.LoadRun(r); err != nil {
+		return err
+	}
+	for _, user := range []struct {
+		name     string
+		relevant []string
+	}{
+		{"Joe", zoom.JoeRelevant()},
+		{"Mary", zoom.MaryRelevant()},
+	} {
+		v, err := zoom.BuildUserView(s, user.relevant)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s finds %v relevant; RelevUserViewBuilder gives %v (size %d)\n",
+			user.name, user.relevant, v, v.Size())
+		ex, err := sys.ImmediateProvenance(r.ID(), v, "d413")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  immediate provenance of d413: execution %s of %s, input %s\n",
+			ex.ID, ex.Composite, zoom.FormatDataSet(ex.Inputs))
+		res, err := sys.DeepProvenance(r.ID(), v, "d447")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  deep provenance of d447: %d executions, %d data objects\n\n",
+			res.NumSteps(), res.NumData())
+	}
+	return nil
+}
+
+func readSpec(path string) (*zoom.Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return zoom.DecodeSpec(data)
+}
+
+func cmdSpec(args []string) error {
+	fs := flag.NewFlagSet("spec", flag.ExitOnError)
+	file := fs.String("file", "", "specification JSON file (required)")
+	asDot := fs.Bool("dot", false, "emit Graphviz DOT instead of a summary")
+	asGraphML := fs.Bool("graphml", false, "emit GraphML instead of a summary")
+	_ = fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("spec: -file is required")
+	}
+	s, err := readSpec(*file)
+	if err != nil {
+		return err
+	}
+	if *asDot {
+		fmt.Print(zoom.SpecDOT(s))
+		return nil
+	}
+	if *asGraphML {
+		fmt.Print(zoom.SpecGraphML(s))
+		return nil
+	}
+	fmt.Printf("%s\nscientific modules: %v\nloops: %v\n",
+		s, s.ScientificModules(), !s.IsAcyclic())
+	return nil
+}
+
+func cmdView(args []string) error {
+	fs := flag.NewFlagSet("view", flag.ExitOnError)
+	file := fs.String("file", "", "specification JSON file (required)")
+	relevant := fs.String("relevant", "", "comma-separated relevant modules")
+	asDot := fs.Bool("dot", false, "emit Graphviz DOT of the induced view")
+	_ = fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("view: -file is required")
+	}
+	s, err := readSpec(*file)
+	if err != nil {
+		return err
+	}
+	rel := splitList(*relevant)
+	v, err := zoom.BuildUserView(s, rel)
+	if err != nil {
+		return err
+	}
+	if err := zoom.CheckView(v, rel); err != nil {
+		return fmt.Errorf("internal: builder output fails properties: %w", err)
+	}
+	if *asDot {
+		fmt.Print(zoom.ViewDOT("view", v))
+		return nil
+	}
+	fmt.Printf("user view (size %d):\n", v.Size())
+	for _, c := range v.Composites() {
+		fmt.Printf("  %-10s = %v\n", c, v.Members(c))
+	}
+	return nil
+}
+
+func loadSystem(path string) (*zoom.System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return zoom.NewSystem(), nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return zoom.LoadSystem(f)
+}
+
+func saveSystem(sys *zoom.System, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return sys.Save(f)
+}
+
+func cmdLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	whPath := fs.String("warehouse", "", "warehouse snapshot file (created if absent)")
+	file := fs.String("file", "", "specification JSON to register")
+	logPath := fs.String("log", "", "workflow log (JSON lines) to ingest")
+	runID := fs.String("run", "", "run id for the ingested log")
+	specName := fs.String("spec", "", "spec name the log executes (default: the -file spec)")
+	_ = fs.Parse(args)
+	if *whPath == "" {
+		return fmt.Errorf("load: -warehouse is required")
+	}
+	sys, err := loadSystem(*whPath)
+	if err != nil {
+		return err
+	}
+	if *file != "" {
+		s, err := readSpec(*file)
+		if err != nil {
+			return err
+		}
+		if err := sys.RegisterSpec(s); err != nil {
+			return err
+		}
+		if *specName == "" {
+			*specName = s.Name()
+		}
+		fmt.Printf("registered %s\n", s)
+	}
+	if *logPath != "" {
+		if *runID == "" || *specName == "" {
+			return fmt.Errorf("load: -run and -spec are required with -log")
+		}
+		f, err := os.Open(*logPath)
+		if err != nil {
+			return err
+		}
+		events, err := zoom.ReadLog(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := sys.LoadLog(*runID, *specName, events); err != nil {
+			return err
+		}
+		fmt.Printf("ingested %d events as run %q\n", len(events), *runID)
+	}
+	return saveSystem(sys, *whPath)
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	whPath := fs.String("warehouse", "", "warehouse snapshot file (required)")
+	runID := fs.String("run", "", "run id (required)")
+	data := fs.String("data", "", "data object id (required)")
+	relevant := fs.String("relevant", "", "relevant modules for the view (empty = UAdmin)")
+	mode := fs.String("mode", "deep", "deep | immediate | derived")
+	asDot := fs.Bool("dot", false, "emit Graphviz DOT of the provenance graph")
+	asProv := fs.Bool("prov", false, "emit W3C PROV-JSON (deep mode only)")
+	_ = fs.Parse(args)
+	if *whPath == "" || *runID == "" || *data == "" {
+		return fmt.Errorf("query: -warehouse, -run and -data are required")
+	}
+	sys, err := loadSystem(*whPath)
+	if err != nil {
+		return err
+	}
+	r, err := sys.Run(*runID)
+	if err != nil {
+		return err
+	}
+	s, err := sys.Spec(r.SpecName())
+	if err != nil {
+		return err
+	}
+	var v *zoom.UserView
+	if *relevant == "" {
+		v = zoom.UAdmin(s)
+	} else if v, err = zoom.BuildUserView(s, splitList(*relevant)); err != nil {
+		return err
+	}
+	switch *mode {
+	case "deep":
+		res, err := sys.DeepProvenance(*runID, v, *data)
+		if err != nil {
+			return err
+		}
+		switch {
+		case *asProv:
+			out, err := zoom.PROVJSON(res)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+		case *asDot:
+			fmt.Print(zoom.ProvenanceDOT(res))
+		default:
+			fmt.Print(zoom.ProvenanceText(res))
+		}
+	case "immediate":
+		ex, err := sys.ImmediateProvenance(*runID, v, *data)
+		if err != nil {
+			return err
+		}
+		if ex == nil {
+			fmt.Printf("%s is user/workflow input; provenance is the recorded metadata\n", *data)
+			return nil
+		}
+		fmt.Printf("produced by execution %s of %s (steps %v) from %s\n",
+			ex.ID, ex.Composite, ex.Steps, zoom.FormatDataSet(ex.Inputs))
+	case "derived":
+		res, err := sys.DeepDerivation(*runID, v, *data)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("derived from %s: %d executions, data %s\n",
+			*data, res.NumSteps(), zoom.FormatDataSet(res.Data))
+	default:
+		return fmt.Errorf("query: unknown -mode %q", *mode)
+	}
+	return nil
+}
+
+func cmdRuns(args []string) error {
+	fs := flag.NewFlagSet("runs", flag.ExitOnError)
+	whPath := fs.String("warehouse", "", "warehouse snapshot file (required)")
+	_ = fs.Parse(args)
+	if *whPath == "" {
+		return fmt.Errorf("runs: -warehouse is required")
+	}
+	sys, err := loadSystem(*whPath)
+	if err != nil {
+		return err
+	}
+	fmt.Println(sys.Stats())
+	for _, name := range sys.SpecNames() {
+		fmt.Printf("spec %s (views: %v)\n", name, sys.ViewNames(name))
+	}
+	for _, id := range sys.RunIDs() {
+		r, err := sys.Run(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s\n", r)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,347 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/zoom"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+func writeSpecFile(t *testing.T, dir string) string {
+	t.Helper()
+	data, err := zoom.EncodeSpec(zoom.Phylogenomics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "phylo.spec.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeLogFile(t *testing.T, dir string) string {
+	t.Helper()
+	events, err := zoom.PhylogenomicsRun().ToLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "fig2.log.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := zoom.WriteLog(f, events); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdExample(t *testing.T) {
+	out, err := capture(t, cmdExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Joe finds [M2 M3 M7] relevant",
+		"immediate provenance of d413",
+		"{d308..d408}",
+		"{d411}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("example output missing %q", want)
+		}
+	}
+}
+
+func TestCmdSpec(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSpecFile(t, dir)
+	out, err := capture(t, func() error { return cmdSpec([]string{"-file", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "8 modules") || !strings.Contains(out, "scientific modules: [M3 M7]") {
+		t.Fatalf("spec summary wrong:\n%s", out)
+	}
+	dotOut, err := capture(t, func() error { return cmdSpec([]string{"-file", path, "-dot"}) })
+	if err != nil || !strings.Contains(dotOut, "digraph") {
+		t.Fatalf("spec -dot failed: %v\n%s", err, dotOut)
+	}
+	if _, err := capture(t, func() error { return cmdSpec(nil) }); err == nil {
+		t.Fatal("missing -file accepted")
+	}
+	if _, err := capture(t, func() error { return cmdSpec([]string{"-file", filepath.Join(dir, "nope.json")}) }); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCmdView(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSpecFile(t, dir)
+	out, err := capture(t, func() error {
+		return cmdView([]string{"-file", path, "-relevant", "M2,M3,M7"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "user view (size 4)") || !strings.Contains(out, "[M3 M4 M5]") {
+		t.Fatalf("view output wrong:\n%s", out)
+	}
+	if _, err := capture(t, func() error {
+		return cmdView([]string{"-file", path, "-relevant", "M99"})
+	}); err == nil {
+		t.Fatal("unknown relevant accepted")
+	}
+	if _, err := capture(t, func() error { return cmdView(nil) }); err == nil {
+		t.Fatal("missing -file accepted")
+	}
+}
+
+func TestCmdLoadQueryRuns(t *testing.T) {
+	dir := t.TempDir()
+	specPath := writeSpecFile(t, dir)
+	logPath := writeLogFile(t, dir)
+	wh := filepath.Join(dir, "wh.json")
+
+	if _, err := capture(t, func() error {
+		return cmdLoad([]string{"-warehouse", wh, "-file", specPath, "-log", logPath, "-run", "fig2"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := capture(t, func() error { return cmdRuns([]string{"-warehouse", wh}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "spec phylogenomics") || !strings.Contains(out, `run "fig2"`) {
+		t.Fatalf("runs output wrong:\n%s", out)
+	}
+
+	// Deep query through a built view.
+	out, err = capture(t, func() error {
+		return cmdQuery([]string{"-warehouse", wh, "-run", "fig2", "-data", "d447",
+			"-relevant", "M2,M3,M7"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "deep provenance of d447") {
+		t.Fatalf("query output wrong:\n%s", out)
+	}
+
+	// Immediate mode, Mary's view.
+	out, err = capture(t, func() error {
+		return cmdQuery([]string{"-warehouse", wh, "-run", "fig2", "-data", "d413",
+			"-relevant", "M2,M3,M5,M7", "-mode", "immediate"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "{d411}") {
+		t.Fatalf("immediate output wrong:\n%s", out)
+	}
+
+	// Derived mode under UAdmin (no -relevant).
+	out, err = capture(t, func() error {
+		return cmdQuery([]string{"-warehouse", wh, "-run", "fig2", "-data", "d410", "-mode", "derived"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "derived from d410") {
+		t.Fatalf("derived output wrong:\n%s", out)
+	}
+
+	// External input metadata answer.
+	out, err = capture(t, func() error {
+		return cmdQuery([]string{"-warehouse", wh, "-run", "fig2", "-data", "d1", "-mode", "immediate"})
+	})
+	if err != nil || !strings.Contains(out, "user/workflow input") {
+		t.Fatalf("external immediate wrong: %v\n%s", err, out)
+	}
+
+	// DOT output mode.
+	out, err = capture(t, func() error {
+		return cmdQuery([]string{"-warehouse", wh, "-run", "fig2", "-data", "d447", "-dot"})
+	})
+	if err != nil || !strings.Contains(out, "digraph") {
+		t.Fatalf("query -dot wrong: %v", err)
+	}
+
+	// Error paths.
+	for _, args := range [][]string{
+		{"-warehouse", wh, "-run", "ghost", "-data", "d1"},
+		{"-warehouse", wh, "-run", "fig2", "-data", "nope"},
+		{"-warehouse", wh, "-run", "fig2", "-data", "d1", "-mode", "bogus"},
+		{"-run", "fig2", "-data", "d1"},
+	} {
+		if _, err := capture(t, func() error { return cmdQuery(args) }); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+	if _, err := capture(t, func() error { return cmdRuns(nil) }); err == nil {
+		t.Fatal("runs without -warehouse accepted")
+	}
+	if _, err := capture(t, func() error {
+		return cmdLoad([]string{"-warehouse", wh, "-log", logPath})
+	}); err == nil {
+		t.Fatal("load -log without -run/-spec accepted")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	if got := splitList(""); got != nil {
+		t.Fatalf("splitList(\"\") = %v", got)
+	}
+	got := splitList(" M1, M2 ,,M3 ")
+	if !reflect.DeepEqual(got, []string{"M1", "M2", "M3"}) {
+		t.Fatalf("splitList = %v", got)
+	}
+}
+
+func TestCmdSpecGraphMLAndQueryProv(t *testing.T) {
+	dir := t.TempDir()
+	specPath := writeSpecFile(t, dir)
+	logPath := writeLogFile(t, dir)
+	wh := filepath.Join(dir, "wh.json")
+
+	out, err := capture(t, func() error { return cmdSpec([]string{"-file", specPath, "-graphml"}) })
+	if err != nil || !strings.Contains(out, "<graphml") {
+		t.Fatalf("spec -graphml failed: %v", err)
+	}
+
+	if _, err := capture(t, func() error {
+		return cmdLoad([]string{"-warehouse", wh, "-file", specPath, "-log", logPath, "-run", "fig2"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err = capture(t, func() error {
+		return cmdQuery([]string{"-warehouse", wh, "-run", "fig2", "-data", "d447",
+			"-relevant", "M2,M3,M7", "-prov"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"prov": "http://www.w3.org/ns/prov#"`) {
+		t.Fatalf("PROV export missing namespace:\n%s", out[:200])
+	}
+	// Stats line appears in the runs listing.
+	out, err = capture(t, func() error { return cmdRuns([]string{"-warehouse", wh}) })
+	if err != nil || !strings.Contains(out, "specs=1") {
+		t.Fatalf("runs stats missing: %v\n%s", err, out)
+	}
+}
+
+func TestCmdAsk(t *testing.T) {
+	dir := t.TempDir()
+	specPath := writeSpecFile(t, dir)
+	logPath := writeLogFile(t, dir)
+	wh := filepath.Join(dir, "wh.json")
+	if _, err := capture(t, func() error {
+		return cmdLoad([]string{"-warehouse", wh, "-file", specPath, "-log", logPath, "-run", "fig2"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return cmdAsk([]string{"-warehouse", wh, "-run", "fig2",
+			"-relevant", "M2,M3,M5,M7", "-q", "immediate(d413)"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "from {d411}") {
+		t.Fatalf("ask output wrong:\n%s", out)
+	}
+	out, err = capture(t, func() error {
+		return cmdAsk([]string{"-warehouse", wh, "-run", "fig2", "-q", "in(d308, d447)"})
+	})
+	if err != nil || !strings.Contains(out, "true") {
+		t.Fatalf("ask in() wrong: %v\n%s", err, out)
+	}
+	if _, err := capture(t, func() error {
+		return cmdAsk([]string{"-warehouse", wh, "-run", "fig2", "-q", "frobnicate(x)"})
+	}); err == nil {
+		t.Fatal("bad form accepted")
+	}
+	if _, err := capture(t, func() error { return cmdAsk(nil) }); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+}
+
+func TestCmdCompare(t *testing.T) {
+	dir := t.TempDir()
+	specPath := writeSpecFile(t, dir)
+	wh := filepath.Join(dir, "wh.json")
+	if _, err := capture(t, func() error {
+		return cmdLoad([]string{"-warehouse", wh, "-file", specPath})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Load two runs with different iteration counts via logs.
+	for i, iters := range []int{2, 5} {
+		r, events, err := zoom.Execute(zoom.Phylogenomics(), zoom.ExecConfig{
+			RunID: "r", Seed: 3, LoopIter: [2]int{iters, iters}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = r
+		logPath := filepath.Join(dir, "run.log")
+		f, err := os.Create(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := zoom.WriteLog(f, events); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		if _, err := capture(t, func() error {
+			return cmdLoad([]string{"-warehouse", wh, "-spec", "phylogenomics",
+				"-log", logPath, "-run", []string{"runA", "runB"}[i]})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := capture(t, func() error {
+		return cmdCompare([]string{"-warehouse", wh, "-a", "runA", "-b", "runB"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "compare runA vs runB") || !strings.Contains(out, "executed") {
+		t.Fatalf("compare output wrong:\n%s", out)
+	}
+	if _, err := capture(t, func() error { return cmdCompare(nil) }); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+	if _, err := capture(t, func() error {
+		return cmdCompare([]string{"-warehouse", wh, "-a", "ghost", "-b", "runB"})
+	}); err == nil {
+		t.Fatal("unknown run accepted")
+	}
+}

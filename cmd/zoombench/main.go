@@ -1,0 +1,67 @@
+// Command zoombench runs the evaluation harness: every table and figure of
+// the paper's Section V, printed as aligned text tables. The default scale
+// finishes in seconds; -full reproduces the paper's workload volumes
+// (10 workflows per class, 30 runs per kind — 3,600 runs — and 1,000
+// randomized specifications for the scalability sweep).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/zoom"
+)
+
+func main() {
+	var (
+		full   = flag.Bool("full", false, "paper-scale workload volumes")
+		seed   = flag.Int64("seed", 1, "experiment seed")
+		out    = flag.String("out", "", "also write the reports to this file")
+		csvDir = flag.String("csv", "", "also write each report as CSV into this directory")
+		only   = flag.String("only", "", "run a single experiment id (T1,T2,E1,E2,F10,E3,E4,F11)")
+	)
+	flag.Parse()
+
+	o := zoom.DefaultBench()
+	if *full {
+		o = zoom.FullBench()
+	}
+	o.Seed = *seed
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zoombench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	start := time.Now()
+	fmt.Fprintf(w, "ZOOM*UserViews evaluation (seed %d, full=%v)\n\n", *seed, *full)
+	for _, rep := range zoom.RunExperiments(o) {
+		if *only != "" && rep.ID != *only {
+			continue
+		}
+		fmt.Fprintln(w, rep.String())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "zoombench:", err)
+				os.Exit(1)
+			}
+			name := strings.ReplaceAll(rep.ID, "/", "-") + ".csv"
+			if err := os.WriteFile(filepath.Join(*csvDir, name), []byte(rep.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "zoombench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Fprintf(w, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}

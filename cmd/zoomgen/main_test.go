@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/zoom"
+)
+
+func TestGenerateEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	// Silence the progress prints.
+	old := os.Stdout
+	null, _ := os.Open(os.DevNull)
+	os.Stdout = null
+	err := generate(4, "small", 2, 2, 7, dir)
+	os.Stdout = old
+	null.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specs, _ := filepath.Glob(filepath.Join(dir, "*.spec.json"))
+	logs, _ := filepath.Glob(filepath.Join(dir, "*.log.jsonl"))
+	if len(specs) != 2 || len(logs) != 4 {
+		t.Fatalf("files: %d specs, %d logs", len(specs), len(logs))
+	}
+
+	// Every generated artifact must load back and answer a query.
+	for _, sp := range specs {
+		data, err := os.ReadFile(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := zoom.DecodeSpec(data)
+		if err != nil {
+			t.Fatalf("%s: %v", sp, err)
+		}
+		sys := zoom.NewSystem()
+		if err := sys.RegisterSpec(s); err != nil {
+			t.Fatal(err)
+		}
+		base := strings.TrimSuffix(filepath.Base(sp), ".spec.json")
+		for _, lg := range logs {
+			if !strings.HasPrefix(filepath.Base(lg), base) {
+				continue
+			}
+			f, err := os.Open(lg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events, err := zoom.ReadLog(f)
+			f.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			runID := strings.TrimSuffix(filepath.Base(lg), ".log.jsonl")
+			if err := sys.LoadLog(runID, s.Name(), events); err != nil {
+				t.Fatal(err)
+			}
+			r, _ := sys.Run(runID)
+			v, err := zoom.BuildUserView(s, zoom.UBioRelevant(s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.DeepProvenance(runID, v, r.FinalOutputs()[0])
+			if err != nil || res.NumData() == 0 {
+				t.Fatalf("query over generated artifacts failed: %v", err)
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	dir := t.TempDir()
+	if err := generate(0, "small", 1, 1, 1, dir); err == nil {
+		t.Fatal("class 0 accepted")
+	}
+	if err := generate(2, "gigantic", 1, 1, 1, dir); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

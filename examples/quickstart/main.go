@@ -1,0 +1,78 @@
+// Quickstart: define a small workflow, simulate a run, build a user view
+// with RelevUserViewBuilder, and ask a provenance query through it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/zoom"
+)
+
+func main() {
+	// 1. Define a workflow specification: fetch -> clean -> analyze ->
+	// report, with a side branch preparing reference data.
+	s := zoom.NewSpec("quickstart")
+	for _, m := range []zoom.Module{
+		{Name: "fetch", Kind: zoom.KindFormatting, Desc: "download raw records"},
+		{Name: "clean", Kind: zoom.KindFormatting, Desc: "normalize formats"},
+		{Name: "analyze", Kind: zoom.KindScientific, Desc: "the actual science"},
+		{Name: "prepare-ref", Kind: zoom.KindFormatting, Desc: "format reference data"},
+		{Name: "report", Kind: zoom.KindScientific, Desc: "produce the report"},
+	} {
+		if err := s.AddModule(m); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{
+		{zoom.Input, "fetch"}, {"fetch", "clean"}, {"clean", "analyze"},
+		{zoom.Input, "prepare-ref"}, {"prepare-ref", "analyze"},
+		{"analyze", "report"}, {"report", zoom.Output},
+	} {
+		if err := s.AddEdge(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 2. Simulate one execution. Real deployments would instead ingest the
+	// workflow system's log with sys.LoadLog.
+	r, events, err := zoom.Execute(s, zoom.ExecConfig{RunID: "run1", Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed %s (%d log events)\n", r, len(events))
+
+	// 3. Load everything into the provenance system.
+	sys := zoom.NewSystem()
+	if err := sys.RegisterSpec(s); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.LoadLog("run1", s.Name(), events); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Only the scientific steps matter to this user; formatting tasks
+	// are folded into their composites.
+	relevant := []string{"analyze", "report"}
+	view, err := zoom.BuildUserView(s, relevant)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user view: %v\n", view)
+
+	// 5. Deep provenance of the final output, through the view.
+	final := r.FinalOutputs()[0]
+	res, err := sys.DeepProvenance("run1", view, final)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(zoom.ProvenanceText(res))
+
+	// The same query under the administrator view shows every step.
+	resAdmin, err := sys.DeepProvenance("run1", zoom.UAdmin(s), final)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("view result: %d data objects; UAdmin result: %d data objects\n",
+		res.NumData(), resAdmin.NumData())
+}

@@ -1,0 +1,481 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/provenance"
+	"repro/internal/run"
+	"repro/internal/spec"
+	"repro/internal/warehouse"
+)
+
+// runClasses returns the Table II kinds with the large-run cap applied.
+func runClasses(o Options) []gen.RunClass {
+	classes := gen.RunClasses()
+	if o.LargeRunCap > 0 {
+		classes[2].MaxNodes = o.LargeRunCap
+	}
+	return classes
+}
+
+// ExpTable1 regenerates Table I: for each workflow class, the number of
+// workflows generated and their average size (modules) and loop count,
+// validating that the generator realizes the published profiles.
+func ExpTable1(o Options) *Report {
+	rep := &Report{
+		ID:      "T1",
+		Title:   "Classes of workflows (Table I)",
+		Headers: []string{"class", "workflows", "avg modules", "avg edges", "avg loops"},
+	}
+	g := gen.NewGenerator(o.Seed)
+	for _, class := range gen.Classes() {
+		var mods, edges, loops int
+		for i := 0; i < o.WorkflowsPerClass; i++ {
+			s := g.Workflow(class, fmt.Sprintf("%s-w%d", class.Name, i))
+			mods += s.NumModules()
+			edges += s.NumEdges()
+			loops += s.LoopCount()
+		}
+		n := float64(o.WorkflowsPerClass)
+		rep.Append(class.Name, o.WorkflowsPerClass,
+			float64(mods)/n, float64(edges)/n, float64(loops)/n)
+	}
+	rep.Notes = append(rep.Notes,
+		"Class1 models the 30 collected real workflows (12-node average, mostly linear);",
+		"Class4 (Loop) must show the highest loop count, Class2 (Linear) near zero fan-out.")
+	return rep
+}
+
+// ExpTable2 regenerates Table II: for each run kind, the observed run
+// sizes (steps/edges/data) produced by the generator parameters.
+func ExpTable2(o Options) *Report {
+	rep := &Report{
+		ID:    "T2",
+		Title: "Classes of runs (Table II)",
+		Headers: []string{"kind", "user input", "data/step", "loop iter",
+			"avg steps", "max steps", "avg edges", "avg data", "avg depth"},
+	}
+	g := gen.NewGenerator(o.Seed + 2)
+	for _, rc := range runClasses(o) {
+		var steps, edges, data, maxSteps, depth int
+		count := 0
+		for _, class := range gen.Classes() {
+			s := g.Workflow(class, fmt.Sprintf("t2-%s-%s", rc.Name, class.Name))
+			for i := 0; i < o.RunsPerKind; i++ {
+				r, _, err := g.Run(s, rc, fmt.Sprintf("t2-%s-%s-%d", rc.Name, class.Name, i))
+				if err != nil {
+					continue
+				}
+				st := r.Stats()
+				steps += st.Steps
+				edges += st.Edges
+				data += st.Data
+				depth += st.Depth
+				if st.Steps > maxSteps {
+					maxSteps = st.Steps
+				}
+				count++
+			}
+		}
+		n := float64(count)
+		rep.Append(rc.Name,
+			fmt.Sprintf("%d-%d", rc.UserInput[0], rc.UserInput[1]),
+			fmt.Sprintf("%d-%d", rc.DataPerStep[0], rc.DataPerStep[1]),
+			fmt.Sprintf("%d-%d", rc.LoopIter[0], rc.LoopIter[1]),
+			float64(steps)/n, maxSteps, float64(edges)/n, float64(data)/n, float64(depth)/n)
+	}
+	rep.Notes = append(rep.Notes,
+		"loop iteration count is the dominant size driver, as in the paper",
+		"('by iterating over the loops many times we were able to generate very large runs').")
+	return rep
+}
+
+// ExpScalability regenerates the Section V.B scalability experiment:
+// RelevUserViewBuilder over increasingly large randomized specifications.
+// The paper runs 1000 specifications of 100-1000 nodes and observes every
+// execution under 80 ms.
+func ExpScalability(o Options) *Report {
+	rep := &Report{
+		ID:      "E1",
+		Title:   "RelevUserViewBuilder scalability",
+		Headers: []string{"nodes(bucket)", "specs", "avg ms", "max ms"},
+	}
+	g := gen.NewGenerator(o.Seed + 3)
+	type bucket struct {
+		specs int
+		total time.Duration
+		max   time.Duration
+	}
+	buckets := make(map[int]*bucket)
+	span := o.MaxSpecNodes - o.MinSpecNodes
+	for i := 0; i < o.ScaleSpecs; i++ {
+		target := o.MinSpecNodes
+		if o.ScaleSpecs > 1 {
+			target += span * i / (o.ScaleSpecs - 1)
+		}
+		class := gen.Class3()
+		class.TargetModules = target
+		s := g.Workflow(class, fmt.Sprintf("scale-%d", i))
+		rel := g.RandomRelevant(s, 10+(i%5)*10) // 10-50% relevant
+		start := time.Now()
+		if _, err := core.BuildRelevant(s, rel); err != nil {
+			panic(fmt.Sprintf("bench: builder failed on generated spec: %v", err))
+		}
+		el := time.Since(start)
+		key := (target / 100) * 100
+		b := buckets[key]
+		if b == nil {
+			b = &bucket{}
+			buckets[key] = b
+		}
+		b.specs++
+		b.total += el
+		if el > b.max {
+			b.max = el
+		}
+	}
+	for key := (o.MinSpecNodes / 100) * 100; key <= o.MaxSpecNodes; key += 100 {
+		b := buckets[key]
+		if b == nil {
+			continue
+		}
+		rep.Append(fmt.Sprintf("%d-%d", key, key+99), b.specs,
+			float64(b.total.Microseconds())/float64(b.specs)/1000,
+			float64(b.max.Microseconds())/1000)
+	}
+	rep.Notes = append(rep.Notes, "paper: every execution took < 80 ms on 2008 hardware.")
+	return rep
+}
+
+// ExpOptimality regenerates the Section V.B optimality experiment: as the
+// percentage of relevant modules grows, how many composite modules beyond
+// the lower bound |R| does the builder create? The paper observes that
+// adding one relevant module adds about one composite, i.e. few
+// non-relevant composites.
+func ExpOptimality(o Options) *Report {
+	rep := &Report{
+		ID:      "E2",
+		Title:   "RelevUserViewBuilder optimality",
+		Headers: []string{"% relevant", "avg |R|", "avg view size", "avg extra composites"},
+	}
+	g := gen.NewGenerator(o.Seed + 4)
+	var specs []*spec.Spec
+	for _, class := range gen.Classes() {
+		for i := 0; i < o.WorkflowsPerClass; i++ {
+			specs = append(specs, g.Workflow(class, fmt.Sprintf("opt-%s-%d", class.Name, i)))
+		}
+	}
+	for pct := 0; pct <= 100; pct += 10 {
+		var sumR, sumSize, samples int
+		for _, s := range specs {
+			for trial := 0; trial < o.Trials; trial++ {
+				rel := g.RandomRelevant(s, pct)
+				v, err := core.BuildRelevant(s, rel)
+				if err != nil {
+					panic(fmt.Sprintf("bench: builder failed: %v", err))
+				}
+				sumR += len(rel)
+				sumSize += v.Size()
+				samples++
+			}
+		}
+		n := float64(samples)
+		rep.Append(fmt.Sprintf("%d", pct), float64(sumR)/n, float64(sumSize)/n,
+			float64(sumSize-sumR)/n)
+	}
+	rep.Notes = append(rep.Notes,
+		"extra composites = view size - |R|; the paper reports this stays small",
+		"(adding one relevant class creates only about one new composite class).")
+	return rep
+}
+
+// queryTriple loads one run into a fresh warehouse and measures the deep
+// provenance of its final output under the three views of Figure 10.
+type tripleResult struct {
+	admin, bio, blackbox *provenance.Result
+	coldTime             time.Duration // first (cache-filling) query
+	switchTime           time.Duration // subsequent warm view switches
+}
+
+func queryTriple(s *spec.Spec, r *run.Run, rel []string) (*tripleResult, error) {
+	w := warehouse.New(0)
+	if err := w.RegisterSpec(s); err != nil {
+		return nil, err
+	}
+	if err := w.LoadRun(r); err != nil {
+		return nil, err
+	}
+	e := provenance.NewEngine(w)
+	finals := r.FinalOutputs()
+	if len(finals) == 0 {
+		return nil, fmt.Errorf("bench: run %q has no final outputs", r.ID())
+	}
+	root := finals[len(finals)-1]
+	admin := core.UAdmin(s)
+	bio, err := core.BuildRelevant(s, rel)
+	if err != nil {
+		return nil, err
+	}
+	blackbox, err := core.UBlackBox(s)
+	if err != nil {
+		return nil, err
+	}
+	out := &tripleResult{}
+	start := time.Now()
+	out.admin, err = e.DeepProvenance(r.ID(), admin, root)
+	if err != nil {
+		return nil, err
+	}
+	out.coldTime = time.Since(start)
+	start = time.Now()
+	out.bio, err = e.DeepProvenance(r.ID(), bio, root)
+	if err != nil {
+		return nil, err
+	}
+	out.blackbox, err = e.DeepProvenance(r.ID(), blackbox, root)
+	if err != nil {
+		return nil, err
+	}
+	out.switchTime = time.Since(start) / 2
+	return out, nil
+}
+
+// ExpFig10 regenerates Figure 10: the size of the deep-provenance result
+// of the final output, per workflow class and run kind, under UAdmin, UBio
+// and UBlackBox.
+func ExpFig10(o Options) *Report {
+	rep := &Report{
+		ID:      "F10",
+		Title:   "Size of query result by view (Figure 10)",
+		Headers: []string{"class/run", "UAdmin", "UBio", "UBlackBox", "UBio/UAdmin", "UBio/UBlackBox"},
+	}
+	g := gen.NewGenerator(o.Seed + 5)
+	for _, class := range gen.Classes() {
+		for ki, rc := range runClasses(o) {
+			var sumAdmin, sumBio, sumBB, count int
+			for wi := 0; wi < o.WorkflowsPerClass; wi++ {
+				s := g.Workflow(class, fmt.Sprintf("f10-%s-%s-%d", class.Name, rc.Name, wi))
+				rel := gen.UBioRelevant(s)
+				for ri := 0; ri < o.RunsPerKind; ri++ {
+					r, _, err := g.Run(s, rc, fmt.Sprintf("f10-%s-%s-%d-%d", class.Name, rc.Name, wi, ri))
+					if err != nil {
+						continue
+					}
+					tr, err := queryTriple(s, r, rel)
+					if err != nil {
+						continue
+					}
+					sumAdmin += tr.admin.NumData()
+					sumBio += tr.bio.NumData()
+					sumBB += tr.blackbox.NumData()
+					count++
+				}
+			}
+			if count == 0 {
+				continue
+			}
+			n := float64(count)
+			a, b, c := float64(sumAdmin)/n, float64(sumBio)/n, float64(sumBB)/n
+			rep.Append(fmt.Sprintf("%s/run%d", class.Name, ki+1), a, b, c, b/a, b/c)
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"paper (small runs): UAdmin 24, UBio 13, UBlackBox 5 data items on average;",
+		"paper (medium/large): UBio ~20% of UAdmin and ~22x UBlackBox;",
+		"Class4 (loops) benefits most: loop iterations hide up to 90% of the data.")
+	return rep
+}
+
+// ExpQueryTime regenerates the query-response-time experiment: the cost of
+// the most expensive query (deep provenance of the final output), cold.
+func ExpQueryTime(o Options) *Report {
+	rep := &Report{
+		ID:      "E3",
+		Title:   "Query response time",
+		Headers: []string{"run kind", "queries", "avg steps", "avg ms", "max ms"},
+	}
+	g := gen.NewGenerator(o.Seed + 6)
+	for _, rc := range runClasses(o) {
+		var total, max time.Duration
+		var steps, count int
+		for _, class := range gen.Classes() {
+			s := g.Workflow(class, fmt.Sprintf("qt-%s-%s", rc.Name, class.Name))
+			rel := gen.UBioRelevant(s)
+			for i := 0; i < o.RunsPerKind; i++ {
+				r, _, err := g.Run(s, rc, fmt.Sprintf("qt-%s-%s-%d", rc.Name, class.Name, i))
+				if err != nil {
+					continue
+				}
+				tr, err := queryTriple(s, r, rel)
+				if err != nil {
+					continue
+				}
+				total += tr.coldTime
+				if tr.coldTime > max {
+					max = tr.coldTime
+				}
+				steps += r.NumSteps()
+				count++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		rep.Append(rc.Name, count, float64(steps)/float64(count),
+			float64(total.Microseconds())/float64(count)/1000,
+			float64(max.Microseconds())/1000)
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: small 23 ms, medium 213 ms, large 1.1 s, always < 30 s; response time",
+		"is dominated by the UAdmin closure (first step of the compute-then-project strategy).")
+	return rep
+}
+
+// ExpViewSwitch regenerates the interactive-capability experiment: after
+// the first (cold) query on a run, switching the user view reuses the
+// cached UAdmin closure; the paper measures ~13 ms per switch on average.
+func ExpViewSwitch(o Options) *Report {
+	rep := &Report{
+		ID:      "E4",
+		Title:   "Effect of view granularity on response time (view switching)",
+		Headers: []string{"run kind", "switches", "avg cold ms", "avg switch ms", "speedup"},
+	}
+	g := gen.NewGenerator(o.Seed + 7)
+	for _, rc := range runClasses(o) {
+		var cold, sw time.Duration
+		var count int
+		for _, class := range gen.Classes() {
+			s := g.Workflow(class, fmt.Sprintf("vs-%s-%s", rc.Name, class.Name))
+			rel := gen.UBioRelevant(s)
+			for i := 0; i < o.RunsPerKind; i++ {
+				r, _, err := g.Run(s, rc, fmt.Sprintf("vs-%s-%s-%d", rc.Name, class.Name, i))
+				if err != nil {
+					continue
+				}
+				tr, err := queryTriple(s, r, rel)
+				if err != nil {
+					continue
+				}
+				cold += tr.coldTime
+				sw += tr.switchTime
+				count++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		avgCold := float64(cold.Microseconds()) / float64(count) / 1000
+		avgSwitch := float64(sw.Microseconds()) / float64(count) / 1000
+		speedup := 0.0
+		if avgSwitch > 0 {
+			speedup = avgCold / avgSwitch
+		}
+		rep.Append(rc.Name, 2*count, avgCold, avgSwitch, speedup)
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: recomputing provenance for a different user view takes ~13 ms on average",
+		"(max 1 s) because the UAdmin result is cached in a temporary table.")
+	return rep
+}
+
+// ExpFig11 regenerates Figure 11: the size of the query result as a
+// function of the percentage of (randomly chosen) relevant modules, one
+// series per run kind.
+func ExpFig11(o Options) *Report {
+	rep := &Report{
+		ID:      "F11",
+		Title:   "Effect of view granularity on size of query result (Figure 11)",
+		Headers: []string{"% relevant", "run1(small)", "run2(medium)", "run3(large)"},
+	}
+	g := gen.NewGenerator(o.Seed + 8)
+	classes := runClasses(o)
+	// Pre-build one warehouse per (class, workflow, kind) and reuse cached
+	// closures across percentages — the paper's 120,000-query experiment is
+	// feasible precisely because of this caching.
+	type site struct {
+		s    *spec.Spec
+		e    *provenance.Engine
+		run  string
+		root string
+		kind int
+	}
+	var sites []site
+	for _, class := range gen.Classes() {
+		for wi := 0; wi < o.WorkflowsPerClass; wi++ {
+			s := g.Workflow(class, fmt.Sprintf("f11-%s-%d", class.Name, wi))
+			for ki, rc := range classes {
+				w := warehouse.New(0)
+				if err := w.RegisterSpec(s); err != nil {
+					continue
+				}
+				r, _, err := g.Run(s, rc, fmt.Sprintf("f11-%s-%d-%s", class.Name, wi, rc.Name))
+				if err != nil {
+					continue
+				}
+				if err := w.LoadRun(r); err != nil {
+					continue
+				}
+				finals := r.FinalOutputs()
+				if len(finals) == 0 {
+					continue
+				}
+				sites = append(sites, site{
+					s: s, e: provenance.NewEngine(w), run: r.ID(),
+					root: finals[len(finals)-1], kind: ki,
+				})
+			}
+		}
+	}
+	for pct := 0; pct <= 100; pct += 10 {
+		sums := make([]float64, len(classes))
+		counts := make([]int, len(classes))
+		for _, st := range sites {
+			for trial := 0; trial < o.Trials; trial++ {
+				rel := g.RandomRelevant(st.s, pct)
+				v, err := core.BuildRelevant(st.s, rel)
+				if err != nil {
+					continue
+				}
+				res, err := st.e.DeepProvenance(st.run, v, st.root)
+				if err != nil {
+					continue
+				}
+				sums[st.kind] += float64(res.NumData())
+				counts[st.kind]++
+			}
+		}
+		row := []interface{}{fmt.Sprintf("%d", pct)}
+		for k := range classes {
+			if counts[k] == 0 {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, sums[k]/float64(counts[k]))
+		}
+		rep.Append(row...)
+	}
+	rep.Notes = append(rep.Notes,
+		"each series must be monotone (noise aside): more relevant modules -> finer",
+		"granularity -> more visible provenance; Class4 grows super-linearly (loops).")
+	return rep
+}
+
+// RunAll executes every experiment in DESIGN.md order, including the
+// ablations and the minimal-vs-minimum gap study.
+func RunAll(o Options) []*Report {
+	return []*Report{
+		ExpTable1(o),
+		ExpTable2(o),
+		ExpScalability(o),
+		ExpOptimality(o),
+		ExpFig10(o),
+		ExpQueryTime(o),
+		ExpViewSwitch(o),
+		ExpFig11(o),
+		ExpMinimumGap(o),
+		ExpAblation(o),
+	}
+}

@@ -1,0 +1,54 @@
+package bench
+
+// Options scale the experiments. Default() is sized for CI and unit tests;
+// Full() matches the paper's workload volumes (10 workflows per class, 30
+// runs per kind — 3,600 runs in total — and 1,000 randomized specifications
+// for the scalability experiment).
+type Options struct {
+	// Seed makes every experiment deterministic.
+	Seed int64
+	// WorkflowsPerClass is how many specifications to draw per Table I class.
+	WorkflowsPerClass int
+	// RunsPerKind is how many runs to execute per Table II kind per workflow.
+	RunsPerKind int
+	// Trials is the number of random relevant-set draws per percentage for
+	// the optimality and Figure 11 experiments (the paper uses 10).
+	Trials int
+	// ScaleSpecs is the number of randomized specifications for the
+	// scalability experiment (the paper uses 1000).
+	ScaleSpecs int
+	// MinSpecNodes/MaxSpecNodes bound the randomized specification sizes
+	// (the paper sweeps 100-1000 nodes).
+	MinSpecNodes int
+	MaxSpecNodes int
+	// LargeRunCap lowers the Table II "large" run size so the full sweep
+	// stays tractable on one machine; 0 keeps the class default (10,000).
+	LargeRunCap int
+}
+
+// Default returns options sized for fast, deterministic test runs.
+func Default() Options {
+	return Options{
+		Seed:              1,
+		WorkflowsPerClass: 3,
+		RunsPerKind:       3,
+		Trials:            3,
+		ScaleSpecs:        30,
+		MinSpecNodes:      100,
+		MaxSpecNodes:      500,
+		LargeRunCap:       3000,
+	}
+}
+
+// Full returns the paper-scale options.
+func Full() Options {
+	return Options{
+		Seed:              1,
+		WorkflowsPerClass: 10,
+		RunsPerKind:       30,
+		Trials:            10,
+		ScaleSpecs:        1000,
+		MinSpecNodes:      100,
+		MaxSpecNodes:      1000,
+	}
+}

@@ -1,0 +1,20 @@
+package bench
+
+import "testing"
+
+func TestSmokeAll(t *testing.T) {
+	o := Default()
+	o.WorkflowsPerClass = 1
+	o.RunsPerKind = 1
+	o.Trials = 1
+	o.ScaleSpecs = 4
+	o.MaxSpecNodes = 200
+	o.LargeRunCap = 500
+	reports := RunAll(o)
+	if len(reports) != 10 {
+		t.Fatalf("expected 10 reports, got %d", len(reports))
+	}
+	for _, r := range reports {
+		t.Log("\n" + r.String())
+	}
+}

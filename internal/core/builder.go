@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/spec"
+)
+
+// BuildRelevant is algorithm RelevUserViewBuilder (Figure 5): given a
+// workflow specification and a set of relevant modules R, it constructs a
+// user view that satisfies Properties 1-3 and is minimal (Theorem 1).
+//
+// The algorithm has three steps:
+//
+//  1. For each relevant module r, create the relevant composite
+//     C(r) = in(r) ∪ out(r) ∪ {r}, where in(r) collects the non-relevant
+//     modules whose only relevant successor (over nr-paths) is r, and
+//     out(r) the still-unmarked non-relevant modules whose only relevant
+//     predecessor is r.
+//  2. Group the remaining non-relevant modules by their exact
+//     (rpred, rsucc) signature.
+//  3. Greedily merge pairs of non-relevant composites when the merge does
+//     not manufacture nr-paths absent from the specification, checked by
+//     comparing the relevant predecessors/successors of the merged block's
+//     entry and exit points with the block-wide unions (Line 23).
+//
+// Relevant composites are named after their relevant module; non-relevant
+// composites are named NR1, NR2, ... in deterministic order.
+func BuildRelevant(s *spec.Spec, relevant []string) (*UserView, error) {
+	a, err := NewAnalysis(s, relevant)
+	if err != nil {
+		return nil, err
+	}
+	return buildFromAnalysis(a)
+}
+
+// BuildFromAnalysis runs the builder over a precomputed Analysis, allowing
+// callers that already paid for rpred/rsucc (e.g. the interactive
+// UserViewBuilder UI loop) to skip recomputation.
+func BuildFromAnalysis(a *Analysis) (*UserView, error) { return buildFromAnalysis(a) }
+
+func buildFromAnalysis(a *Analysis) (*UserView, error) {
+	s := a.Spec()
+	R := a.Relevant()
+	marked := make(map[string]bool)
+
+	relevantBlock := make(map[string][]string, len(R)) // r -> members
+	for _, r := range R {
+		relevantBlock[r] = []string{r}
+	}
+
+	// Step 1a (Lines 3-5): in(r) = { n ∈ N\R : rsucc(n) = {r} }.
+	for _, r := range R {
+		for _, n := range s.ModuleNames() {
+			if a.IsRelevant(n) || marked[n] {
+				continue
+			}
+			if succ := a.RSucc(n); len(succ) == 1 && succ[0] == r {
+				relevantBlock[r] = append(relevantBlock[r], n)
+				marked[n] = true
+			}
+		}
+	}
+	// Step 1b (Lines 6-8): out(r) = { n ∈ N\R unmarked : rpred(n) = {r} }.
+	for _, r := range R {
+		for _, n := range s.ModuleNames() {
+			if a.IsRelevant(n) || marked[n] {
+				continue
+			}
+			if pred := a.RPred(n); len(pred) == 1 && pred[0] == r {
+				relevantBlock[r] = append(relevantBlock[r], n)
+				marked[n] = true
+			}
+		}
+	}
+
+	// Step 2 (Lines 11-16): group unmarked non-relevant modules by their
+	// (rpred, rsucc) signature.
+	type nrcBlock struct {
+		members []string
+		pred    []string // rpredM, kept sorted
+		succ    []string // rsuccM, kept sorted
+	}
+	var nrc []*nrcBlock
+	bySig := make(map[string]*nrcBlock)
+	for _, n := range s.ModuleNames() {
+		if a.IsRelevant(n) || marked[n] {
+			continue
+		}
+		pred, succ := a.RPred(n), a.RSucc(n)
+		sig := fmt.Sprint(pred, "|", succ)
+		if blk, ok := bySig[sig]; ok {
+			blk.members = append(blk.members, n)
+			continue
+		}
+		blk := &nrcBlock{members: []string{n}, pred: pred, succ: succ}
+		bySig[sig] = blk
+		nrc = append(nrc, blk)
+	}
+
+	// Step 3 (Lines 17-25): merge non-relevant composites while legal.
+	// Block-level rpred/rsucc are kept as sorted slices, so the pairwise
+	// union is a linear merge and the Line 23 comparisons are linear scans.
+	// Block membership is tracked through ownerBlk (nil for relevant and
+	// marked modules), so "edge leaves M" is a pointer comparison instead
+	// of a per-pair set construction.
+	g := s.Graph()
+	ownerBlk := make(map[string]*nrcBlock)
+	for _, blk := range nrc {
+		for _, n := range blk.members {
+			ownerBlk[n] = blk
+		}
+	}
+	// Sorted rpred/rsucc slices are interned to small integers so the
+	// Line 23 equality tests inside legalMerge are O(1) per member.
+	intern := make(map[string]int)
+	internID := func(xs []string) int {
+		key := strings.Join(xs, "\x00")
+		id, ok := intern[key]
+		if !ok {
+			id = len(intern)
+			intern[key] = id
+		}
+		return id
+	}
+	predID := make(map[string]int)
+	succID := make(map[string]int)
+	for _, blk := range nrc {
+		for _, n := range blk.members {
+			predID[n] = internID(a.RPred(n))
+			succID[n] = internID(a.RSucc(n))
+		}
+	}
+	legalMerge := func(b1, b2 *nrcBlock) bool {
+		rpredMID := internID(unionSorted(b1.pred, b2.pred))
+		rsuccMID := internID(unionSorted(b1.succ, b2.succ))
+		for _, blk := range [2]*nrcBlock{b1, b2} {
+			for _, n := range blk.members {
+				// V+ : n has an outgoing edge leaving M.
+				exit := false
+				for _, w := range g.Successors(n) {
+					if o := ownerBlk[w]; o != b1 && o != b2 {
+						exit = true
+						break
+					}
+				}
+				if exit && predID[n] != rpredMID {
+					return false
+				}
+				// V- : n has an incoming edge entering M from outside.
+				entry := false
+				for _, w := range g.Predecessors(n) {
+					if o := ownerBlk[w]; o != b1 && o != b2 {
+						entry = true
+						break
+					}
+				}
+				if entry && succID[n] != rsuccMID {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	// Fixpoint over pairwise merges. Each successful merge absorbs block j
+	// into block i and rescans i's remaining partners in place; the outer
+	// loop repeats until a full pass makes no change, so the result is the
+	// same fixpoint the naive restart-from-scratch loop reaches, without
+	// its cubic rescanning.
+	sort.Slice(nrc, func(i, j int) bool { return minString(nrc[i].members) < minString(nrc[j].members) })
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(nrc); i++ {
+			for j := i + 1; j < len(nrc); j++ {
+				if legalMerge(nrc[i], nrc[j]) {
+					for _, n := range nrc[j].members {
+						ownerBlk[n] = nrc[i]
+					}
+					nrc[i].members = append(nrc[i].members, nrc[j].members...)
+					nrc[i].pred = unionSorted(nrc[i].pred, nrc[j].pred)
+					nrc[i].succ = unionSorted(nrc[i].succ, nrc[j].succ)
+					nrc = append(nrc[:j], nrc[j+1:]...)
+					changed = true
+					j--
+				}
+			}
+		}
+	}
+
+	// Assemble the view. Relevant composites keep their module's name (the
+	// composite "takes on the meaning of the relevant module it contains");
+	// non-relevant composites are numbered deterministically.
+	blocks := make(map[string][]string, len(relevantBlock)+len(nrc))
+	for r, members := range relevantBlock {
+		sort.Strings(members)
+		blocks[r] = members
+	}
+	sort.Slice(nrc, func(i, j int) bool { return minString(nrc[i].members) < minString(nrc[j].members) })
+	for i, blk := range nrc {
+		sort.Strings(blk.members)
+		blocks[fmt.Sprintf("NR%d", i+1)] = blk.members
+	}
+	return NewUserView(s, blocks)
+}
+
+// unionSorted merges two sorted, deduplicated string slices into a fresh
+// sorted, deduplicated slice.
+func unionSorted(x, y []string) []string {
+	out := make([]string, 0, len(x)+len(y))
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i] < y[j]:
+			out = append(out, x[i])
+			i++
+		case x[i] > y[j]:
+			out = append(out, y[j])
+			j++
+		default:
+			out = append(out, x[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, x[i:]...)
+	return append(out, y[j:]...)
+}
+
+// minString returns the lexicographically smallest element of xs; blocks
+// are ordered by this key for deterministic iteration and naming.
+func minString(xs []string) string {
+	min := xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func TestBuilderJoe(t *testing.T) {
+	// Running RelevUserViewBuilder with Joe's relevant modules must
+	// reconstruct exactly the view the paper attributes to Joe (Section I):
+	// M10 = {M3, M4, M5}, M9 = {M6, M7, M8}, M2 and M1 alone.
+	s := spec.Phylogenomics()
+	v, err := BuildRelevant(s, spec.PhyloRelevantJoe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewUserView(s, joeBlocks())
+	if !v.Equal(want) {
+		t.Fatalf("builder produced %v, want Joe's view %v", v, want)
+	}
+	if v.Size() != 4 {
+		t.Fatalf("size = %d, want 4", v.Size())
+	}
+	// Relevant composites are named after their relevant module.
+	if got := v.Members("M3"); !reflect.DeepEqual(got, []string{"M3", "M4", "M5"}) {
+		t.Fatalf("Members(M3) = %v", got)
+	}
+	if got := v.Members("M7"); !reflect.DeepEqual(got, []string{"M6", "M7", "M8"}) {
+		t.Fatalf("Members(M7) = %v", got)
+	}
+}
+
+func TestBuilderMary(t *testing.T) {
+	s := spec.Phylogenomics()
+	v, err := BuildRelevant(s, spec.PhyloRelevantMary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewUserView(s, maryBlocks())
+	if !v.Equal(want) {
+		t.Fatalf("builder produced %v, want Mary's view %v", v, want)
+	}
+	if v.Size() != 5 {
+		t.Fatalf("size = %d, want 5", v.Size())
+	}
+	// Mary's alignment composite M11 contains only M3 and M4.
+	if got := v.Members("M3"); !reflect.DeepEqual(got, []string{"M3", "M4"}) {
+		t.Fatalf("Members(M3) = %v", got)
+	}
+}
+
+func TestBuilderFigure6(t *testing.T) {
+	// Section III walks through the three steps on Figure 6 and derives:
+	// step 1: {M2, M3} and {M6, M8};
+	// step 2: {M4, M5}, {M1}, {M7};
+	// step 3: merge {M1} with {M4, M5}; {M7} stays alone.
+	s, relevant := spec.Figure6()
+	v, err := BuildRelevant(s, relevant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewUserView(s, map[string][]string{
+		"A": {"M2", "M3"},
+		"B": {"M6", "M8"},
+		"C": {"M1", "M4", "M5"},
+		"D": {"M7"},
+	})
+	if !v.Equal(want) {
+		t.Fatalf("builder produced %v, want %v", v, want)
+	}
+}
+
+func TestBuilderFigure6Properties(t *testing.T) {
+	s, relevant := spec.Figure6()
+	v, _ := BuildRelevant(s, relevant)
+	if err := CheckAll(v, relevant); err != nil {
+		t.Fatalf("builder output violates properties: %v", err)
+	}
+	if ok, w := Minimal(v, relevant); !ok {
+		t.Fatalf("builder output not minimal: merge %v possible", w)
+	}
+}
+
+func TestBuilderEmptyRelevant(t *testing.T) {
+	// With no relevant modules every module shares the signature
+	// ({input}, {output}), so the builder collapses to the black box.
+	s := spec.Phylogenomics()
+	v, err := BuildRelevant(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 1 {
+		t.Fatalf("size = %d, want 1 (black box)", v.Size())
+	}
+}
+
+func TestBuilderAllRelevant(t *testing.T) {
+	s := spec.Phylogenomics()
+	v, err := BuildRelevant(s, s.ModuleNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin := UAdmin(s)
+	if !v.Equal(admin) {
+		t.Fatalf("all-relevant build %v differs from UAdmin", v)
+	}
+}
+
+func TestBuilderUnknownRelevant(t *testing.T) {
+	if _, err := BuildRelevant(spec.Phylogenomics(), []string{"nope"}); !errors.Is(err, ErrBadRelevant) {
+		t.Fatalf("err = %v, want ErrBadRelevant", err)
+	}
+}
+
+func TestBuilderFigure4NotUsedBlindly(t *testing.T) {
+	// Figure 4's hand-made view violates Properties 2 and 3; the builder,
+	// given the same relevant modules, must produce a different view that
+	// satisfies them.
+	s, blocks, relevant := spec.Figure4()
+	bad, err := NewUserView(s, map[string][]string{"A": blocks[0], "B": blocks[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PreservesDataflow(bad, relevant); !errors.Is(err, ErrProperty2) {
+		t.Fatalf("figure 4 view should violate property 2, got %v", err)
+	}
+	if err := CompleteWRTDataflow(bad, relevant); !errors.Is(err, ErrProperty3) {
+		t.Fatalf("figure 4 view should violate property 3, got %v", err)
+	}
+	good, err := BuildRelevant(s, relevant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.Equal(bad) {
+		t.Fatal("builder reproduced the known-bad view")
+	}
+	if err := CheckAll(good, relevant); err != nil {
+		t.Fatalf("builder output violates properties: %v", err)
+	}
+}
+
+func TestBuilderDeterministic(t *testing.T) {
+	s, relevant := spec.Figure6()
+	a, _ := BuildRelevant(s, relevant)
+	for i := 0; i < 5; i++ {
+		b, _ := BuildRelevant(s, relevant)
+		if !reflect.DeepEqual(a.Blocks(), b.Blocks()) {
+			t.Fatalf("run %d differs: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestBuildFromAnalysisMatchesBuildRelevant(t *testing.T) {
+	s := spec.Phylogenomics()
+	rel := spec.PhyloRelevantMary()
+	a, err := NewAnalysis(s, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := BuildFromAnalysis(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := BuildRelevant(s, rel)
+	if !v1.Equal(v2) {
+		t.Fatal("BuildFromAnalysis differs from BuildRelevant")
+	}
+}
+
+func TestBuilderRelevantCompositesConnected(t *testing.T) {
+	// Section III: "Properties 1-3 guarantee that a relevant composite
+	// module will always be a connected partition."
+	for _, tc := range []struct {
+		s   *spec.Spec
+		rel []string
+	}{
+		{spec.Phylogenomics(), spec.PhyloRelevantJoe()},
+		{spec.Phylogenomics(), spec.PhyloRelevantMary()},
+	} {
+		v, err := BuildRelevant(tc.s, tc.rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RelevantCompositeConnected(v, tc.rel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, rel := spec.Figure6()
+	v, _ := BuildRelevant(s, rel)
+	if err := RelevantCompositeConnected(v, rel); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderNoNewLoops(t *testing.T) {
+	// Section III: Properties 1-3 do not introduce loops in the induced
+	// workflow other than those present in the original specification.
+	// Figure 6 is acyclic, so every builder view of it must induce a DAG.
+	s, relevant := spec.Figure6()
+	v, _ := BuildRelevant(s, relevant)
+	if !v.Induced().IsAcyclic() {
+		t.Fatal("induced view of acyclic spec is cyclic")
+	}
+}

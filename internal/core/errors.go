@@ -1,0 +1,13 @@
+package core
+
+import "errors"
+
+// Sentinel errors of the core package.
+var (
+	// ErrBadView reports a block set that is not a valid partition of the
+	// specification's modules.
+	ErrBadView = errors.New("core: invalid user view")
+	// ErrBadRelevant reports a relevant-module set referencing unknown
+	// modules or duplicates.
+	ErrBadRelevant = errors.New("core: invalid relevant set")
+)

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// The paper leaves open whether a polynomial-time algorithm exists that
+// produces a *minimum* good user view (smallest size satisfying Properties
+// 1-3); RelevUserViewBuilder only guarantees a *minimal* one (no pairwise
+// merge possible). MinimumView settles individual instances by exhaustive
+// search over set partitions, which is feasible for the small hand-built
+// specifications used to study the gap (Figure 7) — the Bell number of 10
+// modules is 115975.
+
+// MaxMinimumSearchModules bounds the exhaustive search.
+const MaxMinimumSearchModules = 10
+
+// MinimumView returns a smallest user view of s satisfying Properties 1-3
+// for the given relevant set, found by exhaustive enumeration of the set
+// partitions of the modules. It fails for specifications with more than
+// MaxMinimumSearchModules modules.
+//
+// Among equal-size optima the partition generated first in restricted-growth
+// order wins, making the result deterministic.
+func MinimumView(s *spec.Spec, relevant []string) (*UserView, error) {
+	mods := s.ModuleNames()
+	if len(mods) > MaxMinimumSearchModules {
+		return nil, fmt.Errorf("core: %d modules exceed exhaustive search bound %d", len(mods), MaxMinimumSearchModules)
+	}
+	if _, err := NewAnalysis(s, relevant); err != nil {
+		return nil, err // validates the relevant set
+	}
+	var best *UserView
+	bestSize := len(mods) + 1
+	// Enumerate partitions via restricted growth strings: assign[i] is the
+	// block of mods[i], and assign[i] <= 1+max(assign[0..i-1]).
+	assign := make([]int, len(mods))
+	var rec func(i, maxUsed int)
+	rec = func(i, maxUsed int) {
+		if i == len(mods) {
+			size := maxUsed + 1
+			if size >= bestSize {
+				return
+			}
+			blocks := make(map[string][]string, size)
+			for k, m := range mods {
+				name := fmt.Sprintf("B%d", assign[k])
+				blocks[name] = append(blocks[name], m)
+			}
+			v, err := NewUserView(s, blocks)
+			if err != nil {
+				return
+			}
+			if CheckAll(v, relevant) == nil {
+				best = v
+				bestSize = size
+			}
+			return
+		}
+		for b := 0; b <= maxUsed+1; b++ {
+			// Prune: even if all remaining modules join existing blocks, the
+			// final size is at least max(maxUsed, b)+1.
+			mu := maxUsed
+			if b > mu {
+				mu = b
+			}
+			if mu+1 >= bestSize {
+				continue
+			}
+			assign[i] = b
+			rec(i+1, mu)
+		}
+	}
+	if len(mods) == 0 {
+		return nil, fmt.Errorf("core: empty specification: %w", ErrBadView)
+	}
+	rec(0, -1)
+	if best == nil {
+		return nil, fmt.Errorf("core: no view satisfies properties 1-3 (unexpected; UAdmin always does)")
+	}
+	return best, nil
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func TestMinimumViewFigure7Gap(t *testing.T) {
+	// The Figure 7 phenomenon: the builder's view is minimal (no pairwise
+	// merge) yet strictly larger than the minimum view.
+	s, relevant := spec.Figure7()
+	built, err := BuildRelevant(s, relevant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := built.Size(); got != 5 {
+		t.Fatalf("builder size = %d, want 5 (documented instance)", got)
+	}
+	if ok, w := Minimal(built, relevant); !ok {
+		t.Fatalf("builder output is not minimal: %v", w)
+	}
+	min, err := MinimumView(s, relevant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := min.Size(); got != 3 {
+		t.Fatalf("minimum size = %d, want 3", got)
+	}
+	if err := CheckAll(min, relevant); err != nil {
+		t.Fatalf("minimum view violates properties: %v", err)
+	}
+	// The minimum groups the three non-relevant modules together.
+	var nrBlock []string
+	for _, c := range min.Composites() {
+		ms := min.Members(c)
+		if len(ms) == 3 {
+			nrBlock = ms
+		}
+	}
+	if strings.Join(nrBlock, ",") != "n1,n2,n4" {
+		t.Fatalf("minimum non-relevant block = %v, want [n1 n2 n4]", nrBlock)
+	}
+}
+
+func TestMinimumViewMatchesBuilderOnEasyInstances(t *testing.T) {
+	// On the paper's running examples the builder already achieves the
+	// minimum.
+	s := spec.Phylogenomics()
+	for _, rel := range [][]string{spec.PhyloRelevantJoe(), spec.PhyloRelevantMary()} {
+		built, _ := BuildRelevant(s, rel)
+		min, err := MinimumView(s, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if built.Size() != min.Size() {
+			t.Fatalf("rel %v: builder %d vs minimum %d", rel, built.Size(), min.Size())
+		}
+	}
+	f6, r6 := spec.Figure6()
+	built, _ := BuildRelevant(f6, r6)
+	min, err := MinimumView(f6, r6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Size() != min.Size() {
+		t.Fatalf("figure 6: builder %d vs minimum %d", built.Size(), min.Size())
+	}
+}
+
+func TestMinimumViewNeverAboveBuilder(t *testing.T) {
+	// The exhaustive minimum can never exceed the builder's size, and both
+	// must satisfy the properties.
+	rng := rand.New(rand.NewSource(5))
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		s := randomSpec(rng, 3+rng.Intn(4)) // keep Bell numbers small
+		rel := randomRelevant(rng, s, rng.Intn(3))
+		built, err := BuildRelevant(s, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min, err := MinimumView(s, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if min.Size() > built.Size() {
+			t.Fatalf("trial %d: minimum %d > builder %d", trial, min.Size(), built.Size())
+		}
+		if err := CheckAll(min, rel); err != nil {
+			t.Fatalf("trial %d: minimum view invalid: %v", trial, err)
+		}
+	}
+}
+
+func TestMinimumViewBounds(t *testing.T) {
+	big := spec.New("big")
+	prev := spec.Input
+	for i := 0; i < MaxMinimumSearchModules+1; i++ {
+		name := "x" + string(rune('a'+i))
+		big.MustAddModule(spec.Module{Name: name})
+		big.MustAddEdge(prev, name)
+		prev = name
+	}
+	big.MustAddEdge(prev, spec.Output)
+	if _, err := MinimumView(big, nil); err == nil {
+		t.Fatal("oversized search accepted")
+	}
+	if _, err := MinimumView(spec.New("empty"), nil); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := MinimumView(spec.Phylogenomics(), []string{"ghost"}); err == nil {
+		t.Fatal("unknown relevant accepted")
+	}
+}

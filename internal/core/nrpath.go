@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/spec"
+)
+
+// Analysis precomputes the nr-path machinery of Section III for one
+// (specification, relevant set) pair:
+//
+//	rpred(n) = { r in R ∪ {input}  | there is an nr-path from r to n }
+//	rsucc(n) = { r in R ∪ {output} | there is an nr-path from n to r }
+//
+// where an nr-path is a path containing no relevant *intermediate* module.
+// Both maps are materialized with |R|+1 filtered BFS traversals each, giving
+// the O(|N|² + |E|) bound the paper states for the builder.
+type Analysis struct {
+	s        *spec.Spec
+	relevant map[string]bool
+	rpred    map[string]map[string]bool
+	rsucc    map[string]map[string]bool
+
+	// Memoized sorted forms: the builder's Step 3 interrogates rpred/rsucc
+	// of the same nodes over and over while probing merges, so sorting on
+	// every call would dominate the whole algorithm on large inputs.
+	rpredSorted map[string][]string
+	rsuccSorted map[string][]string
+}
+
+// NewAnalysis validates the relevant set (every entry must be a module of
+// s, duplicates are tolerated) and computes rpred/rsucc for every module.
+func NewAnalysis(s *spec.Spec, relevant []string) (*Analysis, error) {
+	a := &Analysis{
+		s:           s,
+		relevant:    make(map[string]bool, len(relevant)),
+		rpred:       make(map[string]map[string]bool),
+		rsucc:       make(map[string]map[string]bool),
+		rpredSorted: make(map[string][]string),
+		rsuccSorted: make(map[string][]string),
+	}
+	for _, r := range relevant {
+		if !s.HasModule(r) {
+			return nil, fmt.Errorf("core: relevant module %q not in spec %q: %w", r, s.Name(), ErrBadRelevant)
+		}
+		a.relevant[r] = true
+	}
+	g := s.Graph()
+	avoid := func(n string) bool { return a.relevant[n] }
+
+	add := func(m map[string]map[string]bool, key, val string) {
+		set, ok := m[key]
+		if !ok {
+			set = make(map[string]bool)
+			m[key] = set
+		}
+		set[val] = true
+	}
+
+	sources := append(a.sortedRelevant(), spec.Input)
+	for _, r := range sources {
+		for n := range g.ReachAvoiding(r, avoid) {
+			add(a.rpred, n, r)
+		}
+	}
+	targets := append(a.sortedRelevant(), spec.Output)
+	for _, r := range targets {
+		for n := range g.ReachBackAvoiding(r, avoid) {
+			add(a.rsucc, n, r)
+		}
+	}
+	return a, nil
+}
+
+// Spec returns the analyzed specification.
+func (a *Analysis) Spec() *spec.Spec { return a.s }
+
+// Relevant returns the sorted relevant modules.
+func (a *Analysis) Relevant() []string { return a.sortedRelevant() }
+
+// IsRelevant reports whether module n is in R.
+func (a *Analysis) IsRelevant(n string) bool { return a.relevant[n] }
+
+// RPred returns rpred(n), sorted. The slice is memoized and must not be
+// mutated by the caller.
+func (a *Analysis) RPred(n string) []string {
+	if cached, ok := a.rpredSorted[n]; ok {
+		return cached
+	}
+	out := setToSorted(a.rpred[n])
+	a.rpredSorted[n] = out
+	return out
+}
+
+// RSucc returns rsucc(n), sorted. The slice is memoized and must not be
+// mutated by the caller.
+func (a *Analysis) RSucc(n string) []string {
+	if cached, ok := a.rsuccSorted[n]; ok {
+		return cached
+	}
+	out := setToSorted(a.rsucc[n])
+	a.rsuccSorted[n] = out
+	return out
+}
+
+// RPredSet returns rpred(n) as a set; the map must not be mutated.
+func (a *Analysis) RPredSet(n string) map[string]bool { return a.rpred[n] }
+
+// RSuccSet returns rsucc(n) as a set; the map must not be mutated.
+func (a *Analysis) RSuccSet(n string) map[string]bool { return a.rsucc[n] }
+
+// RPredOfSet returns rpredM(M) = ∪_{n in M} rpred(n), sorted.
+func (a *Analysis) RPredOfSet(members []string) []string {
+	return setToSorted(a.unionOf(a.rpred, members))
+}
+
+// RSuccOfSet returns rsuccM(M) = ∪_{n in M} rsucc(n), sorted.
+func (a *Analysis) RSuccOfSet(members []string) []string {
+	return setToSorted(a.unionOf(a.rsucc, members))
+}
+
+// HasNRPath reports whether there is an nr-path from one node to another
+// (endpoints may be relevant, INPUT or OUTPUT; intermediates must not be
+// relevant).
+func (a *Analysis) HasNRPath(from, to string) bool {
+	return a.s.Graph().HasPathAvoiding(from, to, func(n string) bool { return a.relevant[n] })
+}
+
+func (a *Analysis) sortedRelevant() []string {
+	out := make([]string, 0, len(a.relevant))
+	for r := range a.relevant {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (a *Analysis) unionOf(m map[string]map[string]bool, members []string) map[string]bool {
+	out := make(map[string]bool)
+	for _, n := range members {
+		for r := range m[n] {
+			out[r] = true
+		}
+	}
+	return out
+}
+
+func setToSorted(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameSet(a map[string]bool, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameSortedSlice(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/spec"
+)
+
+// This file implements the checkers for the three properties of Section III
+// plus the minimality condition. All checkers return nil when the property
+// holds and a descriptive error (wrapping ErrProperty*) when it does not, so
+// tests can both assert success and inspect counter-examples.
+
+// Property violation sentinels.
+var (
+	ErrProperty1 = fmt.Errorf("core: property 1 (well-formed) violated")
+	ErrProperty2 = fmt.Errorf("core: property 2 (preserves dataflow) violated")
+	ErrProperty3 = fmt.Errorf("core: property 3 (complete w.r.t. dataflow) violated")
+)
+
+// WellFormed checks Property 1: every composite module of v contains at
+// most one element of the relevant set.
+func WellFormed(v *UserView, relevant []string) error {
+	rel := toSet(relevant)
+	for _, name := range v.Composites() {
+		count := 0
+		var found []string
+		for _, m := range v.blocks[name] {
+			if rel[m] {
+				count++
+				found = append(found, m)
+			}
+		}
+		if count > 1 {
+			return fmt.Errorf("%w: composite %q contains %v", ErrProperty1, name, found)
+		}
+	}
+	return nil
+}
+
+// dataflowContext bundles the per-graph reachability fronts used by the
+// Property 2 and 3 edge checks.
+type dataflowContext struct {
+	g       *graph.Graph
+	rel     map[string]bool            // "relevant" nodes of this graph
+	fwd     map[string]map[string]bool // source -> nr-reachable set
+	bwd     map[string]map[string]bool // target -> nr-co-reachable set
+	sources []string                   // R ∪ {input} (graph-local names)
+	targets []string                   // R ∪ {output}
+}
+
+func newDataflowContext(g *graph.Graph, relNodes []string) *dataflowContext {
+	ctx := &dataflowContext{
+		g:   g,
+		rel: toSet(relNodes),
+		fwd: make(map[string]map[string]bool),
+		bwd: make(map[string]map[string]bool),
+	}
+	avoid := func(n string) bool { return ctx.rel[n] }
+	ctx.sources = append(append([]string(nil), relNodes...), spec.Input)
+	ctx.targets = append(append([]string(nil), relNodes...), spec.Output)
+	for _, r := range ctx.sources {
+		ctx.fwd[r] = g.ReachAvoiding(r, avoid)
+	}
+	for _, r := range ctx.targets {
+		ctx.bwd[r] = g.ReachBackAvoiding(r, avoid)
+	}
+	return ctx
+}
+
+// edgeOnNRPath reports whether the edge (u, w) lies on an nr-path from r to
+// rp in this context's graph, using the precomputed fronts.
+func (ctx *dataflowContext) edgeOnNRPath(u, w, r, rp string) bool {
+	okU := u == r || (!ctx.rel[u] && ctx.fwd[r][u])
+	if !okU {
+		return false
+	}
+	return w == rp || (!ctx.rel[w] && ctx.bwd[rp][w])
+}
+
+// hasNRPath reports an nr-path r -> rp of length >= 1.
+func (ctx *dataflowContext) hasNRPath(r, rp string) bool { return ctx.fwd[r][rp] }
+
+// buildContexts prepares the specification-side and view-side contexts.
+// The view-side relevant nodes are the composites holding a relevant module;
+// C(input)=input and C(output)=output pass through by construction.
+func buildContexts(v *UserView, relevant []string) (specCtx, viewCtx *dataflowContext, cOf func(string) string) {
+	specCtx = newDataflowContext(v.spec.Graph(), relevant)
+	relComposites := make([]string, 0, len(relevant))
+	seen := make(map[string]bool)
+	for _, r := range relevant {
+		if c, ok := v.CompositeOf(r); ok && !seen[c] {
+			seen[c] = true
+			relComposites = append(relComposites, c)
+		}
+	}
+	viewCtx = newDataflowContext(v.Induced(), relComposites)
+	cOf = func(n string) string {
+		c, _ := v.CompositeOf(n)
+		return c
+	}
+	return specCtx, viewCtx, cOf
+}
+
+// PreservesDataflow checks Property 2: every specification edge that
+// induces an edge lying on an nr-path from C(r) to C(r') in the view must
+// itself lie on an nr-path from r to r' in the specification. Violations
+// mean the view makes users perceive dataflow that does not exist.
+func PreservesDataflow(v *UserView, relevant []string) error {
+	specCtx, viewCtx, cOf := buildContexts(v, relevant)
+	var err error
+	v.spec.Graph().EachEdge(func(u, w string) {
+		if err != nil {
+			return
+		}
+		a, b := cOf(u), cOf(w)
+		if a == b {
+			return // edge internal to a composite: induces nothing
+		}
+		for _, r := range specCtx.sources {
+			for _, rp := range specCtx.targets {
+				if viewCtx.edgeOnNRPath(a, b, cOf(r), cOf(rp)) && !specCtx.edgeOnNRPath(u, w, r, rp) {
+					err = fmt.Errorf("%w: edge (%s,%s) induces (%s,%s) on an nr-path %s->%s in the view, but is on no nr-path %s->%s in the spec",
+						ErrProperty2, u, w, a, b, cOf(r), cOf(rp), r, rp)
+					return
+				}
+			}
+		}
+	})
+	return err
+}
+
+// CompleteWRTDataflow checks Property 3: every specification edge lying on
+// an nr-path from r to r' that induces a view edge must have that induced
+// edge on an nr-path from C(r) to C(r'). Violations mean the view hides
+// dataflow that does exist.
+func CompleteWRTDataflow(v *UserView, relevant []string) error {
+	specCtx, viewCtx, cOf := buildContexts(v, relevant)
+	var err error
+	v.spec.Graph().EachEdge(func(u, w string) {
+		if err != nil {
+			return
+		}
+		a, b := cOf(u), cOf(w)
+		if a == b {
+			return
+		}
+		for _, r := range specCtx.sources {
+			for _, rp := range specCtx.targets {
+				if specCtx.edgeOnNRPath(u, w, r, rp) && !viewCtx.edgeOnNRPath(a, b, cOf(r), cOf(rp)) {
+					err = fmt.Errorf("%w: edge (%s,%s) on nr-path %s->%s in the spec induces (%s,%s), which is on no nr-path %s->%s in the view",
+						ErrProperty3, u, w, r, rp, a, b, cOf(r), cOf(rp))
+					return
+				}
+			}
+		}
+	})
+	return err
+}
+
+// PreservesPathLevel checks the path-level reading of Properties 2 and 3
+// ("every nr-path from C(r) to C(r') in U(G_w) must be the residue of an
+// nr-path from r to r' in G_w, and each nr-path in G_w must have a
+// residue"): the set of (r, r') pairs connected by nr-paths is identical in
+// the specification and the view. Pairs with r = r' are excluded: a loop
+// around a single relevant module may legitimately be absorbed into its
+// composite — the paper's Section II makes exactly this point when Joe,
+// whose composite M10 swallows the M3-M4-M5 loop, "would not be aware of
+// the looping inside of S13". The edge-level checkers imply this check; the
+// property tests cross-validate the two formulations.
+func PreservesPathLevel(v *UserView, relevant []string) error {
+	specCtx, viewCtx, cOf := buildContexts(v, relevant)
+	for _, r := range specCtx.sources {
+		for _, rp := range specCtx.targets {
+			if r == rp {
+				continue
+			}
+			inSpec := specCtx.hasNRPath(r, rp)
+			inView := viewCtx.hasNRPath(cOf(r), cOf(rp))
+			if inView && !inSpec {
+				return fmt.Errorf("%w: nr-path %s->%s exists in view only", ErrProperty2, r, rp)
+			}
+			if inSpec && !inView {
+				return fmt.Errorf("%w: nr-path %s->%s exists in spec only", ErrProperty3, r, rp)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAll verifies Properties 1-3 in order and returns the first failure.
+func CheckAll(v *UserView, relevant []string) error {
+	if err := WellFormed(v, relevant); err != nil {
+		return err
+	}
+	if err := PreservesDataflow(v, relevant); err != nil {
+		return err
+	}
+	return CompleteWRTDataflow(v, relevant)
+}
+
+// MergeWitness describes a pair of composites whose merge would still
+// satisfy Properties 1-3, i.e. a witness that a view is not minimal.
+type MergeWitness struct {
+	A, B string
+}
+
+// Minimal checks the paper's minimality condition: no two composite modules
+// of v can be replaced by their union while still satisfying Properties
+// 1-3. It returns (true, nil) for a minimal view and (false, witness) with
+// the first mergeable pair otherwise.
+func Minimal(v *UserView, relevant []string) (bool, *MergeWitness) {
+	names := v.Composites()
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			merged := mergeBlocks(v, names[i], names[j])
+			if CheckAll(merged, relevant) == nil {
+				return false, &MergeWitness{A: names[i], B: names[j]}
+			}
+		}
+	}
+	return true, nil
+}
+
+// mergeBlocks returns a copy of v with composites a and b fused. The fused
+// block keeps a's name when that name does not shadow a module (relevant
+// composites are named after their member, which stays inside), otherwise a
+// fresh neutral name is used.
+func mergeBlocks(v *UserView, a, b string) *UserView {
+	blocks := v.Blocks()
+	union := append(blocks[a], blocks[b]...)
+	delete(blocks, a)
+	delete(blocks, b)
+	// Reusing a's name is always valid: if it shadows a module, that module
+	// was a member of a and remains inside the union.
+	blocks[a] = union
+	merged, err := NewUserView(v.spec, blocks)
+	if err != nil {
+		panic(fmt.Sprintf("core: internal merge produced invalid view: %v", err))
+	}
+	return merged
+}
+
+// RelevantCompositeConnected verifies the structural guarantee stated in
+// Section III: in a view satisfying Properties 1-3, every composite that
+// contains a relevant module is weakly connected in the specification.
+func RelevantCompositeConnected(v *UserView, relevant []string) error {
+	rel := toSet(relevant)
+	for _, name := range v.Composites() {
+		holdsRelevant := false
+		for _, m := range v.blocks[name] {
+			if rel[m] {
+				holdsRelevant = true
+				break
+			}
+		}
+		if !holdsRelevant {
+			continue
+		}
+		keep := toSet(v.blocks[name])
+		sub := v.spec.Graph().InducedSubgraph(keep)
+		if comps := sub.WeaklyConnectedComponents(); len(comps) > 1 {
+			return fmt.Errorf("core: relevant composite %q is disconnected: %v", name, comps)
+		}
+	}
+	return nil
+}
+
+func toSet(xs []string) map[string]bool {
+	out := make(map[string]bool, len(xs))
+	for _, x := range xs {
+		out[x] = true
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func TestAddRemoveRelevant(t *testing.T) {
+	s := spec.Phylogenomics()
+	// Joe adds M5 -> he gets Mary's view.
+	v, rel, err := AddRelevant(s, spec.PhyloRelevantJoe(), "M5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rel, []string{"M2", "M3", "M5", "M7"}) {
+		t.Fatalf("relevant = %v", rel)
+	}
+	mary, _ := BuildRelevant(s, spec.PhyloRelevantMary())
+	if !v.Equal(mary) {
+		t.Fatalf("adding M5 to Joe's set must give Mary's view, got %v", v)
+	}
+	// Mary removes M5 -> back to Joe's view.
+	v2, rel2, err := RemoveRelevant(s, rel, "M5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joe, _ := BuildRelevant(s, spec.PhyloRelevantJoe())
+	if !v2.Equal(joe) || len(rel2) != 3 {
+		t.Fatalf("removing M5 must give Joe's view, got %v (%v)", v2, rel2)
+	}
+	// Adding an already-relevant module is a no-op.
+	v3, rel3, err := AddRelevant(s, rel2, "M3")
+	if err != nil || len(rel3) != 3 || !v3.Equal(joe) {
+		t.Fatalf("idempotent add broken: %v %v %v", v3, rel3, err)
+	}
+}
+
+func TestSubSpecJoeM10(t *testing.T) {
+	s := spec.Phylogenomics()
+	joe, _ := BuildRelevant(s, spec.PhyloRelevantJoe())
+	sub, err := SubSpec(joe, "M3") // Joe's alignment composite {M3, M4, M5}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.ModuleNames(); !reflect.DeepEqual(got, []string{"M3", "M4", "M5"}) {
+		t.Fatalf("sub modules = %v", got)
+	}
+	// The loop survives inside the sub-workflow.
+	for _, e := range [][2]string{{"M3", "M4"}, {"M4", "M5"}, {"M5", "M3"}} {
+		if !sub.Graph().HasEdge(e[0], e[1]) {
+			t.Fatalf("sub-spec missing %v", e)
+		}
+	}
+	// M1 -> M3 became INPUT -> M3; M4 -> M7 became M4 -> OUTPUT.
+	if !sub.Graph().HasEdge(spec.Input, "M3") {
+		t.Fatal("entry edge missing")
+	}
+	if !sub.Graph().HasEdge("M4", spec.Output) {
+		t.Fatal("exit edge missing")
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubSpecUnknownComposite(t *testing.T) {
+	s := spec.Phylogenomics()
+	joe, _ := BuildRelevant(s, spec.PhyloRelevantJoe())
+	if _, err := SubSpec(joe, "nope"); !errors.Is(err, ErrBadView) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRefineCompositeTreeBlock(t *testing.T) {
+	// Refining Joe's tree composite M9 = {M6, M7, M8} with {M7, M8}
+	// relevant inside splits it into {M6, M7} and {M8}.
+	s := spec.Phylogenomics()
+	joe, _ := BuildRelevant(s, spec.PhyloRelevantJoe())
+	refined, err := RefineComposite(joe, "M7", []string{"M7", "M8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := refined.Members("M8"); !reflect.DeepEqual(got, []string{"M8"}) {
+		t.Fatalf("Members(M8) = %v", got)
+	}
+	if got := refined.Members("M7"); !reflect.DeepEqual(got, []string{"M6", "M7"}) {
+		t.Fatalf("Members(M7) = %v", got)
+	}
+	// Untouched blocks survive.
+	if got := refined.Members("M3"); !reflect.DeepEqual(got, []string{"M3", "M4", "M5"}) {
+		t.Fatalf("Members(M3) = %v", got)
+	}
+	if !Refines(refined, joe) {
+		t.Fatal("refined view does not refine the original")
+	}
+	if Refines(joe, refined) {
+		t.Fatal("coarser view claims to refine the finer one")
+	}
+}
+
+func TestRefineCompositeErrors(t *testing.T) {
+	s := spec.Phylogenomics()
+	joe, _ := BuildRelevant(s, spec.PhyloRelevantJoe())
+	if _, err := RefineComposite(joe, "nope", nil); !errors.Is(err, ErrBadView) {
+		t.Fatalf("unknown composite: %v", err)
+	}
+	if _, err := RefineComposite(joe, "M7", []string{"M1"}); !errors.Is(err, ErrBadRelevant) {
+		t.Fatalf("outside module accepted: %v", err)
+	}
+}
+
+func TestRefinesLattice(t *testing.T) {
+	s := spec.Phylogenomics()
+	admin := UAdmin(s)
+	bb, _ := UBlackBox(s)
+	joe, _ := BuildRelevant(s, spec.PhyloRelevantJoe())
+	mary, _ := BuildRelevant(s, spec.PhyloRelevantMary())
+	cases := []struct {
+		a, b *UserView
+		want bool
+	}{
+		{admin, joe, true}, {admin, bb, true}, {joe, bb, true},
+		{mary, joe, true}, // Mary's view is strictly finer than Joe's
+		{joe, mary, false}, {bb, joe, false}, {joe, admin, false},
+		{joe, joe, true},
+	}
+	for i, tc := range cases {
+		if got := Refines(tc.a, tc.b); got != tc.want {
+			t.Errorf("case %d: Refines = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestRefineCompositePreservesPartition(t *testing.T) {
+	// Property: refining any composite of a random builder view yields a
+	// valid partition that refines the original.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		s := randomSpec(rng, 4+rng.Intn(5))
+		rel := randomRelevant(rng, s, rng.Intn(3))
+		v, err := BuildRelevant(s, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comps := v.Composites()
+		comp := comps[rng.Intn(len(comps))]
+		members := v.Members(comp)
+		inner := []string{members[rng.Intn(len(members))]}
+		refined, err := RefineComposite(v, comp, inner)
+		if err != nil {
+			// Disconnected composites may not form a valid sub-workflow;
+			// that is a documented limitation, not a failure.
+			continue
+		}
+		if !Refines(refined, v) {
+			t.Fatalf("trial %d: refinement not finer\nbase: %v\nrefined: %v", trial, v, refined)
+		}
+	}
+}

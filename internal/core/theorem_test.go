@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// randomSpec builds a random valid specification with n modules. With
+// probability ~1/3 a back edge is added, producing cyclic specifications so
+// that the theorem is exercised on loops too.
+func randomSpec(rng *rand.Rand, n int) *spec.Spec {
+	s := spec.New(fmt.Sprintf("rand%d", rng.Int63()))
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("m%02d", i)
+		s.MustAddModule(spec.Module{Name: names[i]})
+	}
+	// Forward edges keep the base acyclic and connected-ish.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				s.MustAddEdge(names[i], names[j])
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 || s.Graph().InDegree(names[i]) == 0 {
+			s.MustAddEdge(spec.Input, names[i])
+		}
+		if rng.Intn(3) == 0 || s.Graph().OutDegree(names[i]) == 0 {
+			s.MustAddEdge(names[i], spec.Output)
+		}
+	}
+	// Occasionally close a loop.
+	if n >= 3 && rng.Intn(3) == 0 {
+		i := 1 + rng.Intn(n-1)
+		j := rng.Intn(i)
+		s.MustAddEdge(names[i], names[j])
+	}
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("randomSpec produced invalid spec: %v", err))
+	}
+	return s
+}
+
+// randomRelevant draws k distinct relevant modules.
+func randomRelevant(rng *rand.Rand, s *spec.Spec, k int) []string {
+	names := s.ModuleNames()
+	perm := rng.Perm(len(names))
+	if k > len(names) {
+		k = len(names)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = names[perm[i]]
+	}
+	return out
+}
+
+// TestTheorem1 is the statistical version of Theorem 1: on hundreds of
+// random specifications (cyclic and acyclic) and random relevant sets, the
+// builder's output satisfies Properties 1-3 (edge level and path level) and
+// is minimal.
+func TestTheorem1(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trials := 200
+	if testing.Short() {
+		trials = 40
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 3 + rng.Intn(8)
+		s := randomSpec(rng, n)
+		rel := randomRelevant(rng, s, rng.Intn(n+1))
+		v, err := BuildRelevant(s, rel)
+		if err != nil {
+			t.Fatalf("trial %d: builder failed: %v\nspec: %v\nrel: %v", trial, err, s.Edges(), rel)
+		}
+		if err := CheckAll(v, rel); err != nil {
+			t.Fatalf("trial %d: properties violated: %v\nspec: %v\nrel: %v\nview: %v",
+				trial, err, s.Edges(), rel, v)
+		}
+		if err := PreservesPathLevel(v, rel); err != nil {
+			t.Fatalf("trial %d: path level violated: %v\nspec: %v\nrel: %v\nview: %v",
+				trial, err, s.Edges(), rel, v)
+		}
+		if ok, w := Minimal(v, rel); !ok {
+			t.Fatalf("trial %d: not minimal, merge %v possible\nspec: %v\nrel: %v\nview: %v",
+				trial, w, s.Edges(), rel, v)
+		}
+	}
+}
+
+// TestTheorem1Structure checks the two structural corollaries stated in
+// Section III on random inputs: relevant composites are connected, and
+// acyclic specifications induce acyclic views.
+func TestTheorem1Structure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	trials := 150
+	if testing.Short() {
+		trials = 30
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 3 + rng.Intn(8)
+		s := randomSpec(rng, n)
+		rel := randomRelevant(rng, s, 1+rng.Intn(n))
+		v, err := BuildRelevant(s, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RelevantCompositeConnected(v, rel); err != nil {
+			t.Fatalf("trial %d: %v\nspec: %v\nrel: %v\nview: %v", trial, err, s.Edges(), rel, v)
+		}
+		if s.IsAcyclic() && !v.Induced().IsAcyclic() {
+			t.Fatalf("trial %d: acyclic spec induced a cyclic view\nspec: %v\nrel: %v\nview: %v",
+				trial, s.Edges(), rel, v)
+		}
+	}
+}
+
+// TestBuilderEveryRelevantGetsComposite checks observation (i): the user
+// sees one composite for each relevant module, and by Property 1 no two
+// relevant modules share one.
+func TestBuilderEveryRelevantGetsComposite(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		s := randomSpec(rng, 3+rng.Intn(6))
+		rel := randomRelevant(rng, s, 1+rng.Intn(3))
+		v, err := BuildRelevant(s, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[string]bool)
+		for _, r := range rel {
+			c, ok := v.CompositeOf(r)
+			if !ok {
+				t.Fatalf("relevant %s has no composite", r)
+			}
+			if seen[c] {
+				t.Fatalf("two relevant modules share composite %s", c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+// TestBuilderViewSizeLowerBound: |U| >= |R| always, and |U| >= 1.
+func TestBuilderViewSizeLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		s := randomSpec(rng, 2+rng.Intn(7))
+		rel := randomRelevant(rng, s, rng.Intn(4))
+		v, err := BuildRelevant(s, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Size() < len(rel) || v.Size() < 1 {
+			t.Fatalf("size %d below lower bound |R|=%d", v.Size(), len(rel))
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// joeBlocks is Joe's user view from Section I: M9 = {M6, M7, M8} (tree
+// building), M10 = {M3, M4, M5} (alignment), with M1 and M2 alone.
+func joeBlocks() map[string][]string {
+	return map[string][]string{
+		"M9":  {"M6", "M7", "M8"},
+		"M10": {"M3", "M4", "M5"},
+		"C2":  {"M2"},
+		"C1":  {"M1"},
+	}
+}
+
+// maryBlocks is Mary's view: like Joe's but M5 stays visible, M11 = {M3, M4}.
+func maryBlocks() map[string][]string {
+	return map[string][]string{
+		"M9":  {"M6", "M7", "M8"},
+		"M11": {"M3", "M4"},
+		"C5":  {"M5"},
+		"C2":  {"M2"},
+		"C1":  {"M1"},
+	}
+}
+
+func TestNewUserViewValidation(t *testing.T) {
+	s := spec.Phylogenomics()
+
+	if _, err := NewUserView(s, joeBlocks()); err != nil {
+		t.Fatalf("Joe's view rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		blocks map[string][]string
+	}{
+		{"missing module", map[string][]string{"A": {"M1", "M2", "M3", "M4", "M5", "M6", "M7"}}},
+		{"duplicate module", map[string][]string{
+			"A": {"M1", "M2", "M3", "M4"}, "B": {"M4", "M5", "M6", "M7", "M8"}}},
+		{"unknown module", map[string][]string{
+			"A": {"M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8", "M99"}}},
+		{"empty block", map[string][]string{
+			"A": {"M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8"}, "B": {}}},
+		{"reserved name", map[string][]string{
+			spec.Input: {"M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8"}}},
+		{"shadowing name", map[string][]string{
+			"M1": {"M2", "M3", "M4", "M5", "M6", "M7", "M8"}, "B": {"M1"}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewUserView(s, tc.blocks); !errors.Is(err, ErrBadView) {
+			t.Errorf("%s: err = %v, want ErrBadView", tc.name, err)
+		}
+	}
+}
+
+func TestUserViewAccessors(t *testing.T) {
+	s := spec.Phylogenomics()
+	joe, err := NewUserView(s, joeBlocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := joe.Size(); got != 4 {
+		t.Fatalf("Joe's view size = %d, want 4 (as stated in Section II)", got)
+	}
+	mary, err := NewUserView(s, maryBlocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mary.Size(); got != 5 {
+		t.Fatalf("Mary's view size = %d, want 5", got)
+	}
+	if c, ok := joe.CompositeOf("M4"); !ok || c != "M10" {
+		t.Fatalf("CompositeOf(M4) = %q, %v", c, ok)
+	}
+	if c, ok := joe.CompositeOf(spec.Input); !ok || c != spec.Input {
+		t.Fatalf("CompositeOf(INPUT) = %q, %v (C(input) must be input)", c, ok)
+	}
+	if _, ok := joe.CompositeOf("M99"); ok {
+		t.Fatal("CompositeOf(unknown) reported ok")
+	}
+	if got := joe.Members("M9"); !reflect.DeepEqual(got, []string{"M6", "M7", "M8"}) {
+		t.Fatalf("Members(M9) = %v", got)
+	}
+	if got := joe.Members("nope"); got != nil {
+		t.Fatalf("Members(unknown) = %v", got)
+	}
+	if got := joe.Composites(); !reflect.DeepEqual(got, []string{"C1", "C2", "M10", "M9"}) {
+		t.Fatalf("Composites = %v", got)
+	}
+}
+
+func TestBlocksAndBlockOfAreCopies(t *testing.T) {
+	s := spec.Phylogenomics()
+	joe, _ := NewUserView(s, joeBlocks())
+	b := joe.Blocks()
+	b["M9"][0] = "tampered"
+	if joe.Members("M9")[0] != "M6" {
+		t.Fatal("Blocks() aliases internal state")
+	}
+	bo := joe.BlockOf()
+	bo["M6"] = "tampered"
+	if c, _ := joe.CompositeOf("M6"); c != "M9" {
+		t.Fatal("BlockOf() aliases internal state")
+	}
+}
+
+func TestInducedJoe(t *testing.T) {
+	// Figure 3(a): Joe's induced workflow.
+	s := spec.Phylogenomics()
+	joe, _ := NewUserView(s, joeBlocks())
+	ind := joe.Induced()
+	wantEdges := [][2]string{
+		{spec.Input, "C1"},  // INPUT -> M1
+		{"C1", "C2"},        // M1 -> M2
+		{"C1", "M10"},       // M1 -> M3
+		{"C2", "M9"},        // M2 -> M8 and M2 -> M6
+		{"M10", "M9"},       // M4 -> M7
+		{"M9", spec.Output}, // M7 -> OUTPUT
+	}
+	for _, e := range wantEdges {
+		if !ind.HasEdge(e[0], e[1]) {
+			t.Errorf("induced view missing edge %v", e)
+		}
+	}
+	if got := ind.NumEdges(); got != len(wantEdges) {
+		t.Fatalf("induced view has %d edges, want %d: %v", got, len(wantEdges), ind.Edges())
+	}
+	// The M3-M4-M5 loop is internal to M10 and must vanish.
+	if ind.HasEdge("M10", "M10") {
+		t.Fatal("internal loop leaked as a self-loop")
+	}
+	if !ind.IsAcyclic() {
+		t.Fatal("Joe's induced view must be acyclic: the only loop is hidden")
+	}
+}
+
+func TestInducedMaryKeepsLoop(t *testing.T) {
+	// Mary leaves M5 visible, so the loop M11 -> C5 -> M11 survives.
+	s := spec.Phylogenomics()
+	mary, _ := NewUserView(s, maryBlocks())
+	ind := mary.Induced()
+	if !ind.HasEdge("M11", "C5") || !ind.HasEdge("C5", "M11") {
+		t.Fatalf("Mary's induced view lost the alignment loop: %v", ind.Edges())
+	}
+	if ind.IsAcyclic() {
+		t.Fatal("Mary's induced view must keep the loop")
+	}
+}
+
+func TestUAdmin(t *testing.T) {
+	s := spec.Phylogenomics()
+	v := UAdmin(s)
+	if v.Size() != s.NumModules() {
+		t.Fatalf("UAdmin size = %d, want %d", v.Size(), s.NumModules())
+	}
+	// UAdmin's induced graph is isomorphic (indeed equal) to the spec graph.
+	ind := v.Induced()
+	if ind.NumNodes() != s.Graph().NumNodes() || ind.NumEdges() != s.Graph().NumEdges() {
+		t.Fatalf("UAdmin induced graph differs from spec: %v vs %v", ind, s.Graph())
+	}
+	for _, e := range s.Graph().Edges() {
+		if !ind.HasEdge(e.From, e.To) {
+			t.Fatalf("UAdmin induced graph missing %v", e)
+		}
+	}
+}
+
+func TestUBlackBox(t *testing.T) {
+	s := spec.Phylogenomics()
+	v, err := UBlackBox(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 1 {
+		t.Fatalf("UBlackBox size = %d", v.Size())
+	}
+	ind := v.Induced()
+	if !ind.HasEdge(spec.Input, BlackBoxName) || !ind.HasEdge(BlackBoxName, spec.Output) {
+		t.Fatalf("black box edges wrong: %v", ind.Edges())
+	}
+	if ind.NumEdges() != 2 {
+		t.Fatalf("black box should have exactly 2 edges, got %v", ind.Edges())
+	}
+	if _, err := UBlackBox(spec.New("empty")); !errors.Is(err, ErrBadView) {
+		t.Fatal("UBlackBox of empty spec must fail")
+	}
+}
+
+func TestViewEqual(t *testing.T) {
+	s := spec.Phylogenomics()
+	a, _ := NewUserView(s, joeBlocks())
+	// Same partition, different block names.
+	renamed := map[string][]string{
+		"X1": {"M6", "M7", "M8"},
+		"X2": {"M3", "M4", "M5"},
+		"X3": {"M2"},
+		"X4": {"M1"},
+	}
+	b, _ := NewUserView(s, renamed)
+	if !a.Equal(b) {
+		t.Fatal("renamed identical partitions not Equal")
+	}
+	c, _ := NewUserView(s, maryBlocks())
+	if a.Equal(c) {
+		t.Fatal("different partitions reported Equal")
+	}
+}
+
+func TestInducedSpec(t *testing.T) {
+	s := spec.Phylogenomics()
+	joe, _ := NewUserView(s, joeBlocks())
+	ind, err := joe.InducedSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ind.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ind.NumModules() != 4 {
+		t.Fatalf("induced modules = %d", ind.NumModules())
+	}
+	// M10 = {M3, M4, M5} contains scientific M3 -> composite is scientific.
+	m10, _ := ind.Module("M10")
+	if m10.Kind != spec.KindScientific {
+		t.Fatalf("M10 kind = %s", m10.Kind)
+	}
+	c1, _ := ind.Module("C1") // {M1}, formatting only
+	if c1.Kind != spec.KindFormatting {
+		t.Fatalf("C1 kind = %s", c1.Kind)
+	}
+	// Views stack: a view of the induced spec is legal.
+	stacked, err := BuildRelevant(ind, []string{"M10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckAll(stacked, []string{"M10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducedSpecBlackBox(t *testing.T) {
+	s := spec.Phylogenomics()
+	bb, _ := UBlackBox(s)
+	ind, err := bb.InducedSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ind.NumModules() != 1 || ind.NumEdges() != 2 {
+		t.Fatalf("black-box induced spec: %v", ind)
+	}
+}

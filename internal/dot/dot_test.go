@@ -1,0 +1,127 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/composite"
+	"repro/internal/core"
+	"repro/internal/provenance"
+	"repro/internal/run"
+	"repro/internal/spec"
+	"repro/internal/warehouse"
+)
+
+func TestSpecDot(t *testing.T) {
+	out := Spec(spec.Phylogenomics())
+	for _, want := range []string{
+		`digraph "phylogenomics"`,
+		`"M3" [shape=box, style=filled, fillcolor=lightgrey`,
+		`"M5" -> "M3";`,
+		`"INPUT" [shape=ellipse];`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Spec output missing %q", want)
+		}
+	}
+	if !strings.HasSuffix(out, "}\n") {
+		t.Fatal("unterminated DOT")
+	}
+}
+
+func TestViewDot(t *testing.T) {
+	s := spec.Phylogenomics()
+	joe, _ := core.BuildRelevant(s, spec.PhyloRelevantJoe())
+	out := View("joe", joe)
+	if !strings.Contains(out, `{M3, M4, M5}`) {
+		t.Errorf("View output missing composite members:\n%s", out)
+	}
+	if !strings.Contains(out, `"M3" -> "M7";`) {
+		t.Errorf("View output missing induced edge:\n%s", out)
+	}
+}
+
+func TestRunDot(t *testing.T) {
+	out := Run(run.Figure2())
+	for _, want := range []string{
+		`"S2" [shape=box, label="S2:M3"];`,
+		`"S1" -> "S2" [label="{d308..d408}"];`,
+		`"S10" -> "OUTPUT" [label="{d447}"];`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Run output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMappingDot(t *testing.T) {
+	s := spec.Phylogenomics()
+	joe, _ := core.BuildRelevant(s, spec.PhyloRelevantJoe())
+	m, err := composite.Build(run.Figure2(), joe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Mapping(m)
+	if !strings.Contains(out, "S2, S3, S4, S5, S6") {
+		t.Errorf("Mapping output missing S13 membership:\n%s", out)
+	}
+}
+
+func TestProvenanceDotAndText(t *testing.T) {
+	w := warehouse.New(0)
+	s := spec.Phylogenomics()
+	if err := w.RegisterSpec(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LoadRun(run.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	joe, _ := core.BuildRelevant(s, spec.PhyloRelevantJoe())
+	e := provenance.NewEngine(w)
+	res, err := e.DeepProvenance("fig2", joe, "d447")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Provenance(res)
+	if !strings.Contains(d, `"d447" [shape=octagon`) {
+		t.Errorf("Provenance output missing root node:\n%s", d)
+	}
+	txt := ProvenanceText(res)
+	if !strings.Contains(txt, "deep provenance of d447") {
+		t.Errorf("text header missing:\n%s", txt)
+	}
+	if !strings.Contains(txt, "objects") {
+		t.Errorf("text summary missing:\n%s", txt)
+	}
+
+	ext, err := e.DeepProvenance("fig2", joe, "d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ProvenanceText(ext), "external input") {
+		t.Error("external marker missing")
+	}
+}
+
+func TestTextListing(t *testing.T) {
+	out := Text(spec.Phylogenomics().Graph())
+	if !strings.Contains(out, "M4 -> M5, M7") {
+		t.Errorf("Text output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "OUTPUT\n") {
+		t.Errorf("sink line missing:\n%s", out)
+	}
+}
+
+func TestGraphDotDeterministic(t *testing.T) {
+	g := spec.Phylogenomics().Graph()
+	if Graph("x", g) != Graph("x", g) {
+		t.Fatal("Graph rendering not deterministic")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a"b`); got != `"a\"b"` {
+		t.Fatalf("escape = %s", got)
+	}
+}

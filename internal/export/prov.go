@@ -1,0 +1,180 @@
+// Package export serializes provenance query results to an interchange
+// format. The paper grew out of the First Provenance Challenge, whose goal
+// was interoperability between provenance systems; the modern descendant
+// of that effort is W3C PROV. This package emits the PROV-JSON vocabulary
+// restricted to what ZOOM results contain:
+//
+//	entity                      one per visible data object
+//	activity                    one per visible composite execution
+//	used(activity, entity)      execution input
+//	wasGeneratedBy(entity, activity)  execution output
+//	wasDerivedFrom(entity, entity)    root-to-source shortcut edges
+//
+// Identifiers are namespaced with the "zoom:" prefix. The output is a
+// deterministic JSON document, so exports are diffable and goldens are
+// stable.
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/provenance"
+	"repro/internal/spec"
+)
+
+// provDoc is the PROV-JSON document layout (a subset of the spec).
+type provDoc struct {
+	Prefix   map[string]string         `json:"prefix"`
+	Entity   map[string]provEntity     `json:"entity"`
+	Activity map[string]provActivity   `json:"activity"`
+	Used     map[string]provUsage      `json:"used,omitempty"`
+	WasGen   map[string]provGeneration `json:"wasGeneratedBy,omitempty"`
+}
+
+type provEntity struct {
+	Label    string            `json:"prov:label"`
+	External bool              `json:"zoom:external,omitempty"`
+	Root     bool              `json:"zoom:queryRoot,omitempty"`
+	Metadata map[string]string `json:"zoom:metadata,omitempty"`
+}
+
+type provActivity struct {
+	Label     string   `json:"prov:label"`
+	Composite string   `json:"zoom:composite"`
+	Steps     []string `json:"zoom:steps"`
+}
+
+type provUsage struct {
+	Activity string `json:"prov:activity"`
+	Entity   string `json:"prov:entity"`
+}
+
+type provGeneration struct {
+	Entity   string `json:"prov:entity"`
+	Activity string `json:"prov:activity"`
+}
+
+func entityID(d string) string   { return "zoom:data/" + d }
+func activityID(e string) string { return "zoom:exec/" + e }
+
+// PROVJSON renders a provenance result as PROV-JSON. The document contains
+// exactly the information the view exposes: hidden steps and hidden data
+// never leak into an export.
+func PROVJSON(res *provenance.Result) ([]byte, error) {
+	doc := provDoc{
+		Prefix: map[string]string{
+			"prov": "http://www.w3.org/ns/prov#",
+			"zoom": "urn:zoom:" + res.RunID + ":",
+		},
+		Entity:   make(map[string]provEntity),
+		Activity: make(map[string]provActivity),
+		Used:     make(map[string]provUsage),
+		WasGen:   make(map[string]provGeneration),
+	}
+	for _, d := range res.Data {
+		e := provEntity{Label: d}
+		if d == res.Root {
+			e.Root = true
+			e.External = res.External
+			e.Metadata = res.Metadata
+		}
+		doc.Entity[entityID(d)] = e
+	}
+	visibleData := make(map[string]bool, len(res.Data))
+	for _, d := range res.Data {
+		visibleData[d] = true
+	}
+	usageN, genN := 0, 0
+	for _, ex := range res.Executions {
+		doc.Activity[activityID(ex.ID)] = provActivity{
+			Label:     ex.ID,
+			Composite: ex.Composite,
+			Steps:     ex.Steps,
+		}
+		for _, in := range ex.Inputs {
+			if !visibleData[in] {
+				continue
+			}
+			usageN++
+			doc.Used[fmt.Sprintf("zoom:u%d", usageN)] = provUsage{
+				Activity: activityID(ex.ID),
+				Entity:   entityID(in),
+			}
+		}
+		for _, out := range ex.Outputs {
+			if !visibleData[out] {
+				continue
+			}
+			genN++
+			doc.WasGen[fmt.Sprintf("zoom:g%d", genN)] = provGeneration{
+				Entity:   entityID(out),
+				Activity: activityID(ex.ID),
+			}
+		}
+	}
+	if len(doc.Used) == 0 {
+		doc.Used = nil
+	}
+	if len(doc.WasGen) == 0 {
+		doc.WasGen = nil
+	}
+	return json.MarshalIndent(&doc, "", "  ")
+}
+
+// Validate parses a PROV-JSON document produced by PROVJSON and checks its
+// referential integrity: every usage/generation points at a declared
+// entity and activity. It returns the counts, so tests and tools can
+// assert on export sizes.
+func Validate(data []byte) (entities, activities, usages, generations int, err error) {
+	var doc provDoc
+	if err = json.Unmarshal(data, &doc); err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("export: parse: %w", err)
+	}
+	for id, u := range doc.Used {
+		if _, ok := doc.Activity[u.Activity]; !ok {
+			return 0, 0, 0, 0, fmt.Errorf("export: usage %s references unknown activity %s", id, u.Activity)
+		}
+		if _, ok := doc.Entity[u.Entity]; !ok {
+			return 0, 0, 0, 0, fmt.Errorf("export: usage %s references unknown entity %s", id, u.Entity)
+		}
+	}
+	for id, g := range doc.WasGen {
+		if _, ok := doc.Activity[g.Activity]; !ok {
+			return 0, 0, 0, 0, fmt.Errorf("export: generation %s references unknown activity %s", id, g.Activity)
+		}
+		if _, ok := doc.Entity[g.Entity]; !ok {
+			return 0, 0, 0, 0, fmt.Errorf("export: generation %s references unknown entity %s", id, g.Entity)
+		}
+	}
+	return len(doc.Entity), len(doc.Activity), len(doc.Used), len(doc.WasGen), nil
+}
+
+// SpecGraphML renders a workflow specification as GraphML, a second widely
+// readable interchange format (yEd, Gephi, NetworkX). Nodes carry the
+// module kind as an attribute.
+func SpecGraphML(s *spec.Spec) string {
+	var b []byte
+	app := func(format string, args ...interface{}) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	app("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n")
+	app("<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n")
+	app("  <key id=\"kind\" for=\"node\" attr.name=\"kind\" attr.type=\"string\"/>\n")
+	app("  <graph id=%q edgedefault=\"directed\">\n", s.Name())
+	nodes := append([]string{spec.Input, spec.Output}, s.ModuleNames()...)
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		kind := "boundary"
+		if m, ok := s.Module(n); ok {
+			kind = string(m.Kind)
+		}
+		app("    <node id=%q><data key=\"kind\">%s</data></node>\n", n, kind)
+	}
+	for _, e := range s.Edges() {
+		app("    <edge source=%q target=%q/>\n", e.From, e.To)
+	}
+	app("  </graph>\n</graphml>\n")
+	return string(b)
+}

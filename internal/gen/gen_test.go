@@ -1,0 +1,238 @@
+package gen
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/run"
+	"repro/internal/spec"
+	"repro/internal/wflog"
+)
+
+func TestClassesShape(t *testing.T) {
+	classes := Classes()
+	if len(classes) != 4 {
+		t.Fatalf("%d classes, want 4", len(classes))
+	}
+	for _, c := range classes {
+		total := 0
+		for _, f := range c.Freq {
+			total += f
+		}
+		if total != 100 {
+			t.Errorf("%s frequencies sum to %d", c.Name, total)
+		}
+	}
+	// Table I: Class2 is Sequence 80 / Loop 10 / ParallelProcess 10.
+	c2 := Class2()
+	if c2.Freq[Sequence] != 80 || c2.Freq[Loop] != 10 || c2.Freq[ParallelProcess] != 10 {
+		t.Fatalf("Class2 profile wrong: %v", c2.Freq)
+	}
+	// Class4 is Loop 50 / Sequence 50.
+	c4 := Class4()
+	if c4.Freq[Loop] != 50 || c4.Freq[Sequence] != 50 {
+		t.Fatalf("Class4 profile wrong: %v", c4.Freq)
+	}
+	// Class1 reflects the real-workflow statistics: ~12 modules, sequence
+	// several times more frequent than loop.
+	c1 := Class1()
+	if c1.TargetModules != 12 {
+		t.Fatalf("Class1 target = %d, want 12", c1.TargetModules)
+	}
+	if c1.Freq[Sequence] < 4*c1.Freq[Loop] {
+		t.Fatal("Class1 must use sequence at least 4x more than loop")
+	}
+}
+
+func TestWorkflowsValidAcrossClasses(t *testing.T) {
+	g := NewGenerator(1)
+	for _, class := range Classes() {
+		for i := 0; i < 10; i++ {
+			s := g.Workflow(class, fmt.Sprintf("%s-%d", class.Name, i))
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s workflow %d invalid: %v", class.Name, i, err)
+			}
+			if s.NumModules() < class.TargetModules {
+				t.Fatalf("%s workflow %d has %d modules, want >= %d",
+					class.Name, i, s.NumModules(), class.TargetModules)
+			}
+			// Size should not wildly overshoot (patterns add at most ~4).
+			if s.NumModules() > class.TargetModules+6 {
+				t.Fatalf("%s workflow %d has %d modules, target %d",
+					class.Name, i, s.NumModules(), class.TargetModules)
+			}
+		}
+	}
+}
+
+func TestClass4HasLoopsClass3HasParallelism(t *testing.T) {
+	g := NewGenerator(7)
+	loops := 0
+	for i := 0; i < 10; i++ {
+		s := g.Workflow(Class4(), fmt.Sprintf("c4-%d", i))
+		loops += s.LoopCount()
+	}
+	if loops < 10 {
+		t.Fatalf("Class4 generated only %d loops across 10 workflows", loops)
+	}
+	// Class3 should fan out: some module has out-degree >= 2.
+	fan := false
+	for i := 0; i < 10 && !fan; i++ {
+		s := g.Workflow(Class3(), fmt.Sprintf("c3-%d", i))
+		for _, m := range s.ModuleNames() {
+			if s.Graph().OutDegree(m) >= 2 {
+				fan = true
+				break
+			}
+		}
+	}
+	if !fan {
+		t.Fatal("Class3 produced no parallel branches")
+	}
+}
+
+func TestGeneratedRunsExecuteAndReplay(t *testing.T) {
+	g := NewGenerator(3)
+	for _, class := range Classes() {
+		s := g.Workflow(class, class.Name+"-w")
+		r, events, err := g.Run(s, Small(), class.Name+"-r")
+		if err != nil {
+			t.Fatalf("%s: %v", class.Name, err)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.ConformsTo(s); err != nil {
+			t.Fatal(err)
+		}
+		if err := wflog.ValidateSequence(events); err != nil {
+			t.Fatal(err)
+		}
+		back, err := run.FromLog(r.ID(), s.Name(), events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.NumSteps() != r.NumSteps() || back.NumData() != r.NumData() {
+			t.Fatalf("%s: replay mismatch", class.Name)
+		}
+	}
+}
+
+func TestRunClassesScale(t *testing.T) {
+	g := NewGenerator(11)
+	s := g.Workflow(Class4(), "scale-w") // loops dominate size
+	sizes := make(map[string]int)
+	for _, rc := range RunClasses() {
+		r, _, err := g.Run(s, rc, "scale-"+rc.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[rc.Name] = r.NumSteps()
+		if r.NumSteps() > rc.MaxNodes+s.NumModules() {
+			t.Fatalf("%s run exceeded cap: %d steps", rc.Name, r.NumSteps())
+		}
+	}
+	if !(sizes["small"] < sizes["medium"] && sizes["medium"] < sizes["large"]) {
+		t.Fatalf("run sizes not increasing: %v", sizes)
+	}
+}
+
+func TestRandomRelevantPercentages(t *testing.T) {
+	g := NewGenerator(5)
+	s := g.Workflow(Class2(), "rel-w")
+	n := s.NumModules()
+	if got := g.RandomRelevant(s, 0); len(got) != 0 {
+		t.Fatalf("0%% -> %v", got)
+	}
+	if got := g.RandomRelevant(s, 100); len(got) != n {
+		t.Fatalf("100%% -> %d of %d", len(got), n)
+	}
+	got := g.RandomRelevant(s, 50)
+	if len(got) != n/2 {
+		t.Fatalf("50%% -> %d of %d", len(got), n)
+	}
+	seen := make(map[string]bool)
+	for _, m := range got {
+		if !s.HasModule(m) {
+			t.Fatalf("unknown module %s", m)
+		}
+		if seen[m] {
+			t.Fatalf("duplicate module %s", m)
+		}
+		seen[m] = true
+	}
+}
+
+func TestUBioRelevant(t *testing.T) {
+	g := NewGenerator(9)
+	s := g.Workflow(Class2(), "ubio-w")
+	rel := UBioRelevant(s)
+	for _, m := range rel {
+		mod, _ := s.Module(m)
+		if mod.Kind != spec.KindScientific {
+			t.Fatalf("UBio selected non-scientific module %s", m)
+		}
+	}
+	// Views built from UBio selections must satisfy the theorem.
+	v, err := core.BuildRelevant(s, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.CheckAll(v, rel); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(42).Workflow(Class3(), "d")
+	b := NewGenerator(42).Workflow(Class3(), "d")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same seed produced different workflows")
+	}
+	c := NewGenerator(43).Workflow(Class3(), "d")
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different seeds produced identical workflows")
+	}
+}
+
+func TestBuilderViewsOverGeneratedWorkflows(t *testing.T) {
+	// End-to-end sanity: the view builder handles every generated shape.
+	g := NewGenerator(17)
+	for _, class := range Classes() {
+		for i := 0; i < 5; i++ {
+			s := g.Workflow(class, fmt.Sprintf("%s-v%d", class.Name, i))
+			for _, pct := range []int{0, 30, 60, 100} {
+				rel := g.RandomRelevant(s, pct)
+				v, err := core.BuildRelevant(s, rel)
+				if err != nil {
+					t.Fatalf("%s pct %d: %v", class.Name, pct, err)
+				}
+				if err := core.CheckAll(v, rel); err != nil {
+					t.Fatalf("%s pct %d: %v", class.Name, pct, err)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomDAG(t *testing.T) {
+	g := NewGenerator(21)
+	for _, n := range []int{1, 4, 8} {
+		s := g.RandomDAG(fmt.Sprintf("dag-%d", n), n)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if s.NumModules() != n {
+			t.Fatalf("n=%d: got %d modules", n, s.NumModules())
+		}
+		if !s.IsAcyclic() {
+			t.Fatalf("n=%d: RandomDAG produced a cycle", n)
+		}
+	}
+	a := NewGenerator(5).RandomDAG("d", 6)
+	b := NewGenerator(5).RandomDAG("d", 6)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("RandomDAG not deterministic")
+	}
+}

@@ -1,0 +1,128 @@
+package graph
+
+import "math/bits"
+
+// Transitive closure support. The closure is represented as one bitset row
+// per node; row u has bit v set iff there is a path u -> v of length >= 1.
+// Rows are computed in reverse topological order of the condensation so the
+// cost is O(N*E/64) words, which keeps the 1000-node specifications of the
+// scalability experiment (Section 5.B) well under a millisecond.
+
+// Bitset is a fixed-capacity bit vector.
+type Bitset []uint64
+
+// NewBitset returns a bitset able to hold n bits.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Get reports bit i.
+func (b Bitset) Get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Or merges other into b (b |= other).
+func (b Bitset) Or(other Bitset) {
+	for i := range b {
+		b[i] |= other[i]
+	}
+}
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns a copy of b.
+func (b Bitset) Clone() Bitset {
+	out := make(Bitset, len(b))
+	copy(out, b)
+	return out
+}
+
+// Closure is a precomputed transitive closure of a Graph snapshot.
+type Closure struct {
+	g    *Graph
+	rows []Bitset
+}
+
+// TransitiveClosure computes the closure of g as of the call. Subsequent
+// mutations of g are not reflected.
+func (g *Graph) TransitiveClosure() *Closure {
+	n := len(g.ids)
+	rows := make([]Bitset, n)
+	for i := range rows {
+		rows[i] = NewBitset(n)
+	}
+	// SCC condensation: all members of one component share a row value.
+	comps := g.SCC() // reverse topological order of condensation
+	compOf := make([]int, n)
+	for ci, comp := range comps {
+		for _, id := range comp {
+			compOf[g.index[id]] = ci
+		}
+	}
+	// comps is in reverse topological order, so every successor component of
+	// comps[ci] has index < ci and is already complete when ci is processed.
+	for ci, comp := range comps {
+		row := NewBitset(n)
+		cyclic := len(comp) > 1
+		for _, id := range comp {
+			u := g.index[id]
+			for _, v := range g.succ[u] {
+				row.Set(v)
+				if compOf[v] != ci {
+					row.Or(rows[v])
+				}
+			}
+			if g.HasEdge(id, id) {
+				cyclic = true
+			}
+		}
+		if cyclic {
+			for _, id := range comp {
+				row.Set(g.index[id])
+			}
+		}
+		for _, id := range comp {
+			rows[g.index[id]] = row
+		}
+	}
+	return &Closure{g: g, rows: rows}
+}
+
+// Reachable reports whether there is a path of length >= 1 from src to dst.
+func (c *Closure) Reachable(src, dst string) bool {
+	u, v := c.g.idx(src), c.g.idx(dst)
+	if u < 0 || v < 0 {
+		return false
+	}
+	return c.rows[u].Get(v)
+}
+
+// ReachSet returns the ids reachable from src (path length >= 1).
+func (c *Closure) ReachSet(src string) []string {
+	u := c.g.idx(src)
+	if u < 0 {
+		return nil
+	}
+	var out []string
+	for v := range c.g.ids {
+		if c.rows[u].Get(v) {
+			out = append(out, c.g.ids[v])
+		}
+	}
+	return out
+}
+
+// CountReachable returns |ReachSet(src)| without materializing it.
+func (c *Closure) CountReachable(src string) int {
+	u := c.g.idx(src)
+	if u < 0 {
+		return 0
+	}
+	return c.rows[u].Count()
+}

@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		b.Set(i)
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Get(1) || b.Get(128) {
+		t.Fatal("unexpected bits set")
+	}
+	if got := b.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	c := b.Clone()
+	c.Set(5)
+	if b.Get(5) {
+		t.Fatal("Clone aliases the original")
+	}
+	d := NewBitset(130)
+	d.Set(7)
+	d.Or(b)
+	if !d.Get(7) || !d.Get(129) {
+		t.Fatal("Or lost bits")
+	}
+}
+
+func TestClosureDiamond(t *testing.T) {
+	g := buildDiamond(t)
+	c := g.TransitiveClosure()
+	cases := []struct {
+		from, to string
+		want     bool
+	}{
+		{"a", "d", true}, {"a", "b", true}, {"b", "d", true},
+		{"d", "a", false}, {"b", "c", false}, {"a", "a", false},
+	}
+	for _, tc := range cases {
+		if got := c.Reachable(tc.from, tc.to); got != tc.want {
+			t.Errorf("Reachable(%s,%s) = %v, want %v", tc.from, tc.to, got, tc.want)
+		}
+	}
+	if got := c.ReachSet("a"); !reflect.DeepEqual(got, []string{"b", "c", "d"}) {
+		t.Fatalf("ReachSet(a) = %v", got)
+	}
+	if got := c.CountReachable("a"); got != 3 {
+		t.Fatalf("CountReachable(a) = %d", got)
+	}
+	if c.Reachable("ghost", "a") || c.CountReachable("ghost") != 0 || c.ReachSet("ghost") != nil {
+		t.Fatal("unknown node should be unreachable everywhere")
+	}
+}
+
+func TestClosureCycles(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "a")
+	g.AddEdge("c", "d")
+	c := g.TransitiveClosure()
+	for _, n := range []string{"a", "b", "c"} {
+		if !c.Reachable(n, n) {
+			t.Fatalf("%s on a cycle must reach itself", n)
+		}
+		if !c.Reachable(n, "d") {
+			t.Fatalf("%s must reach d", n)
+		}
+	}
+	if c.Reachable("d", "d") {
+		t.Fatal("d is not on a cycle")
+	}
+}
+
+func TestClosureSelfLoop(t *testing.T) {
+	g := New()
+	g.AddEdge("x", "x")
+	g.AddEdge("x", "y")
+	c := g.TransitiveClosure()
+	if !c.Reachable("x", "x") {
+		t.Fatal("self-loop must make x reach itself")
+	}
+	if c.Reachable("y", "y") {
+		t.Fatal("y must not reach itself")
+	}
+}
+
+// randomGraph builds a pseudo-random graph with n nodes and ~m edges.
+func randomGraph(rng *rand.Rand, n, m int) *Graph {
+	g := New()
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "n" + string(rune('A'+i%26)) + string(rune('0'+i/26))
+		g.AddNode(names[i])
+	}
+	for i := 0; i < m; i++ {
+		g.AddEdge(names[rng.Intn(n)], names[rng.Intn(n)])
+	}
+	return g
+}
+
+// TestClosureMatchesBFS cross-validates the bitset closure against plain
+// BFS reachability on random graphs, including cyclic ones.
+func TestClosureMatchesBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(20)
+		g := randomGraph(rng, n, rng.Intn(3*n))
+		c := g.TransitiveClosure()
+		for _, src := range g.Nodes() {
+			bfs := g.Reach(src)
+			for _, dst := range g.Nodes() {
+				if c.Reachable(src, dst) != bfs[dst] {
+					t.Fatalf("trial %d: closure(%s,%s)=%v bfs=%v\n%v",
+						trial, src, dst, c.Reachable(src, dst), bfs[dst], g.Edges())
+				}
+			}
+		}
+	}
+}
+
+// Property: Or is monotone — after b.Or(x), every bit of x is set in b.
+func TestBitsetOrMonotoneQuick(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		n := 256
+		a, b := NewBitset(n), NewBitset(n)
+		for _, x := range xs {
+			a.Set(int(x) % n)
+		}
+		for _, y := range ys {
+			b.Set(int(y) % n)
+		}
+		a.Or(b)
+		for _, y := range ys {
+			if !a.Get(int(y) % n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

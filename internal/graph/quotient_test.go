@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestQuotientBasic(t *testing.T) {
+	// i -> m1 -> m2 -> o with m1, m2 grouped into block "C".
+	g := New()
+	g.AddEdge("i", "m1")
+	g.AddEdge("m1", "m2")
+	g.AddEdge("m2", "o")
+	q := g.Quotient(map[string]string{"m1": "C", "m2": "C"}, false)
+	if q.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3 (i, C, o)", q.NumNodes())
+	}
+	if !q.HasEdge("i", "C") || !q.HasEdge("C", "o") {
+		t.Fatalf("missing quotient edges: %v", q.Edges())
+	}
+	if q.HasEdge("C", "C") {
+		t.Fatal("intra-block edge leaked as self-loop with keepSelfLoops=false")
+	}
+}
+
+func TestQuotientKeepSelfLoops(t *testing.T) {
+	g := New()
+	g.AddEdge("m1", "m2")
+	g.AddEdge("m2", "m1")
+	q := g.Quotient(map[string]string{"m1": "C", "m2": "C"}, true)
+	if !q.HasEdge("C", "C") {
+		t.Fatal("expected self-loop with keepSelfLoops=true")
+	}
+}
+
+func TestQuotientPassThrough(t *testing.T) {
+	g := New()
+	g.AddEdge("i", "m")
+	q := g.Quotient(map[string]string{"m": "C"}, false)
+	if !q.HasNode("i") {
+		t.Fatal("unpartitioned node must pass through unchanged")
+	}
+}
+
+func TestQuotientCollapsesParallelEdges(t *testing.T) {
+	g := New()
+	g.AddEdge("a1", "b1")
+	g.AddEdge("a2", "b2")
+	q := g.Quotient(map[string]string{"a1": "A", "a2": "A", "b1": "B", "b2": "B"}, false)
+	if q.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want single collapsed A->B", q.NumEdges())
+	}
+}
+
+func TestValidatePartition(t *testing.T) {
+	g := New()
+	g.AddEdge("i", "m1")
+	g.AddEdge("m1", "m2")
+	g.AddEdge("m2", "o")
+	domain := []string{"m1", "m2"}
+
+	ok := map[string]string{"m1": "C", "m2": "C"}
+	if err := g.ValidatePartition(ok, domain); err != nil {
+		t.Fatalf("valid partition rejected: %v", err)
+	}
+
+	missing := map[string]string{"m1": "C"}
+	if err := g.ValidatePartition(missing, domain); !errors.Is(err, ErrIncompletePartition) {
+		t.Fatalf("missing assignment: err = %v", err)
+	}
+
+	extra := map[string]string{"m1": "C", "m2": "C", "o": "C"}
+	if err := g.ValidatePartition(extra, domain); !errors.Is(err, ErrIncompletePartition) {
+		t.Fatalf("out-of-domain assignment: err = %v", err)
+	}
+
+	collide := map[string]string{"m1": "i", "m2": "i"}
+	if err := g.ValidatePartition(collide, domain); !errors.Is(err, ErrBlockCollision) {
+		t.Fatalf("block/node collision: err = %v", err)
+	}
+
+	badDomain := []string{"m1", "ghost"}
+	if err := g.ValidatePartition(ok, badDomain); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown domain node: err = %v", err)
+	}
+
+	// A block may reuse a name inside the domain (a block named after one of
+	// its own members), which is how relevant composites are labelled.
+	selfName := map[string]string{"m1": "m1", "m2": "m1"}
+	if err := g.ValidatePartition(selfName, domain); err != nil {
+		t.Fatalf("self-named block rejected: %v", err)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := buildDiamond(t)
+	s := g.InducedSubgraph(map[string]bool{"a": true, "b": true, "d": true})
+	if s.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d", s.NumNodes())
+	}
+	if !s.HasEdge("a", "b") || !s.HasEdge("b", "d") || s.HasEdge("a", "c") {
+		t.Fatalf("wrong edges: %v", s.Edges())
+	}
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("c", "b") // weakly connects c with a,b
+	g.AddEdge("x", "y")
+	g.AddNode("lone")
+	got := g.WeaklyConnectedComponents()
+	want := [][]string{{"a", "b", "c"}, {"lone"}, {"x", "y"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("components = %v, want %v", got, want)
+	}
+}
+
+// Property: the quotient under a random partition never has more nodes or
+// more edges than the original, and every original cross-block edge is
+// represented.
+func TestQuotientSoundOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(15)
+		g := randomGraph(rng, n, rng.Intn(3*n))
+		blocks := rng.Intn(n) + 1
+		blockOf := make(map[string]string)
+		for _, id := range g.Nodes() {
+			blockOf[id] = "B" + string(rune('0'+rng.Intn(blocks)))
+		}
+		q := g.Quotient(blockOf, false)
+		if q.NumNodes() > g.NumNodes() || q.NumEdges() > g.NumEdges() {
+			t.Fatalf("quotient grew: %v vs %v", q, g)
+		}
+		g.EachEdge(func(from, to string) {
+			a, b := blockOf[from], blockOf[to]
+			if a != b && !q.HasEdge(a, b) {
+				t.Fatalf("cross edge %s->%s (%s->%s) missing in quotient", from, to, a, b)
+			}
+		})
+	}
+}

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestTopoSortDiamond(t *testing.T) {
+	g := buildDiamond(t)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatalf("TopoSort: %v", err)
+	}
+	pos := make(map[string]int)
+	for i, n := range order {
+		pos[n] = i
+	}
+	g.EachEdge(func(from, to string) {
+		if pos[from] >= pos[to] {
+			t.Fatalf("edge %s->%s violates topo order %v", from, to, order)
+		}
+	})
+}
+
+func TestTopoSortCyclic(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "a")
+	if _, err := g.TopoSort(); !errors.Is(err, ErrCyclic) {
+		t.Fatalf("TopoSort on cycle: err = %v, want ErrCyclic", err)
+	}
+	if g.IsAcyclic() {
+		t.Fatal("IsAcyclic true for 2-cycle")
+	}
+}
+
+func TestTopoSortSelfLoop(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "a")
+	if _, err := g.TopoSort(); !errors.Is(err, ErrCyclic) {
+		t.Fatal("self-loop must be cyclic")
+	}
+}
+
+func TestTopoSortEmpty(t *testing.T) {
+	order, err := New().TopoSort()
+	if err != nil || len(order) != 0 {
+		t.Fatalf("empty graph: order=%v err=%v", order, err)
+	}
+}
+
+func TestSCCSimple(t *testing.T) {
+	g := New()
+	// Two 2-cycles joined by a bridge, plus a lone node.
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "a")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "d")
+	g.AddEdge("d", "c")
+	g.AddNode("e")
+	comps := g.SCC()
+	byKey := make(map[string][]string)
+	for _, c := range comps {
+		byKey[c[0]] = c
+	}
+	if !reflect.DeepEqual(byKey["a"], []string{"a", "b"}) {
+		t.Fatalf("SCC(a) = %v", byKey["a"])
+	}
+	if !reflect.DeepEqual(byKey["c"], []string{"c", "d"}) {
+		t.Fatalf("SCC(c) = %v", byKey["c"])
+	}
+	if !reflect.DeepEqual(byKey["e"], []string{"e"}) {
+		t.Fatalf("SCC(e) = %v", byKey["e"])
+	}
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+}
+
+func TestSCCReverseTopoOrder(t *testing.T) {
+	// Tarjan emits components in reverse topological order: a component is
+	// emitted only after all components it reaches.
+	g := New()
+	g.AddEdge("x", "y")
+	g.AddEdge("y", "z")
+	comps := g.SCC()
+	pos := make(map[string]int)
+	for i, c := range comps {
+		for _, n := range c {
+			pos[n] = i
+		}
+	}
+	if !(pos["z"] < pos["y"] && pos["y"] < pos["x"]) {
+		t.Fatalf("components not in reverse topological order: %v", comps)
+	}
+}
+
+func TestSCCPartition(t *testing.T) {
+	g := buildDiamond(t)
+	g.AddEdge("d", "a") // make one big cycle
+	comps := g.SCC()
+	if len(comps) != 1 || len(comps[0]) != 4 {
+		t.Fatalf("expected one 4-node SCC, got %v", comps)
+	}
+}
+
+func TestCyclicNodes(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "a")
+	g.AddEdge("b", "c")
+	g.AddEdge("s", "s")
+	got := g.CyclicNodes()
+	want := map[string]bool{"a": true, "b": true, "s": true}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("CyclicNodes = %v, want %v", got, want)
+	}
+}
+
+func TestBackEdgesMakeAcyclic(t *testing.T) {
+	g := New()
+	g.AddEdge("i", "a")
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "a") // loop
+	g.AddEdge("b", "o")
+	g.AddEdge("o", "o") // self loop
+	be := g.BackEdges()
+	c := g.Clone()
+	for _, e := range be {
+		c.RemoveEdge(e.From, e.To)
+	}
+	if !c.IsAcyclic() {
+		t.Fatalf("removing back edges %v did not break all cycles", be)
+	}
+	if len(be) != 2 {
+		t.Fatalf("expected 2 back edges, got %v", be)
+	}
+}
+
+func TestBackEdgesAcyclicGraph(t *testing.T) {
+	g := buildDiamond(t)
+	if be := g.BackEdges(); len(be) != 0 {
+		t.Fatalf("DAG has back edges: %v", be)
+	}
+}

@@ -1,0 +1,330 @@
+// Package provenance answers provenance queries through user views — the
+// purpose of the whole system. The engine implements the strategy the
+// paper's evaluation found best (Section V.B, "Query response time"):
+// first compute the UAdmin deep provenance (a recursive closure over the
+// step-level immediate-provenance relation, cached per run and data object
+// by the warehouse), then remove the information hidden inside the
+// composite steps of the requested user view. Because the expensive first
+// phase is cached, switching the user view on the same run re-projects the
+// cached closure and costs milliseconds — the paper's interactive-
+// capability result.
+package provenance
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/composite"
+	"repro/internal/core"
+	"repro/internal/run"
+	"repro/internal/spec"
+	"repro/internal/warehouse"
+)
+
+// ErrForeignView reports a view built over a different specification than
+// the queried run's.
+var ErrForeignView = errors.New("provenance: view does not match run's specification")
+
+// Engine evaluates provenance queries against a warehouse.
+type Engine struct {
+	w *warehouse.Warehouse
+
+	mu       sync.Mutex
+	mappings map[mappingKey]*composite.Mapping
+}
+
+type mappingKey struct {
+	runID string
+	view  *core.UserView
+}
+
+// NewEngine returns an engine over the given warehouse.
+func NewEngine(w *warehouse.Warehouse) *Engine {
+	return &Engine{w: w, mappings: make(map[mappingKey]*composite.Mapping)}
+}
+
+// Warehouse returns the underlying warehouse.
+func (e *Engine) Warehouse() *warehouse.Warehouse { return e.w }
+
+// mapping returns the (cached) composite-execution mapping of a run under a
+// view. Mappings depend only on (run, view), not on the queried data, so
+// they are shared across queries.
+func (e *Engine) mapping(r *run.Run, v *core.UserView) (*composite.Mapping, error) {
+	key := mappingKey{runID: r.ID(), view: v}
+	e.mu.Lock()
+	m, ok := e.mappings[key]
+	e.mu.Unlock()
+	if ok {
+		return m, nil
+	}
+	m, err := composite.Build(r, v)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.mappings[key] = m
+	e.mu.Unlock()
+	return m, nil
+}
+
+// Edge is a dataflow edge of a provenance result graph.
+type Edge struct {
+	// From is a composite execution id or INPUT.
+	From string
+	// To is a composite execution id.
+	To string
+	// Data are the data objects passed, naturally ordered.
+	Data []string
+}
+
+// Result is the answer to a provenance query under a user view.
+type Result struct {
+	RunID string
+	Root  string
+	// External is true when Root was provided by the user or the workflow
+	// input; its provenance is then only the recorded metadata.
+	External bool
+	// Metadata carries the recorded input metadata (who/when) for an
+	// external Root — the paper's provenance of user-provided data.
+	Metadata map[string]string
+	// Executions are the visible composite executions, topologically
+	// ordered, with their full input/output sets.
+	Executions []*composite.Execution
+	// Data are the visible data objects (the paper's result-size metric).
+	Data []string
+	// Edges form the displayed provenance graph.
+	Edges []Edge
+}
+
+// NumData returns the number of visible data objects — the metric Figures
+// 10 and 11 plot.
+func (r *Result) NumData() int { return len(r.Data) }
+
+// NumSteps returns the number of visible composite executions.
+func (r *Result) NumSteps() int { return len(r.Executions) }
+
+// Tuples returns the total number of result rows (execution rows plus data
+// rows), the warehouse-level answer size.
+func (r *Result) Tuples() int { return len(r.Executions) + len(r.Data) }
+
+// DeepProvenance answers the paper's flagship query — "what are all the
+// data objects / sequence of steps which have been used to produce this
+// data object?" — with respect to a user view.
+func (e *Engine) DeepProvenance(runID string, v *core.UserView, d string) (*Result, error) {
+	r, err := e.w.Run(runID)
+	if err != nil {
+		return nil, err
+	}
+	if r.SpecName() != v.Spec().Name() {
+		return nil, fmt.Errorf("%w: run %q executes %q, view is over %q",
+			ErrForeignView, runID, r.SpecName(), v.Spec().Name())
+	}
+	closure, err := e.w.DeepProvenance(runID, d)
+	if err != nil {
+		return nil, err
+	}
+	m, err := e.mapping(r, v)
+	if err != nil {
+		return nil, err
+	}
+	return project(m, closure), nil
+}
+
+// project restricts a UAdmin closure to what a view shows: the composite
+// executions that intersect the closure, the data crossing their
+// boundaries, and the edges between them.
+func project(m *composite.Mapping, closure *warehouse.Closure) *Result {
+	res := &Result{RunID: m.Run().ID(), Root: closure.Root, External: m.Run().IsExternal(closure.Root)}
+	if res.External {
+		res.Metadata = m.Run().InputMeta(closure.Root)
+	}
+	visible := make(map[string]bool)
+	for _, ex := range m.Executions() {
+		for _, s := range ex.Steps {
+			if closure.Steps[s] {
+				visible[ex.ID] = true
+				res.Executions = append(res.Executions, ex)
+				break
+			}
+		}
+	}
+	dataSet := map[string]bool{closure.Root: true}
+	edgeAcc := make(map[[2]string]map[string]bool)
+	addEdge := func(from, to, d string) {
+		key := [2]string{from, to}
+		if edgeAcc[key] == nil {
+			edgeAcc[key] = make(map[string]bool)
+		}
+		edgeAcc[key][d] = true
+	}
+	for _, ex := range res.Executions {
+		for _, d := range ex.Inputs {
+			if !closure.Data[d] {
+				continue // input irrelevant to this derivation
+			}
+			dataSet[d] = true
+			src, ok := m.ProducerExecution(d)
+			if !ok {
+				src = spec.Input
+			}
+			if visible[src] || src == spec.Input {
+				addEdge(src, ex.ID, d)
+			}
+		}
+	}
+	res.Data = make([]string, 0, len(dataSet))
+	for d := range dataSet {
+		res.Data = append(res.Data, d)
+	}
+	sortNatural(res.Data)
+	keys := make([][2]string, 0, len(edgeAcc))
+	for k := range edgeAcc {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		ds := make([]string, 0, len(edgeAcc[k]))
+		for d := range edgeAcc[k] {
+			ds = append(ds, d)
+		}
+		sortNatural(ds)
+		res.Edges = append(res.Edges, Edge{From: k[0], To: k[1], Data: ds})
+	}
+	return res
+}
+
+// ImmediateProvenance returns the composite execution that produced d under
+// the view, with its full input set: "the immediate provenance of d413
+// seen by Joe would be S13 and its input, {d308,...,d408} ... whereas that
+// seen by Mary would be S12 and its input, {d411}".
+func (e *Engine) ImmediateProvenance(runID string, v *core.UserView, d string) (*composite.Execution, error) {
+	r, err := e.w.Run(runID)
+	if err != nil {
+		return nil, err
+	}
+	if r.SpecName() != v.Spec().Name() {
+		return nil, fmt.Errorf("%w: run %q executes %q, view is over %q",
+			ErrForeignView, runID, r.SpecName(), v.Spec().Name())
+	}
+	if !r.HasData(d) {
+		return nil, fmt.Errorf("%w: %q in run %q", warehouse.ErrUnknownData, d, runID)
+	}
+	m, err := e.mapping(r, v)
+	if err != nil {
+		return nil, err
+	}
+	id, ok := m.ProducerExecution(d)
+	if !ok {
+		return nil, nil // external input: provenance is metadata only
+	}
+	ex, _ := m.Execution(id)
+	return ex, nil
+}
+
+// DeepDerivation is the canned inverse query ("return the data objects
+// which have a given data object in their data provenance") projected
+// through a view.
+func (e *Engine) DeepDerivation(runID string, v *core.UserView, d string) (*Result, error) {
+	r, err := e.w.Run(runID)
+	if err != nil {
+		return nil, err
+	}
+	if r.SpecName() != v.Spec().Name() {
+		return nil, fmt.Errorf("%w: run %q executes %q, view is over %q",
+			ErrForeignView, runID, r.SpecName(), v.Spec().Name())
+	}
+	closure, err := e.w.DeepDerivation(runID, d)
+	if err != nil {
+		return nil, err
+	}
+	m, err := e.mapping(r, v)
+	if err != nil {
+		return nil, err
+	}
+	return projectForward(m, closure), nil
+}
+
+// projectForward mirrors project for the derivation direction: visible
+// executions intersecting the closure, and the closure data leaving each
+// execution toward other visible executions (or toward the final output).
+func projectForward(m *composite.Mapping, closure *warehouse.Closure) *Result {
+	res := &Result{RunID: m.Run().ID(), Root: closure.Root, External: m.Run().IsExternal(closure.Root)}
+	if res.External {
+		res.Metadata = m.Run().InputMeta(closure.Root)
+	}
+	visible := make(map[string]bool)
+	for _, ex := range m.Executions() {
+		for _, s := range ex.Steps {
+			if closure.Steps[s] {
+				visible[ex.ID] = true
+				res.Executions = append(res.Executions, ex)
+				break
+			}
+		}
+	}
+	dataSet := map[string]bool{closure.Root: true}
+	finals := make(map[string]bool)
+	for _, d := range m.Run().FinalOutputs() {
+		finals[d] = true
+	}
+	for _, ex := range res.Executions {
+		for _, d := range ex.Outputs {
+			if closure.Data[d] && (finals[d] || consumedOutside(m, ex.ID, d, visible)) {
+				dataSet[d] = true
+			}
+		}
+	}
+	res.Data = make([]string, 0, len(dataSet))
+	for d := range dataSet {
+		res.Data = append(res.Data, d)
+	}
+	sortNatural(res.Data)
+	return res
+}
+
+func consumedOutside(m *composite.Mapping, execID, d string, visible map[string]bool) bool {
+	for _, c := range m.Run().Consumers(d) {
+		if id, ok := m.ExecutionOf(c); ok && id != execID && visible[id] {
+			return true
+		}
+	}
+	return false
+}
+
+func sortNatural(xs []string) {
+	sort.Slice(xs, func(i, j int) bool { return lessNatural(xs[i], xs[j]) })
+}
+
+func lessNatural(a, b string) bool {
+	pa, na := splitNat(a)
+	pb, nb := splitNat(b)
+	if pa != pb {
+		return pa < pb
+	}
+	if na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+func splitNat(s string) (string, int) {
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	if i == len(s) {
+		return s, -1
+	}
+	n := 0
+	for _, c := range s[i:] {
+		n = n*10 + int(c-'0')
+	}
+	return s[:i], n
+}

@@ -1,0 +1,127 @@
+package provenance
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/warehouse"
+)
+
+func TestDerivationPathJoeVsMary(t *testing.T) {
+	f := newFixture(t)
+	// Under Joe's view the loop is one box: d308 reaches d413 in one hop
+	// through the alignment composite.
+	pathJoe, err := f.e.DerivationPath("fig2", f.joe, "d308", "d413")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pathJoe) != 2 {
+		t.Fatalf("Joe's path length = %d, want 2 (one composite hop): %v", len(pathJoe), pathJoe)
+	}
+	if pathJoe[0].Data != "d308" || pathJoe[1].Data != "d413" {
+		t.Fatalf("Joe's path endpoints wrong: %v", pathJoe)
+	}
+	// Under Mary's view the visible loop makes the path longer:
+	// d308 -[S11]-> d410 -[S4]-> d411 -[S12]-> d413.
+	pathMary, err := f.e.DerivationPath("fig2", f.mary, "d308", "d413")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pathMary) != 4 {
+		t.Fatalf("Mary's path length = %d, want 4: %v", len(pathMary), pathMary)
+	}
+	want := []string{"d308", "d410", "d411", "d413"}
+	for i, el := range pathMary {
+		if el.Data != want[i] {
+			t.Fatalf("Mary's path hop %d = %s, want %s", i, el.Data, want[i])
+		}
+	}
+	rendered := FormatPath(pathMary)
+	if !strings.Contains(rendered, "d308 -[") || !strings.Contains(rendered, "]-> d413") {
+		t.Fatalf("FormatPath = %s", rendered)
+	}
+}
+
+func TestDerivationPathAbsent(t *testing.T) {
+	f := newFixture(t)
+	// The lab annotations do not influence the alignment d413.
+	path, err := f.e.DerivationPath("fig2", f.joe, "d415", "d413")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != nil {
+		t.Fatalf("unexpected path: %v", path)
+	}
+	if FormatPath(nil) != "(no derivation path)" {
+		t.Fatal("empty-path rendering wrong")
+	}
+}
+
+func TestDerivationPathDegenerate(t *testing.T) {
+	f := newFixture(t)
+	path, err := f.e.DerivationPath("fig2", f.joe, "d447", "d447")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 || path[0].Data != "d447" {
+		t.Fatalf("self path = %v", path)
+	}
+}
+
+func TestDerivationPathErrors(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.e.DerivationPath("ghost", f.joe, "d1", "d2"); !errors.Is(err, warehouse.ErrUnknownRun) {
+		t.Fatalf("unknown run: %v", err)
+	}
+	if _, err := f.e.DerivationPath("fig2", f.joe, "nope", "d447"); !errors.Is(err, warehouse.ErrUnknownData) {
+		t.Fatalf("unknown from: %v", err)
+	}
+	if _, err := f.e.DerivationPath("fig2", f.joe, "d1", "nope"); !errors.Is(err, warehouse.ErrUnknownData) {
+		t.Fatalf("unknown to: %v", err)
+	}
+	foreign := newFixture(t)
+	_ = foreign
+}
+
+func TestDerivationPathAgreesWithInProvenance(t *testing.T) {
+	// Under UAdmin (where every data object of Figure 2 is visible), a
+	// derivation path exists exactly when the closure-level InProvenance
+	// holds. Under coarser views the path may vanish because the target is
+	// hidden inside a composite — see TestDerivationPathHiddenTarget.
+	f := newFixture(t)
+	admin := core.UAdmin(f.s)
+	for _, from := range []string{"d1", "d201", "d308", "d415"} {
+		for _, to := range []string{"d413", "d414", "d447"} {
+			inProv, err := f.e.InProvenance("fig2", from, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path, err := f.e.DerivationPath("fig2", admin, from, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inProv != (path != nil) {
+				t.Fatalf("(%s, %s): InProvenance=%v but path=%v", from, to, inProv, path)
+			}
+		}
+	}
+}
+
+func TestDerivationPathHiddenTarget(t *testing.T) {
+	// d414 is internal to Joe's tree composite: d1 influences it at the
+	// closure level, but no visible path exists through Joe's view.
+	f := newFixture(t)
+	inProv, err := f.e.InProvenance("fig2", "d1", "d414")
+	if err != nil || !inProv {
+		t.Fatalf("closure-level influence missing: %v %v", inProv, err)
+	}
+	path, err := f.e.DerivationPath("fig2", f.joe, "d1", "d414")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != nil {
+		t.Fatalf("hidden target reachable through Joe's view: %v", path)
+	}
+}

@@ -1,0 +1,272 @@
+package provenance
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/run"
+	"repro/internal/warehouse"
+)
+
+// buildRandomSite creates a generated workflow, one run of it, and an
+// engine over a fresh warehouse.
+func buildRandomSite(t *testing.T, g *gen.Generator, class gen.WorkflowClass, name string) (*Engine, *run.Run, *core.UserView) {
+	t.Helper()
+	s := g.Workflow(class, name)
+	r, _, err := g.Run(s, gen.Small(), name+"-r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := warehouse.New(0)
+	if err := w.RegisterSpec(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LoadRun(r); err != nil {
+		t.Fatal(err)
+	}
+	ubio, err := core.BuildRelevant(s, gen.UBioRelevant(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(w), r, ubio
+}
+
+// TestRefinementMonotonicity: if view A refines view B, then the deep
+// provenance of any data object shows at least as much under A as under B
+// — UAdmin ⊒ any builder view ⊒ UBlackBox, both in data items and in
+// executions. This is the formal backbone of Figures 10 and 11.
+func TestRefinementMonotonicity(t *testing.T) {
+	g := gen.NewGenerator(101)
+	for trial, class := range []gen.WorkflowClass{gen.Class1(), gen.Class2(), gen.Class3(), gen.Class4()} {
+		e, r, ubio := buildRandomSite(t, g, class, fmt.Sprintf("mono-%d", trial))
+		s := ubio.Spec()
+		admin := core.UAdmin(s)
+		bb, err := core.UBlackBox(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !core.Refines(admin, ubio) || !core.Refines(ubio, bb) {
+			t.Fatal("refinement chain broken")
+		}
+		for _, d := range r.AllData() {
+			ra, err := e.DeepProvenance(r.ID(), admin, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := e.DeepProvenance(r.ID(), ubio, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rc, err := e.DeepProvenance(r.ID(), bb, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !(ra.NumData() >= rb.NumData() && rb.NumData() >= rc.NumData()) {
+				t.Fatalf("%s/%s: data counts not monotone: %d %d %d",
+					class.Name, d, ra.NumData(), rb.NumData(), rc.NumData())
+			}
+			if !(ra.NumSteps() >= rb.NumSteps() && rb.NumSteps() >= rc.NumSteps()) {
+				t.Fatalf("%s/%s: step counts not monotone: %d %d %d",
+					class.Name, d, ra.NumSteps(), rb.NumSteps(), rc.NumSteps())
+			}
+			// Set containment, not just counts: everything a coarse view
+			// shows, the finer view shows too.
+			aSet := toSet(ra.Data)
+			for _, x := range rb.Data {
+				if !aSet[x] {
+					t.Fatalf("%s/%s: %s visible under UBio but not UAdmin", class.Name, d, x)
+				}
+			}
+			bSet := toSet(rb.Data)
+			for _, x := range rc.Data {
+				if !bSet[x] {
+					t.Fatalf("%s/%s: %s visible under UBlackBox but not UBio", class.Name, d, x)
+				}
+			}
+		}
+	}
+}
+
+// TestProjectionSoundness: under any view, the result's data is a subset
+// of the UAdmin closure, the root is always included, every visible
+// execution contains at least one closure step, and every edge endpoint is
+// a visible execution or INPUT.
+func TestProjectionSoundness(t *testing.T) {
+	g := gen.NewGenerator(202)
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 6; trial++ {
+		class := gen.Classes()[trial%4]
+		e, r, _ := buildRandomSite(t, g, class, fmt.Sprintf("sound-%d", trial))
+		s, _ := e.Warehouse().Spec(r.SpecName())
+		rel := randomModules(rng, s.ModuleNames())
+		v, err := core.BuildRelevant(s, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range sampleData(rng, r.AllData(), 15) {
+			closure, err := e.Warehouse().DeepProvenance(r.ID(), d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.DeepProvenance(r.ID(), v, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Root != d {
+				t.Fatalf("root mangled: %s", res.Root)
+			}
+			rootSeen := false
+			for _, x := range res.Data {
+				if x == d {
+					rootSeen = true
+				}
+				if !closure.Data[x] {
+					t.Fatalf("visible data %s outside closure of %s", x, d)
+				}
+			}
+			if !rootSeen {
+				t.Fatalf("root %s missing from result data", d)
+			}
+			vis := make(map[string]bool)
+			for _, ex := range res.Executions {
+				vis[ex.ID] = true
+				inClosure := false
+				for _, st := range ex.Steps {
+					if closure.Steps[st] {
+						inClosure = true
+						break
+					}
+				}
+				if !inClosure {
+					t.Fatalf("execution %s visible without closure steps", ex.ID)
+				}
+			}
+			for _, edge := range res.Edges {
+				if edge.From != "INPUT" && !vis[edge.From] {
+					t.Fatalf("edge from invisible %s", edge.From)
+				}
+				if !vis[edge.To] {
+					t.Fatalf("edge to invisible %s", edge.To)
+				}
+				if len(edge.Data) == 0 {
+					t.Fatalf("empty edge %v", edge)
+				}
+			}
+		}
+	}
+}
+
+// TestDerivationProvenanceDuality: at the closure level, candidate ∈
+// provenance(target) iff target ∈ derivation(candidate). (The *projected*
+// results need not satisfy this: even under UAdmin, a self-looped module's
+// consecutive steps form one composite execution — the paper's
+// "consecutive steps within the same composite module" rule — and data
+// passed between its iterations is hidden.)
+func TestDerivationProvenanceDuality(t *testing.T) {
+	g := gen.NewGenerator(404)
+	rng := rand.New(rand.NewSource(505))
+	e, r, _ := buildRandomSite(t, g, gen.Class4(), "dual")
+	all := r.AllData()
+	for i := 0; i < 60; i++ {
+		c := all[rng.Intn(len(all))]
+		tgt := all[rng.Intn(len(all))]
+		if c == tgt {
+			continue
+		}
+		inProv, err := e.InProvenance(r.ID(), c, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		derC, err := e.Warehouse().DeepDerivation(r.ID(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inProv != derC.Data[tgt] {
+			t.Fatalf("duality broken for (%s, %s): prov=%v der=%v", c, tgt, inProv, derC.Data[tgt])
+		}
+	}
+}
+
+// TestProjectedDerivationSoundness: the projected derivation result is
+// always a subset of the derivation closure and includes the root.
+func TestProjectedDerivationSoundness(t *testing.T) {
+	g := gen.NewGenerator(404)
+	e, r, ubio := buildRandomSite(t, g, gen.Class4(), "dual2")
+	admin := core.UAdmin(ubio.Spec())
+	for _, c := range sampleData(rand.New(rand.NewSource(9)), r.AllData(), 20) {
+		derC, err := e.Warehouse().DeepDerivation(r.ID(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range []*core.UserView{admin, ubio} {
+			der, err := e.DeepDerivation(r.ID(), v, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			root := false
+			for _, x := range der.Data {
+				if x == c {
+					root = true
+				}
+				if !derC.Data[x] {
+					t.Fatalf("projected derivation leaked %s outside closure of %s", x, c)
+				}
+			}
+			if !root {
+				t.Fatalf("root %s missing", c)
+			}
+		}
+	}
+}
+
+// TestDirectStrategyAgreesOnVisibleExecutions: the direct strategy and the
+// projected strategy agree on the executions that are genuinely upstream;
+// direct may only add executions (over-approximation), never drop one.
+func TestDirectStrategyAgreesOnVisibleExecutions(t *testing.T) {
+	g := gen.NewGenerator(606)
+	e, r, ubio := buildRandomSite(t, g, gen.Class3(), "direct")
+	for _, d := range sampleData(rand.New(rand.NewSource(7)), r.AllData(), 20) {
+		a, err := e.DeepProvenance(r.ID(), ubio, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.DeepProvenanceDirect(r.ID(), ubio, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bIDs := make(map[string]bool)
+		for _, ex := range b.Executions {
+			bIDs[ex.ID] = true
+		}
+		for _, ex := range a.Executions {
+			if !bIDs[ex.ID] {
+				t.Fatalf("direct strategy dropped execution %s for %s", ex.ID, d)
+			}
+		}
+	}
+}
+
+func randomModules(rng *rand.Rand, mods []string) []string {
+	k := rng.Intn(len(mods) + 1)
+	perm := rng.Perm(len(mods))
+	out := make([]string, 0, k)
+	for _, i := range perm[:k] {
+		out = append(out, mods[i])
+	}
+	return out
+}
+
+func sampleData(rng *rand.Rand, all []string, k int) []string {
+	if len(all) <= k {
+		return all
+	}
+	perm := rng.Perm(len(all))
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[perm[i]]
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+// Package query implements the prototype's query forms (Section IV:
+// "providing users with forms to express various (canned) provenance
+// queries") as a small textual language, so the CLI and tests can express
+// every canned query uniformly:
+//
+//	deep(d447)            deep provenance of a data object
+//	immediate(d413)       immediate provenance
+//	derived(d410)         everything derived from a data object
+//	execution(M3@2)       deep provenance of a composite execution
+//	between(S4, M3@2)     data passed between two executions
+//	common(d413, d414)    shared provenance of two data objects
+//	in(d308, d447)        is the first object in the provenance of the second?
+//	path(d308, d447)      one shortest visible derivation chain
+//
+// The grammar is name '(' arg (',' arg)* ')' with identifier arguments;
+// whitespace is free. Parsing is independent of evaluation so malformed
+// queries are rejected before touching the warehouse.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dot"
+	"repro/internal/provenance"
+	"repro/internal/run"
+)
+
+// ErrSyntax reports an unparsable query string.
+var ErrSyntax = errors.New("query: syntax error")
+
+// Kind enumerates the canned query forms.
+type Kind string
+
+// The supported forms.
+const (
+	KindDeep      Kind = "deep"
+	KindImmediate Kind = "immediate"
+	KindDerived   Kind = "derived"
+	KindExecution Kind = "execution"
+	KindBetween   Kind = "between"
+	KindCommon    Kind = "common"
+	KindIn        Kind = "in"
+	KindPath      Kind = "path"
+)
+
+// arity maps each form to its argument count.
+var arity = map[Kind]int{
+	KindDeep:      1,
+	KindImmediate: 1,
+	KindDerived:   1,
+	KindExecution: 1,
+	KindBetween:   2,
+	KindCommon:    2,
+	KindIn:        2,
+	KindPath:      2,
+}
+
+// Query is a parsed canned query.
+type Query struct {
+	Kind Kind
+	Args []string
+}
+
+// Parse parses a query string.
+func Parse(input string) (*Query, error) {
+	s := strings.TrimSpace(input)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("%w: want form(args...), got %q", ErrSyntax, input)
+	}
+	name := Kind(strings.TrimSpace(s[:open]))
+	want, known := arity[name]
+	if !known {
+		return nil, fmt.Errorf("%w: unknown form %q", ErrSyntax, string(name))
+	}
+	body := s[open+1 : len(s)-1]
+	var args []string
+	for _, part := range strings.Split(body, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("%w: empty argument in %q", ErrSyntax, input)
+		}
+		if strings.ContainsAny(part, "() \t") {
+			return nil, fmt.Errorf("%w: bad argument %q", ErrSyntax, part)
+		}
+		args = append(args, part)
+	}
+	if len(args) != want {
+		return nil, fmt.Errorf("%w: %s takes %d argument(s), got %d", ErrSyntax, name, want, len(args))
+	}
+	return &Query{Kind: name, Args: args}, nil
+}
+
+// String renders the query back to its canonical text.
+func (q *Query) String() string {
+	return string(q.Kind) + "(" + strings.Join(q.Args, ", ") + ")"
+}
+
+// Answer is the uniform result of evaluating a canned query: a short
+// headline plus, where applicable, the underlying provenance result.
+type Answer struct {
+	Query    *Query
+	Headline string
+	Result   *provenance.Result // nil for scalar answers
+}
+
+// Eval evaluates a parsed query against a run and view.
+func Eval(e *provenance.Engine, runID string, v *core.UserView, q *Query) (*Answer, error) {
+	ans := &Answer{Query: q}
+	switch q.Kind {
+	case KindDeep:
+		res, err := e.DeepProvenance(runID, v, q.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		ans.Result = res
+		ans.Headline = fmt.Sprintf("deep provenance of %s: %d executions, %d data objects",
+			q.Args[0], res.NumSteps(), res.NumData())
+	case KindImmediate:
+		ex, err := e.ImmediateProvenance(runID, v, q.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if ex == nil {
+			ans.Headline = fmt.Sprintf("%s is user/workflow input; provenance is the recorded metadata", q.Args[0])
+			break
+		}
+		ans.Headline = fmt.Sprintf("%s was produced by execution %s of %s from %s",
+			q.Args[0], ex.ID, ex.Composite, run.FormatDataSet(ex.Inputs))
+	case KindDerived:
+		res, err := e.DeepDerivation(runID, v, q.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		ans.Result = res
+		ans.Headline = fmt.Sprintf("derived from %s: %d executions, data %s",
+			q.Args[0], res.NumSteps(), run.FormatDataSet(res.Data))
+	case KindExecution:
+		res, err := e.ExecutionProvenance(runID, v, q.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		ans.Result = res
+		ans.Headline = fmt.Sprintf("provenance of execution %s: %d executions, %d data objects",
+			q.Args[0], res.NumSteps(), res.NumData())
+	case KindBetween:
+		data, err := e.DataBetween(runID, v, q.Args[0], q.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		ans.Headline = fmt.Sprintf("data passed %s -> %s: %s",
+			q.Args[0], q.Args[1], run.FormatDataSet(data))
+	case KindCommon:
+		data, err := e.CommonProvenance(runID, v, q.Args[0], q.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		ans.Headline = fmt.Sprintf("common provenance of %s and %s: %s",
+			q.Args[0], q.Args[1], run.FormatDataSet(data))
+	case KindIn:
+		ok, err := e.InProvenance(runID, q.Args[0], q.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		ans.Headline = fmt.Sprintf("%s in provenance of %s: %v", q.Args[0], q.Args[1], ok)
+	case KindPath:
+		path, err := e.DerivationPath(runID, v, q.Args[0], q.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		ans.Headline = provenance.FormatPath(path)
+	default:
+		return nil, fmt.Errorf("%w: unknown form %q", ErrSyntax, string(q.Kind))
+	}
+	return ans, nil
+}
+
+// Run parses and evaluates in one step.
+func Run(e *provenance.Engine, runID string, v *core.UserView, input string) (*Answer, error) {
+	q, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return Eval(e, runID, v, q)
+}
+
+// Render formats an answer for terminals: the headline plus the provenance
+// text block when there is a graph-shaped result.
+func Render(a *Answer) string {
+	if a.Result == nil {
+		return a.Headline + "\n"
+	}
+	return a.Headline + "\n" + dot.ProvenanceText(a.Result)
+}
+
+// Forms lists the supported forms with their arities, for help texts.
+func Forms() []string {
+	out := []string{
+		"deep(data)", "immediate(data)", "derived(data)", "execution(exec)",
+		"between(exec, exec)", "common(data, data)", "in(data, data)",
+		"path(data, data)",
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package query
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/provenance"
+	"repro/internal/run"
+	"repro/internal/spec"
+	"repro/internal/warehouse"
+)
+
+func engineFixture(t testing.TB) (*provenance.Engine, *core.UserView) {
+	t.Helper()
+	w := warehouse.New(0)
+	if err := w.RegisterSpec(spec.Phylogenomics()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LoadRun(run.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	mary, err := core.BuildRelevant(spec.Phylogenomics(), spec.PhyloRelevantMary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return provenance.NewEngine(w), mary
+}
+
+func TestParseValid(t *testing.T) {
+	cases := []struct {
+		in   string
+		kind Kind
+		args []string
+	}{
+		{"deep(d447)", KindDeep, []string{"d447"}},
+		{"  immediate( d413 ) ", KindImmediate, []string{"d413"}},
+		{"derived(d410)", KindDerived, []string{"d410"}},
+		{"execution(M3@2)", KindExecution, []string{"M3@2"}},
+		{"between(S4, M3@2)", KindBetween, []string{"S4", "M3@2"}},
+		{"common(d413,d414)", KindCommon, []string{"d413", "d414"}},
+		{"in(d308, d447)", KindIn, []string{"d308", "d447"}},
+	}
+	for _, tc := range cases {
+		q, err := Parse(tc.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.in, err)
+		}
+		if q.Kind != tc.kind || !reflect.DeepEqual(q.Args, tc.args) {
+			t.Fatalf("Parse(%q) = %v", tc.in, q)
+		}
+	}
+}
+
+func TestParseCanonicalString(t *testing.T) {
+	q, err := Parse("between( S4 ,M3@2 )")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != "between(S4, M3@2)" {
+		t.Fatalf("String = %q", q.String())
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, bad := range []string{
+		"", "deep", "deep(", "deep)", "deep()", "deep(a,b)", "between(a)",
+		"frobnicate(x)", "deep(a b)", "deep((a))", "deep(,)", "in(a,b,c)",
+	} {
+		if _, err := Parse(bad); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) = %v, want ErrSyntax", bad, err)
+		}
+	}
+}
+
+func TestEvalAllForms(t *testing.T) {
+	e, mary := engineFixture(t)
+	cases := []struct {
+		q    string
+		want string // substring of the headline
+	}{
+		{"deep(d447)", "deep provenance of d447: 6 executions"},
+		{"immediate(d413)", "produced by execution M3@2 of M3 from {d411}"},
+		{"immediate(d1)", "user/workflow input"},
+		{"derived(d410)", "derived from d410"},
+		{"execution(M3@2)", "provenance of execution M3@2"},
+		{"between(S4, M3@2)", "data passed S4 -> M3@2: {d411}"},
+		{"common(d413, d414)", "common provenance"},
+		{"in(d308, d447)", "in provenance of d447: true"},
+		{"in(d447, d308)", "in provenance of d308: false"},
+	}
+	for _, tc := range cases {
+		ans, err := Run(e, "fig2", mary, tc.q)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.q, err)
+		}
+		if !strings.Contains(ans.Headline, tc.want) {
+			t.Errorf("%s: headline %q missing %q", tc.q, ans.Headline, tc.want)
+		}
+		out := Render(ans)
+		if !strings.HasPrefix(out, ans.Headline) {
+			t.Errorf("%s: render does not lead with headline", tc.q)
+		}
+		if ans.Result != nil && !strings.Contains(out, "deep provenance of") {
+			t.Errorf("%s: graph-shaped answer missing body:\n%s", tc.q, out)
+		}
+	}
+}
+
+func TestEvalErrorsPropagate(t *testing.T) {
+	e, mary := engineFixture(t)
+	if _, err := Run(e, "fig2", mary, "deep(d9999)"); !errors.Is(err, warehouse.ErrUnknownData) {
+		t.Fatalf("unknown data: %v", err)
+	}
+	if _, err := Run(e, "ghost", mary, "deep(d1)"); !errors.Is(err, warehouse.ErrUnknownRun) {
+		t.Fatalf("unknown run: %v", err)
+	}
+	if _, err := Run(e, "fig2", mary, "bogus(d1)"); !errors.Is(err, ErrSyntax) {
+		t.Fatalf("syntax error: %v", err)
+	}
+	if _, err := Run(e, "fig2", mary, "between(ghost, M3@2)"); err == nil {
+		t.Fatal("unknown execution accepted")
+	}
+}
+
+func TestForms(t *testing.T) {
+	fs := Forms()
+	if len(fs) != len(arity) {
+		t.Fatalf("Forms lists %d entries, arity has %d", len(fs), len(arity))
+	}
+	for _, f := range fs {
+		name := Kind(f[:strings.IndexByte(f, '(')])
+		if _, ok := arity[name]; !ok {
+			t.Errorf("Forms lists unknown %q", name)
+		}
+	}
+}
+
+func TestEvalPathForm(t *testing.T) {
+	e, mary := engineFixture(t)
+	ans, err := Run(e, "fig2", mary, "path(d308, d413)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ans.Headline, "d308 -[") || !strings.Contains(ans.Headline, "]-> d413") {
+		t.Fatalf("path headline = %q", ans.Headline)
+	}
+	ans, err = Run(e, "fig2", mary, "path(d415, d413)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Headline != "(no derivation path)" {
+		t.Fatalf("absent path headline = %q", ans.Headline)
+	}
+}

@@ -1,0 +1,76 @@
+package run
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func TestCompareIdenticalSeeds(t *testing.T) {
+	s := spec.Phylogenomics()
+	a, _, err := Execute(s, Config{RunID: "a", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Execute(s, Config{RunID: "b", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compare(a, b)
+	if !d.SameShape() {
+		t.Fatalf("same-seed runs differ: %s", d)
+	}
+	if !strings.Contains(d.String(), "same shape") {
+		t.Fatalf("summary missing same-shape: %s", d)
+	}
+}
+
+func TestCompareDifferentIterations(t *testing.T) {
+	s := spec.Phylogenomics()
+	a, _, err := Execute(s, Config{RunID: "a", Seed: 1, LoopIter: [2]int{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Execute(s, Config{RunID: "b", Seed: 1, LoopIter: [2]int{5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compare(a, b)
+	if d.SameShape() {
+		t.Fatal("different iteration counts reported as same shape")
+	}
+	// The loop modules M3, M4 and M5 must show deltas; the rest must not.
+	want := map[string][2]int{"M3": {2, 5}, "M4": {2, 5}, "M5": {1, 4}}
+	if len(d.ModuleDeltas) != len(want) {
+		t.Fatalf("deltas = %v", d.ModuleDeltas)
+	}
+	for _, md := range d.ModuleDeltas {
+		w, ok := want[md.Module]
+		if !ok || md.CountA != w[0] || md.CountB != w[1] {
+			t.Fatalf("delta %v, want %v", md, w)
+		}
+	}
+	if !strings.Contains(d.String(), "M5 executed 1x vs 4x") {
+		t.Fatalf("summary: %s", d)
+	}
+}
+
+func TestCompareSpecMismatch(t *testing.T) {
+	a := Figure2()
+	other := spec.New("other")
+	other.MustAddModule(spec.Module{Name: "X"})
+	other.MustAddEdge(spec.Input, "X")
+	other.MustAddEdge("X", spec.Output)
+	b, _, err := Execute(other, Config{RunID: "b", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compare(a, b)
+	if !d.SpecMismatch || d.SameShape() {
+		t.Fatalf("spec mismatch not flagged: %s", d)
+	}
+	if !strings.Contains(d.String(), "DIFFERENT SPECIFICATIONS") {
+		t.Fatalf("summary: %s", d)
+	}
+}

@@ -1,0 +1,66 @@
+package run
+
+import "fmt"
+
+// The paper's provenance model for externally provided data: "If the data
+// is a parameter or was input to the workflow execution by a user, its
+// provenance is whatever metadata information is recorded, e.g. who input
+// the data and the time at which the input occurred." Runs therefore carry
+// an optional metadata map for their external inputs.
+
+// ErrNotExternal reports an attempt to annotate produced (non-external)
+// data with input metadata.
+var ErrNotExternal = fmt.Errorf("run: data is not external input")
+
+// AnnotateInput records metadata for an external data object. Repeated
+// calls merge keys; later values win.
+func (r *Run) AnnotateInput(d string, meta map[string]string) error {
+	if !r.IsExternal(d) {
+		return fmt.Errorf("%w: %q", ErrNotExternal, d)
+	}
+	if r.inputMeta == nil {
+		r.inputMeta = make(map[string]map[string]string)
+	}
+	m := r.inputMeta[d]
+	if m == nil {
+		m = make(map[string]string, len(meta))
+		r.inputMeta[d] = m
+	}
+	for k, v := range meta {
+		m[k] = v
+	}
+	return nil
+}
+
+// InputMeta returns the recorded metadata of an external data object (a
+// copy; nil when none was recorded).
+func (r *Run) InputMeta(d string) map[string]string {
+	m := r.inputMeta[d]
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// AnnotatedInputs returns the external data objects that carry metadata,
+// naturally ordered.
+func (r *Run) AnnotatedInputs() []string {
+	out := make([]string, 0, len(r.inputMeta))
+	for d := range r.inputMeta {
+		out = append(out, d)
+	}
+	sortNaturalStrings(out)
+	return out
+}
+
+func sortNaturalStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && lessNatural(xs[j], xs[j-1]); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package run
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestAnnotateInput(t *testing.T) {
+	r := Figure2()
+	if err := r.AnnotateInput("d1", map[string]string{"who": "joe"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AnnotateInput("d1", map[string]string{"when": "2007-11-02"}); err != nil {
+		t.Fatal(err)
+	}
+	got := r.InputMeta("d1")
+	want := map[string]string{"who": "joe", "when": "2007-11-02"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("InputMeta = %v, want %v", got, want)
+	}
+	// Later values win.
+	if err := r.AnnotateInput("d1", map[string]string{"who": "mary"}); err != nil {
+		t.Fatal(err)
+	}
+	if r.InputMeta("d1")["who"] != "mary" {
+		t.Fatal("merge did not overwrite")
+	}
+}
+
+func TestAnnotateInputRejectsProducedData(t *testing.T) {
+	r := Figure2()
+	if err := r.AnnotateInput("d413", map[string]string{"who": "x"}); !errors.Is(err, ErrNotExternal) {
+		t.Fatalf("produced data annotated: %v", err)
+	}
+	if err := r.AnnotateInput("d9999", nil); !errors.Is(err, ErrNotExternal) {
+		t.Fatalf("unknown data annotated: %v", err)
+	}
+}
+
+func TestInputMetaCopies(t *testing.T) {
+	r := Figure2()
+	if err := r.AnnotateInput("d2", map[string]string{"who": "joe"}); err != nil {
+		t.Fatal(err)
+	}
+	m := r.InputMeta("d2")
+	m["who"] = "tampered"
+	if r.InputMeta("d2")["who"] != "joe" {
+		t.Fatal("InputMeta aliases internal state")
+	}
+	if r.InputMeta("d3") != nil {
+		t.Fatal("unannotated data should return nil")
+	}
+}
+
+func TestAnnotatedInputsOrder(t *testing.T) {
+	r := Figure2()
+	for _, d := range []string{"d10", "d2", "d415"} {
+		if err := r.AnnotateInput(d, map[string]string{"k": "v"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.AnnotatedInputs()
+	if !reflect.DeepEqual(got, []string{"d2", "d10", "d415"}) {
+		t.Fatalf("AnnotatedInputs = %v (natural order expected)", got)
+	}
+}

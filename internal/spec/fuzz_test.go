@@ -1,0 +1,37 @@
+package spec
+
+import "testing"
+
+// FuzzDecode checks the specification decoder: it must never panic, and
+// anything it accepts must be a valid specification that re-encodes and
+// re-decodes to the same fingerprint.
+func FuzzDecode(f *testing.F) {
+	valid, _ := Encode(Phylogenomics())
+	f.Add(string(valid))
+	f.Add(`{"name":"x","modules":[{"name":"A"}],"edges":[["INPUT","A"],["A","OUTPUT"]]}`)
+	f.Add(`{"name":"x","modules":[],"edges":[]}`)
+	f.Add(`{"name":"x","modules":[{"name":"INPUT"}]}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(`{"name":"x","modules":[{"name":"A"},{"name":"A"}],"edges":[]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := Decode([]byte(input))
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Decode accepted an invalid spec: %v", err)
+		}
+		data, err := Encode(s)
+		if err != nil {
+			t.Fatalf("accepted spec failed to encode: %v", err)
+		}
+		back, err := Decode(data)
+		if err != nil {
+			t.Fatalf("re-encoded spec failed to decode: %v", err)
+		}
+		if back.Fingerprint() != s.Fingerprint() {
+			t.Fatal("round trip changed the fingerprint")
+		}
+	})
+}

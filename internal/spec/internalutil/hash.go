@@ -1,0 +1,28 @@
+// Package internalutil holds tiny helpers shared by the spec package family
+// that do not belong in any public surface.
+package internalutil
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"hash"
+)
+
+// Hasher accumulates strings into a short hex digest.
+type Hasher struct {
+	h hash.Hash
+}
+
+// NewHasher returns an empty Hasher.
+func NewHasher() *Hasher { return &Hasher{h: sha256.New()} }
+
+// WriteString feeds s into the digest.
+func (h *Hasher) WriteString(s string) {
+	_, _ = h.h.Write([]byte(s))
+}
+
+// Sum returns the first 16 hex characters of the digest — short enough to
+// embed in identifiers, long enough to make accidental collisions unlikely.
+func (h *Hasher) Sum() string {
+	return hex.EncodeToString(h.h.Sum(nil))[:16]
+}

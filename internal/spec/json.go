@@ -1,0 +1,90 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// specJSON is the wire form of a specification.
+type specJSON struct {
+	Name    string      `json:"name"`
+	Modules []Module    `json:"modules"`
+	Edges   [][2]string `json:"edges"`
+}
+
+// MarshalJSON encodes the specification deterministically: modules sorted by
+// name, edges in graph order.
+func (s *Spec) MarshalJSON() ([]byte, error) {
+	var doc specJSON
+	doc.Name = s.name
+	doc.Modules = s.Modules()
+	for _, e := range s.g.Edges() {
+		doc.Edges = append(doc.Edges, [2]string{e.From, e.To})
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON decodes a specification, running the same checks as the
+// programmatic builders.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	var doc specJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("spec: decode: %w", err)
+	}
+	ns := New(doc.Name)
+	for _, m := range doc.Modules {
+		if err := ns.AddModule(m); err != nil {
+			return err
+		}
+	}
+	for _, e := range doc.Edges {
+		if err := ns.AddEdge(e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	*s = *ns
+	return nil
+}
+
+// Decode parses and validates a specification from JSON.
+func Decode(data []byte) (*Spec, error) {
+	s := New("")
+	if err := json.Unmarshal(data, s); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Encode serializes the specification to JSON.
+func Encode(s *Spec) ([]byte, error) { return json.Marshal(s) }
+
+// FromGraph builds a specification from an existing graph whose nodes are
+// module names plus INPUT/OUTPUT. All modules default to KindScientific;
+// kinds may be overridden via the kinds map.
+func FromGraph(name string, g *graph.Graph, kinds map[string]Kind) (*Spec, error) {
+	s := New(name)
+	for _, n := range g.Nodes() {
+		if n == Input || n == Output {
+			continue
+		}
+		k := kinds[n]
+		if err := s.AddModule(Module{Name: n, Kind: k}); err != nil {
+			return nil, err
+		}
+	}
+	var addErr error
+	g.EachEdge(func(from, to string) {
+		if addErr == nil {
+			addErr = s.AddEdge(from, to)
+		}
+	})
+	if addErr != nil {
+		return nil, addErr
+	}
+	return s, nil
+}

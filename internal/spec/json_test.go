@@ -1,0 +1,96 @@
+package spec
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := Phylogenomics()
+	data, err := Encode(orig)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if back.Name() != orig.Name() {
+		t.Fatalf("name = %q, want %q", back.Name(), orig.Name())
+	}
+	if !reflect.DeepEqual(back.Modules(), orig.Modules()) {
+		t.Fatalf("modules differ:\n%v\n%v", back.Modules(), orig.Modules())
+	}
+	if !reflect.DeepEqual(back.Edges(), orig.Edges()) {
+		t.Fatalf("edges differ:\n%v\n%v", back.Edges(), orig.Edges())
+	}
+	if back.Fingerprint() != orig.Fingerprint() {
+		t.Fatal("fingerprint changed across round trip")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, err := Decode([]byte(`{"name":"x","modules":[{"name":"INPUT"}],"edges":[]}`)); !errors.Is(err, ErrBadModule) {
+		t.Fatalf("reserved module name accepted: %v", err)
+	}
+	if _, err := Decode([]byte(`{"name":"x","modules":[{"name":"A"}],"edges":[["A","ghost"]]}`)); !errors.Is(err, ErrBadEdge) {
+		t.Fatal("edge to unknown module accepted")
+	}
+	// Structurally valid JSON but the spec fails validation (A dangling).
+	_, err := Decode([]byte(`{"name":"x","modules":[{"name":"A"}],"edges":[["INPUT","OUTPUT"]]}`))
+	if !errors.Is(err, ErrNotConnected) && !errors.Is(err, ErrNoOutputPath) {
+		t.Fatalf("invalid spec decoded without error: %v", err)
+	}
+}
+
+func TestDecodeDeterministicEncoding(t *testing.T) {
+	s := Phylogenomics()
+	a, _ := Encode(s)
+	b, _ := Encode(s)
+	if string(a) != string(b) {
+		t.Fatal("Encode is not deterministic")
+	}
+	if !strings.Contains(string(a), `"phylogenomics"`) {
+		t.Fatalf("encoded form missing name: %s", a)
+	}
+}
+
+func TestFromGraph(t *testing.T) {
+	g := graph.New()
+	g.AddEdge(Input, "A")
+	g.AddEdge("A", "B")
+	g.AddEdge("B", Output)
+	s, err := FromGraph("fg", g, map[string]Kind{"A": KindFormatting})
+	if err != nil {
+		t.Fatalf("FromGraph: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	a, _ := s.Module("A")
+	if a.Kind != KindFormatting {
+		t.Fatalf("kind override lost: %v", a)
+	}
+	b, _ := s.Module("B")
+	if b.Kind != KindScientific {
+		t.Fatalf("default kind missing: %v", b)
+	}
+	if s.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d", s.NumEdges())
+	}
+}
+
+func TestFromGraphRejectsBadEdges(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("A", Input) // illegal direction
+	if _, err := FromGraph("bad", g, nil); !errors.Is(err, ErrBadEdge) {
+		t.Fatalf("edge into INPUT accepted: %v", err)
+	}
+}

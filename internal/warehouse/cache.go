@@ -1,0 +1,95 @@
+package warehouse
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// closureCache is the equivalent of the paper's temporary table: "when a
+// query is executed on a given workflow run, the UAdmin provenance
+// information is stored in a temporary table, and does not need to be
+// recomputed when switching the user view on the same workflow run". It is
+// a plain LRU keyed by (run id, data id) with hit/miss counters so the
+// view-switch experiment can verify the warm path is taken.
+type closureCache struct {
+	mu    sync.Mutex
+	cap   int
+	items map[cacheKey]*list.Element
+	order *list.List // front = most recently used
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheKey struct {
+	run, data string
+}
+
+type cacheEntry struct {
+	key cacheKey
+	c   *Closure
+}
+
+func newClosureCache(capacity int) *closureCache {
+	return &closureCache{
+		cap:   capacity,
+		items: make(map[cacheKey]*list.Element),
+		order: list.New(),
+	}
+}
+
+func (cc *closureCache) get(runID, d string) (*Closure, bool) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	el, ok := cc.items[cacheKey{runID, d}]
+	if !ok {
+		cc.misses.Add(1)
+		return nil, false
+	}
+	cc.order.MoveToFront(el)
+	cc.hits.Add(1)
+	return el.Value.(*cacheEntry).c.clone(), true
+}
+
+func (cc *closureCache) put(runID, d string, c *Closure) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	key := cacheKey{runID, d}
+	if el, ok := cc.items[key]; ok {
+		el.Value.(*cacheEntry).c = c
+		cc.order.MoveToFront(el)
+		return
+	}
+	cc.items[key] = cc.order.PushFront(&cacheEntry{key: key, c: c})
+	for len(cc.items) > cc.cap {
+		back := cc.order.Back()
+		cc.order.Remove(back)
+		delete(cc.items, back.Value.(*cacheEntry).key)
+	}
+}
+
+func (cc *closureCache) stats() (hits, misses int64) {
+	return cc.hits.Load(), cc.misses.Load()
+}
+
+// dropRun evicts every cached closure belonging to one run.
+func (cc *closureCache) dropRun(runID string) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	for key, el := range cc.items {
+		if key.run == runID {
+			cc.order.Remove(el)
+			delete(cc.items, key)
+		}
+	}
+}
+
+func (cc *closureCache) reset() {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cc.items = make(map[cacheKey]*list.Element)
+	cc.order.Init()
+	cc.hits.Store(0)
+	cc.misses.Store(0)
+}

@@ -1,0 +1,146 @@
+package warehouse
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/run"
+	"repro/internal/spec"
+)
+
+// Snapshot persistence. The warehouse serializes to a single JSON document
+// containing every specification, view definition and run; loading rebuilds
+// the indexes through the same validated construction path as live loads,
+// so a corrupted snapshot cannot produce an inconsistent warehouse.
+
+type snapshot struct {
+	Specs []json.RawMessage `json:"specs"`
+	Views []viewSnapshot    `json:"views"`
+	Runs  []runSnapshot     `json:"runs"`
+}
+
+type viewSnapshot struct {
+	Spec   string              `json:"spec"`
+	Name   string              `json:"name"`
+	Blocks map[string][]string `json:"blocks"`
+}
+
+type runSnapshot struct {
+	ID    string                       `json:"id"`
+	Spec  string                       `json:"spec"`
+	Steps []run.Step                   `json:"steps"`
+	Flows []flowSnap                   `json:"flows"`
+	Meta  map[string]map[string]string `json:"meta,omitempty"`
+}
+
+type flowSnap struct {
+	From string   `json:"from"`
+	To   string   `json:"to"`
+	Data []string `json:"data"`
+}
+
+// Save writes the warehouse contents as JSON.
+func (w *Warehouse) Save(out io.Writer) error {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var snap snapshot
+	specNames := make([]string, 0, len(w.specs))
+	for n := range w.specs {
+		specNames = append(specNames, n)
+	}
+	sort.Strings(specNames)
+	for _, n := range specNames {
+		raw, err := json.Marshal(w.specs[n])
+		if err != nil {
+			return fmt.Errorf("warehouse: encode spec %q: %w", n, err)
+		}
+		snap.Specs = append(snap.Specs, raw)
+		viewNames := make([]string, 0, len(w.views[n]))
+		for vn := range w.views[n] {
+			viewNames = append(viewNames, vn)
+		}
+		sort.Strings(viewNames)
+		for _, vn := range viewNames {
+			snap.Views = append(snap.Views, viewSnapshot{
+				Spec: n, Name: vn, Blocks: w.views[n][vn].Blocks(),
+			})
+		}
+	}
+	runIDs := make([]string, 0, len(w.runs))
+	for id := range w.runs {
+		runIDs = append(runIDs, id)
+	}
+	sort.Strings(runIDs)
+	for _, id := range runIDs {
+		r := w.runs[id].run
+		rs := runSnapshot{ID: id, Spec: r.SpecName(), Steps: r.Steps()}
+		for _, e := range r.Graph().Edges() {
+			rs.Flows = append(rs.Flows, flowSnap{From: e.From, To: e.To, Data: r.DataOn(e.From, e.To)})
+		}
+		for _, d := range r.AnnotatedInputs() {
+			if rs.Meta == nil {
+				rs.Meta = make(map[string]map[string]string)
+			}
+			rs.Meta[d] = r.InputMeta(d)
+		}
+		snap.Runs = append(snap.Runs, rs)
+	}
+	enc := json.NewEncoder(out)
+	return enc.Encode(&snap)
+}
+
+// Load reads a snapshot produced by Save into an empty warehouse.
+func Load(in io.Reader, cacheSize int) (*Warehouse, error) {
+	var snap snapshot
+	if err := json.NewDecoder(in).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("warehouse: decode snapshot: %w", err)
+	}
+	w := New(cacheSize)
+	for i, raw := range snap.Specs {
+		s, err := spec.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: snapshot spec %d: %w", i, err)
+		}
+		if err := w.RegisterSpec(s); err != nil {
+			return nil, err
+		}
+	}
+	for _, vs := range snap.Views {
+		s, err := w.Spec(vs.Spec)
+		if err != nil {
+			return nil, err
+		}
+		v, err := core.NewUserView(s, vs.Blocks)
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: snapshot view %q: %w", vs.Name, err)
+		}
+		if err := w.RegisterView(vs.Name, v); err != nil {
+			return nil, err
+		}
+	}
+	for _, rs := range snap.Runs {
+		r := run.NewRun(rs.ID, rs.Spec)
+		for _, st := range rs.Steps {
+			if err := r.AddStep(st.ID, st.Module); err != nil {
+				return nil, fmt.Errorf("warehouse: snapshot run %q: %w", rs.ID, err)
+			}
+		}
+		for _, f := range rs.Flows {
+			if err := r.AddFlow(f.From, f.To, f.Data); err != nil {
+				return nil, fmt.Errorf("warehouse: snapshot run %q: %w", rs.ID, err)
+			}
+		}
+		for d, meta := range rs.Meta {
+			if err := r.AnnotateInput(d, meta); err != nil {
+				return nil, fmt.Errorf("warehouse: snapshot run %q: %w", rs.ID, err)
+			}
+		}
+		if err := w.LoadRun(r); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}

@@ -1,0 +1,80 @@
+package warehouse
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/run"
+	"repro/internal/wflog"
+)
+
+// Stats summarizes the warehouse contents — the row counts a database
+// administrator would read off the catalog.
+type Stats struct {
+	Specs       int
+	Views       int
+	Runs        int
+	Steps       int
+	FlowEdges   int
+	DataObjects int
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// Stats computes the current warehouse statistics.
+func (w *Warehouse) Stats() Stats {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var st Stats
+	st.Specs = len(w.specs)
+	for _, vs := range w.views {
+		st.Views += len(vs)
+	}
+	st.Runs = len(w.runs)
+	for _, rt := range w.runs {
+		st.Steps += rt.run.NumSteps()
+		st.FlowEdges += rt.run.NumEdges()
+		st.DataObjects += rt.run.NumData()
+	}
+	st.CacheHits, st.CacheMisses = w.cache.stats()
+	return st
+}
+
+// String renders the statistics on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("specs=%d views=%d runs=%d steps=%d flows=%d data=%d cache=%d/%d",
+		s.Specs, s.Views, s.Runs, s.Steps, s.FlowEdges, s.DataObjects, s.CacheHits, s.CacheMisses)
+}
+
+// DropRun removes a run and its cached closures. Dropping an unknown run
+// is an error, so callers notice typos.
+func (w *Warehouse) DropRun(id string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.runs[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownRun, id)
+	}
+	delete(w.runs, id)
+	w.cache.dropRun(id)
+	return nil
+}
+
+// IngestLogStream reads a JSON-lines workflow log from r and loads it as a
+// run — the "during execution" ingestion path of the paper's architecture,
+// where the extractor tails the workflow system's log. The whole stream is
+// validated before anything becomes visible to queries, so a malformed
+// tail cannot leave a half-loaded run behind.
+func (w *Warehouse) IngestLogStream(runID, specName string, r io.Reader) (int, error) {
+	events, err := wflog.Read(r)
+	if err != nil {
+		return 0, err
+	}
+	rn, err := run.FromLog(runID, specName, events)
+	if err != nil {
+		return 0, err
+	}
+	if err := w.LoadRun(rn); err != nil {
+		return 0, err
+	}
+	return len(events), nil
+}

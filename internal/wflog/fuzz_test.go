@@ -1,0 +1,38 @@
+package wflog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that the log reader never panics and that anything it
+// accepts round-trips through Write and Read unchanged. Run with
+// `go test -fuzz FuzzRead ./internal/wflog` for a real campaign; the seed
+// corpus runs as a normal unit test.
+func FuzzRead(f *testing.F) {
+	f.Add(`{"seq":1,"kind":"start","step":"S1","module":"M"}`)
+	f.Add(`{"seq":1,"kind":"read","step":"S1","data":"d1"}` + "\n" + `{"seq":2,"kind":"write","step":"S1","data":"d2"}`)
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Add(`{"seq":-1}`)
+	f.Add(`not json at all`)
+	f.Add(`{"seq":1,"kind":"start","step":"S1","module":"M"}` + "\nbroken")
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, events); err != nil {
+			t.Fatalf("accepted log failed to encode: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded log failed to parse: %v", err)
+		}
+		if len(back) != len(events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(events), len(back))
+		}
+	})
+}

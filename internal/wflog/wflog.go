@@ -1,0 +1,177 @@
+// Package wflog models the execution log a workflow system emits while
+// running a workflow — the raw material of provenance. Following Section II
+// of the paper, the log records, per step: the module the step is an
+// instance of, which data objects the step read, and which it wrote. From
+// this information alone the immediate provenance of every data object can
+// be reconstructed, which is all the ZOOM approach requires of the host
+// workflow system.
+//
+// Events are serialized as JSON lines so that logs can be streamed, appended
+// to, and replayed.
+package wflog
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Kind discriminates log event types.
+type Kind string
+
+// Event kinds.
+const (
+	// KindStart records that a step began executing and names its module.
+	KindStart Kind = "start"
+	// KindRead records that a step read one data object.
+	KindRead Kind = "read"
+	// KindWrite records that a step wrote (produced) one data object.
+	KindWrite Kind = "write"
+)
+
+// Event is one log record. Seq is a monotonically increasing sequence
+// number standing in for the wall-clock timestamps real systems record.
+type Event struct {
+	Seq    int64  `json:"seq"`
+	Kind   Kind   `json:"kind"`
+	Step   string `json:"step"`
+	Module string `json:"module,omitempty"` // only on start events
+	Data   string `json:"data,omitempty"`   // only on read/write events
+}
+
+// Validation errors.
+var (
+	ErrBadEvent   = errors.New("wflog: malformed event")
+	ErrOutOfOrder = errors.New("wflog: events out of order")
+)
+
+// Validate checks a single event's internal consistency.
+func (e Event) Validate() error {
+	switch e.Kind {
+	case KindStart:
+		if e.Module == "" {
+			return fmt.Errorf("%w: start event for step %q without module", ErrBadEvent, e.Step)
+		}
+		if e.Data != "" {
+			return fmt.Errorf("%w: start event for step %q carries data", ErrBadEvent, e.Step)
+		}
+	case KindRead, KindWrite:
+		if e.Data == "" {
+			return fmt.Errorf("%w: %s event for step %q without data", ErrBadEvent, e.Kind, e.Step)
+		}
+	default:
+		return fmt.Errorf("%w: unknown kind %q", ErrBadEvent, e.Kind)
+	}
+	if e.Step == "" {
+		return fmt.Errorf("%w: event without step", ErrBadEvent)
+	}
+	return nil
+}
+
+// ValidateSequence checks a whole log: per-event validity, strictly
+// increasing sequence numbers, and that every step's start event precedes
+// its reads and writes.
+func ValidateSequence(events []Event) error {
+	started := make(map[string]bool)
+	var lastSeq int64 = -1
+	for i, e := range events {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+		if e.Seq <= lastSeq {
+			return fmt.Errorf("event %d: seq %d after %d: %w", i, e.Seq, lastSeq, ErrOutOfOrder)
+		}
+		lastSeq = e.Seq
+		switch e.Kind {
+		case KindStart:
+			if started[e.Step] {
+				return fmt.Errorf("event %d: duplicate start for step %q: %w", i, e.Step, ErrBadEvent)
+			}
+			started[e.Step] = true
+		default:
+			if !started[e.Step] {
+				return fmt.Errorf("event %d: %s before start of step %q: %w", i, e.Kind, e.Step, ErrOutOfOrder)
+			}
+		}
+	}
+	return nil
+}
+
+// Write serializes events as JSON lines.
+func Write(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("wflog: encode event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a JSON-lines log. It stops at EOF and rejects malformed lines.
+func Read(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(text, &e); err != nil {
+			return nil, fmt.Errorf("wflog: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("wflog: scan: %w", err)
+	}
+	return out, nil
+}
+
+// Builder incrementally assembles a valid log, assigning sequence numbers.
+type Builder struct {
+	events []Event
+	seq    int64
+}
+
+// NewBuilder returns an empty log builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+func (b *Builder) emit(e Event) {
+	b.seq++
+	e.Seq = b.seq
+	b.events = append(b.events, e)
+}
+
+// Start records the start of a step.
+func (b *Builder) Start(step, module string) {
+	b.emit(Event{Kind: KindStart, Step: step, Module: module})
+}
+
+// Reads records that step read each of the given data objects.
+func (b *Builder) Reads(step string, data ...string) {
+	for _, d := range data {
+		b.emit(Event{Kind: KindRead, Step: step, Data: d})
+	}
+}
+
+// Writes records that step wrote each of the given data objects.
+func (b *Builder) Writes(step string, data ...string) {
+	for _, d := range data {
+		b.emit(Event{Kind: KindWrite, Step: step, Data: d})
+	}
+}
+
+// Events returns the accumulated log. The slice is shared; callers must not
+// mutate it while continuing to use the builder.
+func (b *Builder) Events() []Event { return b.events }
+
+// Len returns the number of events recorded so far.
+func (b *Builder) Len() int { return len(b.events) }

@@ -1,0 +1,133 @@
+package wflog
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleLog() []Event {
+	b := NewBuilder()
+	b.Start("S1", "M1")
+	b.Reads("S1", "d1", "d2")
+	b.Writes("S1", "d3")
+	b.Start("S2", "M2")
+	b.Reads("S2", "d3")
+	b.Writes("S2", "d4")
+	return b.Events()
+}
+
+func TestBuilderSequencing(t *testing.T) {
+	events := sampleLog()
+	if err := ValidateSequence(events); err != nil {
+		t.Fatalf("builder produced invalid log: %v", err)
+	}
+	if len(events) != 7 {
+		t.Fatalf("len = %d, want 7", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatal("sequence numbers not strictly increasing")
+		}
+	}
+}
+
+func TestEventValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		e    Event
+	}{
+		{"start without module", Event{Kind: KindStart, Step: "S1"}},
+		{"start with data", Event{Kind: KindStart, Step: "S1", Module: "M", Data: "d1"}},
+		{"read without data", Event{Kind: KindRead, Step: "S1"}},
+		{"write without data", Event{Kind: KindWrite, Step: "S1"}},
+		{"unknown kind", Event{Kind: "boom", Step: "S1"}},
+		{"missing step", Event{Kind: KindRead, Data: "d1"}},
+	}
+	for _, tc := range cases {
+		if err := tc.e.Validate(); !errors.Is(err, ErrBadEvent) {
+			t.Errorf("%s: err = %v, want ErrBadEvent", tc.name, err)
+		}
+	}
+	good := Event{Seq: 1, Kind: KindStart, Step: "S1", Module: "M1"}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid event rejected: %v", err)
+	}
+}
+
+func TestValidateSequenceOrdering(t *testing.T) {
+	readBeforeStart := []Event{
+		{Seq: 1, Kind: KindRead, Step: "S1", Data: "d1"},
+	}
+	if err := ValidateSequence(readBeforeStart); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("read before start: %v", err)
+	}
+	dupStart := []Event{
+		{Seq: 1, Kind: KindStart, Step: "S1", Module: "M"},
+		{Seq: 2, Kind: KindStart, Step: "S1", Module: "M"},
+	}
+	if err := ValidateSequence(dupStart); !errors.Is(err, ErrBadEvent) {
+		t.Fatalf("duplicate start: %v", err)
+	}
+	nonMonotone := []Event{
+		{Seq: 5, Kind: KindStart, Step: "S1", Module: "M"},
+		{Seq: 5, Kind: KindWrite, Step: "S1", Data: "d1"},
+	}
+	if err := ValidateSequence(nonMonotone); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("non-monotone seq: %v", err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	events := sampleLog()
+	var buf bytes.Buffer
+	if err := Write(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, events) {
+		t.Fatalf("round trip mismatch:\n%v\n%v", back, events)
+	}
+}
+
+func TestReadSkipsBlankLinesRejectsGarbage(t *testing.T) {
+	in := strings.NewReader("\n" + `{"seq":1,"kind":"start","step":"S1","module":"M"}` + "\n\n")
+	events, err := Read(in)
+	if err != nil || len(events) != 1 {
+		t.Fatalf("events=%v err=%v", events, err)
+	}
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}
+
+// Property: any log assembled via the Builder validates, regardless of the
+// interleaving of reads and writes after each start.
+func TestBuilderAlwaysValidQuick(t *testing.T) {
+	f := func(stepCount uint8, ops []bool) bool {
+		b := NewBuilder()
+		n := int(stepCount)%5 + 1
+		for s := 0; s < n; s++ {
+			step := "S" + string(rune('0'+s))
+			b.Start(step, "M")
+			for i, op := range ops {
+				d := "d" + string(rune('0'+i%10))
+				if op {
+					b.Reads(step, d)
+				} else {
+					b.Writes(step, d)
+				}
+			}
+		}
+		return ValidateSequence(b.Events()) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package zoom_test
+
+import (
+	"fmt"
+
+	"repro/zoom"
+)
+
+// Example reproduces the paper's Section II contrast between Joe's and
+// Mary's answers to the same provenance query.
+func Example() {
+	s := zoom.Phylogenomics()
+	sys := zoom.NewSystem()
+	if err := sys.RegisterSpec(s); err != nil {
+		panic(err)
+	}
+	if err := sys.LoadRun(zoom.PhylogenomicsRun()); err != nil {
+		panic(err)
+	}
+
+	joe, _ := zoom.BuildUserView(s, zoom.JoeRelevant())
+	mary, _ := zoom.BuildUserView(s, zoom.MaryRelevant())
+
+	exJoe, _ := sys.ImmediateProvenance("fig2", joe, "d413")
+	exMary, _ := sys.ImmediateProvenance("fig2", mary, "d413")
+	fmt.Println("Joe: ", zoom.FormatDataSet(exJoe.Inputs))
+	fmt.Println("Mary:", zoom.FormatDataSet(exMary.Inputs))
+	// Output:
+	// Joe:  {d308..d408}
+	// Mary: {d411}
+}
+
+// ExampleBuildUserView shows RelevUserViewBuilder reconstructing Joe's view
+// from his three relevant modules.
+func ExampleBuildUserView() {
+	s := zoom.Phylogenomics()
+	v, err := zoom.BuildUserView(s, []string{"M2", "M3", "M7"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("size:", v.Size())
+	fmt.Println("alignment composite:", v.Members("M3"))
+	fmt.Println("tree composite:", v.Members("M7"))
+	// Output:
+	// size: 4
+	// alignment composite: [M3 M4 M5]
+	// tree composite: [M6 M7 M8]
+}
+
+// ExampleSystem_DeepProvenance queries the final tree of the Figure 2 run.
+func ExampleSystem_DeepProvenance() {
+	sys := zoom.NewSystem()
+	s := zoom.Phylogenomics()
+	_ = sys.RegisterSpec(s)
+	_ = sys.LoadRun(zoom.PhylogenomicsRun())
+	joe, _ := zoom.BuildUserView(s, zoom.JoeRelevant())
+
+	res, err := sys.DeepProvenance("fig2", joe, "d447")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("executions:", res.NumSteps())
+	fmt.Println("loop data hidden from Joe:", !contains(res.Data, "d411"))
+	// Output:
+	// executions: 4
+	// loop data hidden from Joe: true
+}
+
+// ExampleExecute simulates a run of a user-defined workflow and replays
+// its event log.
+func ExampleExecute() {
+	s := zoom.NewSpec("demo")
+	_ = s.AddModule(zoom.Module{Name: "A"})
+	_ = s.AddModule(zoom.Module{Name: "B"})
+	_ = s.AddEdge(zoom.Input, "A")
+	_ = s.AddEdge("A", "B")
+	_ = s.AddEdge("B", zoom.Output)
+
+	r, events, err := zoom.Execute(s, zoom.ExecConfig{RunID: "demo-1", Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	back, _ := zoom.RunFromLog("demo-1", "demo", events)
+	fmt.Println("steps:", r.NumSteps(), "replayed:", back.NumSteps())
+	// Output:
+	// steps: 2 replayed: 2
+}
+
+// ExampleRefineComposite drills into one composite of Joe's view.
+func ExampleRefineComposite() {
+	s := zoom.Phylogenomics()
+	joe, _ := zoom.BuildUserView(s, zoom.JoeRelevant())
+	refined, err := zoom.RefineComposite(joe, "M7", []string{"M7", "M8"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("before:", joe.Size(), "after:", refined.Size())
+	fmt.Println("refines:", zoom.Refines(refined, joe))
+	// Output:
+	// before: 4 after: 5
+	// refines: true
+}
+
+func contains(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,144 @@
+package zoom_test
+
+import (
+	"testing"
+
+	"repro/zoom"
+)
+
+// TestRefinementFlow exercises the hierarchical-view and view-evolution
+// surface of the facade against the paper example.
+func TestRefinementFlow(t *testing.T) {
+	s := zoom.Phylogenomics()
+	joe, err := zoom.BuildUserView(s, zoom.JoeRelevant())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Evolution: Joe flags M5 -> Mary's view; unflag -> back.
+	v2, rel2, err := zoom.AddRelevant(s, zoom.JoeRelevant(), "M5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mary, _ := zoom.BuildUserView(s, zoom.MaryRelevant())
+	if !v2.Equal(mary) || len(rel2) != 4 {
+		t.Fatalf("AddRelevant wrong: %v", v2)
+	}
+	v3, _, err := zoom.RemoveRelevant(s, rel2, "M5")
+	if err != nil || !v3.Equal(joe) {
+		t.Fatalf("RemoveRelevant wrong: %v %v", v3, err)
+	}
+
+	// Hierarchy: drill into the tree-building composite.
+	sub, err := zoom.SubSpec(joe, "M7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumModules() != 3 {
+		t.Fatalf("sub-spec modules = %d", sub.NumModules())
+	}
+	refined, err := zoom.RefineComposite(joe, "M7", []string{"M7", "M8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !zoom.Refines(refined, joe) {
+		t.Fatal("refinement relation broken")
+	}
+	if refined.Size() != joe.Size()+1 {
+		t.Fatalf("refined size = %d, want %d", refined.Size(), joe.Size()+1)
+	}
+}
+
+// TestCannedQueriesFacade exercises the prototype's interactive queries
+// through the facade.
+func TestCannedQueriesFacade(t *testing.T) {
+	sys := zoom.NewSystem()
+	s := zoom.Phylogenomics()
+	r := zoom.PhylogenomicsRun()
+	if err := r.AnnotateInput("d415", map[string]string{"who": "lab", "when": "2007-12-01"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterSpec(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadRun(r); err != nil {
+		t.Fatal(err)
+	}
+	mary, _ := zoom.BuildUserView(s, zoom.MaryRelevant())
+
+	execs, err := sys.Executions("fig2", mary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(execs) != 6 {
+		t.Fatalf("Mary sees %d executions, want 6", len(execs))
+	}
+
+	data, err := sys.DataBetween("fig2", mary, "S4", "M3@2")
+	if err != nil || len(data) != 1 || data[0] != "d411" {
+		t.Fatalf("DataBetween = %v, %v", data, err)
+	}
+
+	ok, err := sys.InProvenance("fig2", "d410", "d447")
+	if err != nil || !ok {
+		t.Fatalf("InProvenance(d410, d447) = %v, %v", ok, err)
+	}
+
+	common, err := sys.CommonProvenance("fig2", mary, "d413", "d414")
+	if err != nil || len(common) == 0 {
+		t.Fatalf("CommonProvenance = %v, %v", common, err)
+	}
+
+	ep, err := sys.ExecutionProvenance("fig2", mary, "M3@2")
+	if err != nil || ep.NumSteps() == 0 {
+		t.Fatalf("ExecutionProvenance = %v, %v", ep, err)
+	}
+
+	// Metadata survives warehouse persistence and surfaces in queries.
+	res, err := sys.DeepProvenance("fig2", mary, "d415")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metadata["who"] != "lab" {
+		t.Fatalf("metadata = %v", res.Metadata)
+	}
+}
+
+func TestPathAndCompareFacade(t *testing.T) {
+	sys := zoom.NewSystem()
+	s := zoom.Phylogenomics()
+	if err := sys.RegisterSpec(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadRun(zoom.PhylogenomicsRun()); err != nil {
+		t.Fatal(err)
+	}
+	mary, _ := zoom.BuildUserView(s, zoom.MaryRelevant())
+	path, err := sys.DerivationPath("fig2", mary, "d308", "d447")
+	if err != nil || len(path) == 0 {
+		t.Fatalf("DerivationPath: %v %v", path, err)
+	}
+	if out := zoom.FormatPath(path); out == "" || out == "(no derivation path)" {
+		t.Fatalf("FormatPath = %q", out)
+	}
+	ans, err := sys.Ask("fig2", mary, "path(d308, d447)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zoom.RenderAnswer(ans) == "" {
+		t.Fatal("empty answer")
+	}
+
+	a, _, err := zoom.Execute(s, zoom.ExecConfig{RunID: "a", Seed: 1, LoopIter: [2]int{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := zoom.Execute(s, zoom.ExecConfig{RunID: "b", Seed: 1, LoopIter: [2]int{4, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := zoom.CompareRuns(a, b)
+	if d.SameShape() {
+		t.Fatal("different iteration counts reported as same shape")
+	}
+}

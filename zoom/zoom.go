@@ -1,0 +1,368 @@
+// Package zoom is the public API of the ZOOM*UserViews reproduction — a
+// system for querying and managing workflow provenance through user views
+// (Biton, Cohen-Boulakia, Davidson, Hara: "Querying and Managing Provenance
+// through User Views in Scientific Workflows", ICDE 2008).
+//
+// The typical flow mirrors the paper's architecture (Figure 8):
+//
+//	sys := zoom.NewSystem()
+//	sys.RegisterSpec(spec)                   // workflow definition
+//	sys.LoadLog(runID, spec.Name(), events)  // extracted from the workflow log
+//	view, _ := zoom.BuildUserView(spec, []string{"M2", "M3", "M7"})
+//	res, _ := sys.DeepProvenance(runID, view, "d447")
+//
+// Everything below is a thin veneer over the internal packages; the
+// exported names are stable.
+package zoom
+
+import (
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/composite"
+	"repro/internal/core"
+	"repro/internal/dot"
+	"repro/internal/export"
+	"repro/internal/gen"
+	"repro/internal/provenance"
+	"repro/internal/query"
+	"repro/internal/run"
+	"repro/internal/spec"
+	"repro/internal/warehouse"
+	"repro/internal/wflog"
+)
+
+// Re-exported model types.
+type (
+	// Spec is a workflow specification (Section II).
+	Spec = spec.Spec
+	// Module is a uniquely named workflow task.
+	Module = spec.Module
+	// Kind classifies a module (scientific / formatting / interaction).
+	Kind = spec.Kind
+	// UserView is a partition of a specification's modules.
+	UserView = core.UserView
+	// Run is a workflow execution.
+	Run = run.Run
+	// Step is one execution of a module within a run.
+	Step = run.Step
+	// ExecConfig controls the built-in workflow executor.
+	ExecConfig = run.Config
+	// Event is a workflow-log record.
+	Event = wflog.Event
+	// Execution is a (possibly virtual) composite execution.
+	Execution = composite.Execution
+	// Result is a provenance query answer under a view.
+	Result = provenance.Result
+	// Generator produces synthetic workloads (Section V.A).
+	Generator = gen.Generator
+	// WorkflowClass is a Table I workflow profile.
+	WorkflowClass = gen.WorkflowClass
+	// RunClass is a Table II run profile.
+	RunClass = gen.RunClass
+	// Report is an experiment result table.
+	Report = bench.Report
+	// BenchOptions scales the experiment harness.
+	BenchOptions = bench.Options
+)
+
+// Reserved node identifiers and module kinds.
+const (
+	Input           = spec.Input
+	Output          = spec.Output
+	KindScientific  = spec.KindScientific
+	KindFormatting  = spec.KindFormatting
+	KindInteraction = spec.KindInteraction
+)
+
+// NewSpec returns an empty specification.
+func NewSpec(name string) *Spec { return spec.New(name) }
+
+// DecodeSpec parses and validates a JSON specification.
+func DecodeSpec(data []byte) (*Spec, error) { return spec.Decode(data) }
+
+// EncodeSpec serializes a specification to JSON.
+func EncodeSpec(s *Spec) ([]byte, error) { return spec.Encode(s) }
+
+// Phylogenomics returns the paper's running example (Figure 1).
+func Phylogenomics() *Spec { return spec.Phylogenomics() }
+
+// PhylogenomicsRun returns the paper's example run (Figure 2).
+func PhylogenomicsRun() *Run { return run.Figure2() }
+
+// JoeRelevant and MaryRelevant return the Section I relevant-module sets.
+func JoeRelevant() []string  { return spec.PhyloRelevantJoe() }
+func MaryRelevant() []string { return spec.PhyloRelevantMary() }
+
+// BuildUserView runs RelevUserViewBuilder: it constructs a user view that
+// has one composite per relevant module, preserves and is complete w.r.t.
+// dataflow (Properties 1-3), and is minimal (Theorem 1).
+func BuildUserView(s *Spec, relevant []string) (*UserView, error) {
+	return core.BuildRelevant(s, relevant)
+}
+
+// NewUserView builds a view from an explicit partition.
+func NewUserView(s *Spec, blocks map[string][]string) (*UserView, error) {
+	return core.NewUserView(s, blocks)
+}
+
+// UAdmin returns the finest view (every module visible).
+func UAdmin(s *Spec) *UserView { return core.UAdmin(s) }
+
+// UBlackBox returns the coarsest view (the whole workflow opaque).
+func UBlackBox(s *Spec) (*UserView, error) { return core.UBlackBox(s) }
+
+// CheckView verifies Properties 1-3 for a view and relevant set.
+func CheckView(v *UserView, relevant []string) error { return core.CheckAll(v, relevant) }
+
+// Violation is one diagnostic finding of DiagnoseView.
+type Violation = core.Violation
+
+// DiagnoseView returns every Property 1-3 violation of a view (empty for a
+// good view) — the complete list an interactive view editor shows, where
+// CheckView stops at the first.
+func DiagnoseView(v *UserView, relevant []string) []Violation {
+	return core.Diagnose(v, relevant)
+}
+
+// MinimalView reports whether no pairwise composite merge of v preserves
+// Properties 1-3, returning a witness pair otherwise.
+func MinimalView(v *UserView, relevant []string) (bool, *core.MergeWitness) {
+	return core.Minimal(v, relevant)
+}
+
+// MinimumView searches exhaustively for a smallest view satisfying
+// Properties 1-3 (feasible for small specifications; the general
+// complexity is the paper's open problem).
+func MinimumView(s *Spec, relevant []string) (*UserView, error) {
+	return core.MinimumView(s, relevant)
+}
+
+// AddRelevant / RemoveRelevant rebuild a view after flagging or unflagging
+// one module — the prototype's interactive UserViewBuilder loop. Both
+// return the updated relevant set alongside the new view.
+func AddRelevant(s *Spec, relevant []string, module string) (*UserView, []string, error) {
+	return core.AddRelevant(s, relevant, module)
+}
+
+func RemoveRelevant(s *Spec, relevant []string, module string) (*UserView, []string, error) {
+	return core.RemoveRelevant(s, relevant, module)
+}
+
+// SubSpec extracts one composite of a view as a standalone workflow
+// specification; RefineComposite splits the composite in place by running
+// the builder inside it (hierarchical views, Section VII).
+func SubSpec(v *UserView, composite string) (*Spec, error) {
+	return core.SubSpec(v, composite)
+}
+
+func RefineComposite(v *UserView, composite string, relevantInside []string) (*UserView, error) {
+	return core.RefineComposite(v, composite, relevantInside)
+}
+
+// Refines reports whether view a is a finer partition than view b.
+func Refines(a, b *UserView) bool { return core.Refines(a, b) }
+
+// Execute simulates a run of a specification, returning the run and the
+// event log a workflow system would have emitted.
+func Execute(s *Spec, cfg ExecConfig) (*Run, []Event, error) { return run.Execute(s, cfg) }
+
+// RunFromLog reconstructs a run from an event log.
+func RunFromLog(runID, specName string, events []Event) (*Run, error) {
+	return run.FromLog(runID, specName, events)
+}
+
+// ReadLog and WriteLog (de)serialize JSON-lines event logs.
+func ReadLog(r io.Reader) ([]Event, error)       { return wflog.Read(r) }
+func WriteLog(w io.Writer, events []Event) error { return wflog.Write(w, events) }
+func ValidateLog(events []Event) error           { return wflog.ValidateSequence(events) }
+
+// NewGenerator returns a seeded workload generator.
+func NewGenerator(seed int64) *Generator { return gen.NewGenerator(seed) }
+
+// WorkflowClasses returns the Table I profiles; RunClasses the Table II
+// profiles.
+func WorkflowClasses() []WorkflowClass { return gen.Classes() }
+func RunClasses() []RunClass           { return gen.RunClasses() }
+
+// UBioRelevant returns the scientific modules of a generated workflow —
+// the stand-in for the paper's biologist-picked relevant sets.
+func UBioRelevant(s *Spec) []string { return gen.UBioRelevant(s) }
+
+// System bundles a provenance warehouse with its query engine.
+type System struct {
+	w *warehouse.Warehouse
+	e *provenance.Engine
+}
+
+// NewSystem returns a system with an empty warehouse.
+func NewSystem() *System {
+	w := warehouse.New(0)
+	return &System{w: w, e: provenance.NewEngine(w)}
+}
+
+// RegisterSpec stores a workflow specification.
+func (s *System) RegisterSpec(sp *Spec) error { return s.w.RegisterSpec(sp) }
+
+// RegisterView stores a named user view.
+func (s *System) RegisterView(name string, v *UserView) error { return s.w.RegisterView(name, v) }
+
+// View retrieves a registered view.
+func (s *System) View(specName, viewName string) (*UserView, error) {
+	return s.w.View(specName, viewName)
+}
+
+// Spec retrieves a registered specification.
+func (s *System) Spec(name string) (*Spec, error) { return s.w.Spec(name) }
+
+// SpecNames, ViewNames, RunIDs list the warehouse contents.
+func (s *System) SpecNames() []string                { return s.w.SpecNames() }
+func (s *System) ViewNames(specName string) []string { return s.w.ViewNames(specName) }
+func (s *System) RunIDs() []string                   { return s.w.RunIDs() }
+
+// LoadRun stores a validated, conformant run.
+func (s *System) LoadRun(r *Run) error { return s.w.LoadRun(r) }
+
+// LoadLog ingests an event log as a run.
+func (s *System) LoadLog(runID, specName string, events []Event) error {
+	return s.w.LoadLog(runID, specName, events)
+}
+
+// Run retrieves a loaded run.
+func (s *System) Run(id string) (*Run, error) { return s.w.Run(id) }
+
+// DeepProvenance answers "what data objects and steps were used to produce
+// d?" with respect to a user view, using the compute-UAdmin-then-project
+// strategy with closure caching.
+func (s *System) DeepProvenance(runID string, v *UserView, d string) (*Result, error) {
+	return s.e.DeepProvenance(runID, v, d)
+}
+
+// ImmediateProvenance returns the composite execution that produced d
+// under the view (nil for user/workflow input).
+func (s *System) ImmediateProvenance(runID string, v *UserView, d string) (*Execution, error) {
+	return s.e.ImmediateProvenance(runID, v, d)
+}
+
+// DeepDerivation answers the inverse canned query: everything derived
+// from d, projected through the view.
+func (s *System) DeepDerivation(runID string, v *UserView, d string) (*Result, error) {
+	return s.e.DeepDerivation(runID, v, d)
+}
+
+// Executions lists the composite executions of a run under a view in
+// topological order — the run display of the prototype.
+func (s *System) Executions(runID string, v *UserView) ([]*Execution, error) {
+	return s.e.Executions(runID, v)
+}
+
+// DataBetween returns the data passed between two composite executions —
+// the prototype's click-on-an-edge interaction.
+func (s *System) DataBetween(runID string, v *UserView, fromExec, toExec string) ([]string, error) {
+	return s.e.DataBetween(runID, v, fromExec, toExec)
+}
+
+// InProvenance reports whether candidate lies in target's deep provenance.
+func (s *System) InProvenance(runID, candidate, target string) (bool, error) {
+	return s.e.InProvenance(runID, candidate, target)
+}
+
+// CommonProvenance returns the visible data shared by the deep provenance
+// of two data objects.
+func (s *System) CommonProvenance(runID string, v *UserView, d1, d2 string) ([]string, error) {
+	return s.e.CommonProvenance(runID, v, d1, d2)
+}
+
+// ExecutionProvenance returns the deep provenance of a whole composite
+// execution.
+func (s *System) ExecutionProvenance(runID string, v *UserView, execID string) (*Result, error) {
+	return s.e.ExecutionProvenance(runID, v, execID)
+}
+
+// Answer is a canned-query result.
+type Answer = query.Answer
+
+// Ask parses and evaluates one of the prototype's canned query forms —
+// deep(d), immediate(d), derived(d), execution(e), between(e, e),
+// common(d, d), in(d, d) — against a run and view.
+func (s *System) Ask(runID string, v *UserView, q string) (*Answer, error) {
+	return query.Run(s.e, runID, v, q)
+}
+
+// RenderAnswer formats a canned-query answer for terminals.
+func RenderAnswer(a *Answer) string { return query.Render(a) }
+
+// PathElement is one hop of a derivation path.
+type PathElement = provenance.PathElement
+
+// DerivationPath returns one shortest visible derivation chain from one
+// data object to another under a view (nil when no influence exists or the
+// target is hidden by the view).
+func (s *System) DerivationPath(runID string, v *UserView, from, to string) ([]PathElement, error) {
+	return s.e.DerivationPath(runID, v, from, to)
+}
+
+// FormatPath renders a derivation path as d1 -[S1]-> d2 -[M3@1]-> d3.
+func FormatPath(path []PathElement) string { return provenance.FormatPath(path) }
+
+// RunDiff is the structural comparison of two runs.
+type RunDiff = run.Diff
+
+// CompareRuns summarizes how two runs of the same specification differ —
+// the per-module execution-count deltas loops produce, plus size and depth.
+func CompareRuns(a, b *Run) RunDiff { return run.Compare(a, b) }
+
+// QueryForms lists the canned query forms for help texts.
+func QueryForms() []string { return query.Forms() }
+
+// CacheStats exposes the closure-cache hit/miss counters.
+func (s *System) CacheStats() (hits, misses int64) { return s.w.CacheStats() }
+
+// Stats summarizes the warehouse contents (catalog row counts).
+func (s *System) Stats() warehouse.Stats { return s.w.Stats() }
+
+// DropRun removes a run and its cached closures.
+func (s *System) DropRun(id string) error { return s.w.DropRun(id) }
+
+// IngestLogStream reads a JSON-lines workflow log and loads it as a run,
+// returning the number of events ingested.
+func (s *System) IngestLogStream(runID, specName string, r io.Reader) (int, error) {
+	return s.w.IngestLogStream(runID, specName, r)
+}
+
+// Save writes the warehouse to JSON; LoadSystem restores it.
+func (s *System) Save(out io.Writer) error { return s.w.Save(out) }
+
+// LoadSystem restores a system from a Save snapshot.
+func LoadSystem(in io.Reader) (*System, error) {
+	w, err := warehouse.Load(in, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &System{w: w, e: provenance.NewEngine(w)}, nil
+}
+
+// Rendering helpers (Graphviz DOT and plain text).
+func SpecDOT(s *Spec) string                  { return dot.Spec(s) }
+func ViewDOT(name string, v *UserView) string { return dot.View(name, v) }
+func RunDOT(r *Run) string                    { return dot.Run(r) }
+func ProvenanceDOT(res *Result) string        { return dot.Provenance(res) }
+func ProvenanceText(res *Result) string       { return dot.ProvenanceText(res) }
+
+// FormatDataSet renders a set of data ids compactly ({d308..d408}).
+func FormatDataSet(ids []string) string { return run.FormatDataSet(ids) }
+
+// PROVJSON exports a provenance result as a W3C PROV-JSON document —
+// entities for the visible data, activities for the visible composite
+// executions, used/wasGeneratedBy for the visible flows. Hidden steps and
+// hidden data never appear in an export.
+func PROVJSON(res *Result) ([]byte, error) { return export.PROVJSON(res) }
+
+// SpecGraphML renders a specification as GraphML.
+func SpecGraphML(s *Spec) string { return export.SpecGraphML(s) }
+
+// Experiments: the evaluation harness regenerating the paper's tables and
+// figures. DefaultBench is CI-sized; FullBench is paper-sized.
+func DefaultBench() BenchOptions              { return bench.Default() }
+func FullBench() BenchOptions                 { return bench.Full() }
+func RunExperiments(o BenchOptions) []*Report { return bench.RunAll(o) }
