@@ -1,0 +1,34 @@
+# Build, test, and verification entry points. `make ci` is what the CI
+# workflow runs; `make race` and `make fuzz-smoke` exercise the concurrent
+# serving layer specifically.
+
+GO ?= go
+
+.PHONY: all build vet test race fuzz-smoke bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency layer: stress tests and the batch/singleflight tests all
+# match Concurrent|Stress, run under the race detector across every package.
+race:
+	$(GO) test -race -run 'Concurrent|Stress' ./...
+
+# Short fuzzing passes over the two fuzz targets; long runs are
+# `go test -fuzz=FuzzConnectBy ./internal/warehouse/` etc.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzConnectBy -fuzztime=10s ./internal/warehouse/
+	$(GO) test -run='^$$' -fuzz=FuzzRelevUserViewBuilder -fuzztime=10s ./internal/core/
+
+bench:
+	$(GO) run ./cmd/zoombench
+
+ci: vet build test race fuzz-smoke

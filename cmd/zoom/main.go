@@ -9,16 +9,18 @@
 //	zoom spec    -file spec.json [-dot]   validate / render a specification
 //	zoom view    -file spec.json -relevant M2,M3,M7 [-dot]
 //	zoom load    -warehouse wh.json -file spec.json [-log run.jsonl -run id]
-//	zoom query   -warehouse wh.json -run id -data d447 [-relevant ...] [-mode deep|immediate|derived] [-dot]
+//	zoom query   -warehouse wh.json -run id -data d447[,d448,...] [-parallel N] [-relevant ...] [-mode deep|immediate|derived] [-dot]
 //	zoom runs    -warehouse wh.json       list warehouse contents
 //	zoom ask     -warehouse wh.json -run id -q "deep(d447)" [-relevant ...]
 //	zoom compare -warehouse wh.json -a run1 -b run2
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/zoom"
@@ -312,9 +314,10 @@ func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	whPath := fs.String("warehouse", "", "warehouse snapshot file (required)")
 	runID := fs.String("run", "", "run id (required)")
-	data := fs.String("data", "", "data object id (required)")
+	data := fs.String("data", "", "data object id, or a comma-separated list for a batch (required)")
 	relevant := fs.String("relevant", "", "relevant modules for the view (empty = UAdmin)")
 	mode := fs.String("mode", "deep", "deep | immediate | derived")
+	parallel := fs.Int("parallel", 1, "worker goroutines for a multi-data deep batch (0 = GOMAXPROCS)")
 	asDot := fs.Bool("dot", false, "emit Graphviz DOT of the provenance graph")
 	asProv := fs.Bool("prov", false, "emit W3C PROV-JSON (deep mode only)")
 	_ = fs.Parse(args)
@@ -338,6 +341,35 @@ func cmdQuery(args []string) error {
 		v = zoom.UAdmin(s)
 	} else if v, err = zoom.BuildUserView(s, splitList(*relevant)); err != nil {
 		return err
+	}
+	if ids := splitList(*data); len(ids) > 1 {
+		if *mode != "deep" {
+			return fmt.Errorf("query: multiple -data ids require -mode deep")
+		}
+		if *asDot || *asProv {
+			return fmt.Errorf("query: -dot/-prov need a single -data id")
+		}
+		results, err := sys.DeepProvenanceBatch(context.Background(), *runID, v, ids, *parallel)
+		if err != nil {
+			return err
+		}
+		for i, res := range results {
+			fmt.Printf("deep provenance of %s: %d executions, %d data objects\n",
+				ids[i], res.NumSteps(), res.NumData())
+		}
+		// Report the pool size actually used, mirroring ServeConcurrently's
+		// clamping of -parallel <= 0 (GOMAXPROCS) and oversized pools.
+		workers := *parallel
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(ids) {
+			workers = len(ids)
+		}
+		cs := sys.CacheCounters()
+		fmt.Printf("batch of %d answered with %d workers: closure cache %d hits / %d misses / %d shared\n",
+			len(ids), workers, cs.Hits, cs.Misses, cs.SharedWaits)
+		return nil
 	}
 	switch *mode {
 	case "deep":

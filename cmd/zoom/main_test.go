@@ -194,11 +194,33 @@ func TestCmdLoadQueryRuns(t *testing.T) {
 		t.Fatalf("query -dot wrong: %v", err)
 	}
 
+	// Batch deep query with a worker pool (-parallel).
+	out, err = capture(t, func() error {
+		return cmdQuery([]string{"-warehouse", wh, "-run", "fig2", "-data", "d447,d413,d410",
+			"-relevant", "M2,M3,M7", "-parallel", "4"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"deep provenance of d447",
+		"deep provenance of d413",
+		"deep provenance of d410",
+		"batch of 3 answered with 3 workers", // pool clamped to the batch size
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("batch output missing %q:\n%s", want, out)
+		}
+	}
+
 	// Error paths.
 	for _, args := range [][]string{
 		{"-warehouse", wh, "-run", "ghost", "-data", "d1"},
 		{"-warehouse", wh, "-run", "fig2", "-data", "nope"},
 		{"-warehouse", wh, "-run", "fig2", "-data", "d1", "-mode", "bogus"},
+		{"-warehouse", wh, "-run", "fig2", "-data", "d447,d413", "-mode", "derived"},
+		{"-warehouse", wh, "-run", "fig2", "-data", "d447,d413", "-dot"},
+		{"-warehouse", wh, "-run", "fig2", "-data", "d447,nope"},
 		{"-run", "fig2", "-data", "d1"},
 	} {
 		if _, err := capture(t, func() error { return cmdQuery(args) }); err == nil {

@@ -23,7 +23,7 @@ func main() {
 		seed   = flag.Int64("seed", 1, "experiment seed")
 		out    = flag.String("out", "", "also write the reports to this file")
 		csvDir = flag.String("csv", "", "also write each report as CSV into this directory")
-		only   = flag.String("only", "", "run a single experiment id (T1,T2,E1,E2,F10,E3,E4,F11)")
+		only   = flag.String("only", "", "run a single experiment id (T1,T2,E1,E2,F10,E3,E4,F11,E5,A1/A2,C1)")
 	)
 	flag.Parse()
 

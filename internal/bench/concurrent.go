@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/provenance"
+	"repro/internal/warehouse"
+)
+
+// ExpConcurrent measures the concurrent-serving path the paper's
+// warehouse would face with many simultaneous users: a fixed batch of
+// deep-provenance queries answered sequentially and through the worker
+// pool at 1, 4 and 16 goroutines, cold cache each time, plus a
+// thundering-herd row where 32 identical queries hit a cold cache at once
+// and the singleflight layer must collapse them to a single closure
+// computation. Throughput is hardware-dependent; the computes column is
+// not — exactly one closure build per distinct (run, data) key no matter
+// the concurrency.
+func ExpConcurrent(o Options) *Report {
+	rep := &Report{
+		ID:      "C1",
+		Title:   "Concurrent serving: worker pool throughput and singleflight",
+		Headers: []string{"configuration", "queries", "total ms", "qps", "speedup", "closure computes"},
+	}
+	g := gen.NewGenerator(o.Seed + 11)
+	w := warehouse.New(0)
+	e := provenance.NewEngine(w)
+	var queries []provenance.Query
+	for _, class := range gen.Classes() {
+		s := g.Workflow(class, "conc-"+class.Name)
+		if err := w.RegisterSpec(s); err != nil {
+			continue
+		}
+		v, err := core.BuildRelevant(s, gen.UBioRelevant(s))
+		if err != nil {
+			continue
+		}
+		for i := 0; i < o.RunsPerKind; i++ {
+			r, _, err := g.Run(s, gen.Small(), fmt.Sprintf("conc-%s-%d", class.Name, i))
+			if err != nil {
+				continue
+			}
+			if err := w.LoadRun(r); err != nil {
+				continue
+			}
+			for _, d := range r.AllData() {
+				queries = append(queries, provenance.Query{RunID: r.ID(), View: v, Data: d})
+			}
+		}
+	}
+	if len(queries) == 0 {
+		return rep
+	}
+
+	ctx := context.Background()
+	repeats := o.Trials
+	if repeats < 1 {
+		repeats = 1
+	}
+	run := func(workers int) (time.Duration, warehouse.CacheCounters) {
+		var total time.Duration
+		var counters warehouse.CacheCounters
+		for i := 0; i < repeats; i++ {
+			w.ResetCache()
+			start := time.Now()
+			if workers == 0 {
+				for _, q := range queries {
+					e.DeepProvenance(q.RunID, q.View, q.Data)
+				}
+			} else {
+				e.ServeConcurrently(ctx, queries, workers)
+			}
+			total += time.Since(start)
+			counters = w.CacheCounters()
+		}
+		return total / time.Duration(repeats), counters
+	}
+
+	seq, seqC := run(0)
+	qps := func(d time.Duration) float64 {
+		if d <= 0 {
+			return 0
+		}
+		return float64(len(queries)) / d.Seconds()
+	}
+	rep.Append("sequential", len(queries), ms(seq), qps(seq), "1.00x", seqC.Computes)
+	for _, workers := range []int{1, 4, 16} {
+		d, c := run(workers)
+		rep.Append(fmt.Sprintf("pool, %d workers", workers), len(queries),
+			ms(d), qps(d), ratio(seq, d), c.Computes)
+	}
+
+	// Thundering herd: 32 copies of the same expensive query against a cold
+	// cache. Without singleflight this costs 32 closure builds; with it,
+	// exactly one, and the other 31 report as shared waits.
+	herd := make([]provenance.Query, 32)
+	for i := range herd {
+		herd[i] = queries[0]
+	}
+	w.ResetCache()
+	start := time.Now()
+	e.ServeConcurrently(ctx, herd, len(herd))
+	herdTime := time.Since(start)
+	hc := w.CacheCounters()
+	rep.Append("herd, 32x same query", len(herd), ms(herdTime), qps(herdTime),
+		"-", fmt.Sprintf("%d (%d hits, %d shared waits)", hc.Computes, hc.Hits, hc.SharedWaits))
+
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("GOMAXPROCS=%d, NumCPU=%d; pool speedup needs real cores — on a", runtime.GOMAXPROCS(0), runtime.NumCPU()),
+		"single-CPU host expect ~1x throughput but identical results and counters;",
+		"the herd row is hardware-independent: singleflight guarantees one closure",
+		"compute per distinct (run, data) key regardless of concurrency.")
+	return rep
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestConcurrentServingShape checks the machine-independent claims of the
+// C1 experiment: every configuration answers the same batch, closure
+// computes equal the number of distinct (run, data) keys at every worker
+// count (the pool never duplicates work the cache can share), and the
+// thundering-herd row collapses 32 identical cold queries into exactly one
+// compute with 31 shared waits.
+func TestConcurrentServingShape(t *testing.T) {
+	o := Default()
+	o.RunsPerKind = 2
+	o.Trials = 1
+	rep := ExpConcurrent(o)
+	if rep.ID != "C1" || len(rep.Rows) != 5 {
+		t.Fatalf("unexpected report shape: id=%s rows=%d", rep.ID, len(rep.Rows))
+	}
+	seqComputes, ok := rep.Cell("sequential", "closure computes")
+	if !ok {
+		t.Fatal("no sequential row")
+	}
+	for _, cfg := range []string{"pool, 1 workers", "pool, 4 workers", "pool, 16 workers"} {
+		c, ok := rep.Cell(cfg, "closure computes")
+		if !ok {
+			t.Fatalf("missing row %q", cfg)
+		}
+		if c != seqComputes {
+			t.Fatalf("%s computed %s closures, sequential computed %s — pool duplicated work",
+				cfg, c, seqComputes)
+		}
+	}
+	herd, ok := rep.Cell("herd, 32x same query", "closure computes")
+	if !ok {
+		t.Fatal("no herd row")
+	}
+	// The other 31 queries are served from the in-flight computation (shared
+	// waits) or, if the leader already finished, from the cache (hits); the
+	// split is timing-dependent but the single compute is not.
+	var computes, hits, shared int
+	if _, err := fmt.Sscanf(herd, "%d (%d hits, %d shared waits)", &computes, &hits, &shared); err != nil {
+		t.Fatalf("unparseable herd cell %q: %v", herd, err)
+	}
+	if computes != 1 || hits+shared != 31 {
+		t.Fatalf("herd row %q: want exactly 1 compute and 31 hits+shared waits", herd)
+	}
+}
+
+// TestConcurrentServingSpeedup asserts the >= 2x throughput gain at 4
+// workers that motivates the pool. Parallel speedup needs parallel
+// hardware, so the assertion only runs on hosts with at least 4 CPUs;
+// elsewhere the shape test above still pins the correctness claims.
+func TestConcurrentServingSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for a meaningful speedup assertion, have %d", runtime.NumCPU())
+	}
+	o := Default()
+	o.RunsPerKind = 3
+	o.Trials = 3
+	rep := ExpConcurrent(o)
+	cell, ok := rep.Cell("pool, 4 workers", "speedup")
+	if !ok {
+		t.Fatal("no 4-worker row")
+	}
+	speedup, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+	if err != nil {
+		t.Fatalf("unparseable speedup %q: %v", cell, err)
+	}
+	if speedup < 2.0 {
+		t.Fatalf("4-worker speedup %.2fx < 2x", speedup)
+	}
+}

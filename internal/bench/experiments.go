@@ -477,5 +477,6 @@ func RunAll(o Options) []*Report {
 		ExpFig11(o),
 		ExpMinimumGap(o),
 		ExpAblation(o),
+		ExpConcurrent(o),
 	}
 }

@@ -1,0 +1,98 @@
+// Batch query serving: the engine's concurrent face. The paper's
+// prototype answers one query at a time for one interactive user; a
+// provenance warehouse serving many users sees the opposite shape — bursts
+// of deep-provenance queries over the same few runs. ServeConcurrently is
+// the bounded worker pool for that workload, and DeepProvenanceBatch the
+// common special case (one run, one view, many data objects). Both lean on
+// the warehouse's sharded singleflight cache: concurrent queries that need
+// the same UAdmin closure compute it once and share it.
+package provenance
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Query is one deep-provenance request: (run, view, data).
+type Query struct {
+	RunID string
+	View  *core.UserView
+	Data  string
+}
+
+// QueryResult pairs a Query with its outcome. Exactly one of Result and
+// Err is set, except for queries skipped after context cancellation, which
+// carry the context's error.
+type QueryResult struct {
+	Index  int
+	Query  Query
+	Result *Result
+	Err    error
+}
+
+// ServeConcurrently answers many provenance queries with a bounded worker
+// pool. workers <= 0 selects GOMAXPROCS; the pool never exceeds
+// len(queries). Results are returned in query order. When ctx is
+// cancelled, queries not yet started are completed immediately with
+// ctx.Err() while in-flight ones finish normally, so the returned slice
+// always has one entry per query.
+func (e *Engine) ServeConcurrently(ctx context.Context, queries []Query, workers int) []QueryResult {
+	out := make([]QueryResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				q := queries[idx]
+				if err := ctx.Err(); err != nil {
+					out[idx] = QueryResult{Index: idx, Query: q, Err: err}
+					continue
+				}
+				res, err := e.DeepProvenance(q.RunID, q.View, q.Data)
+				out[idx] = QueryResult{Index: idx, Query: q, Result: res, Err: err}
+			}
+		}()
+	}
+	for idx := range queries {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// DeepProvenanceBatch answers the deep provenance of many data objects of
+// one run under one view, in parallel, returning results in dataIDs order.
+// It is exactly equivalent to calling DeepProvenance sequentially for each
+// id (a property the tests pin); the first failing query aborts the batch
+// with its error. workers <= 0 selects GOMAXPROCS.
+func (e *Engine) DeepProvenanceBatch(ctx context.Context, runID string, v *core.UserView, dataIDs []string, workers int) ([]*Result, error) {
+	queries := make([]Query, len(dataIDs))
+	for i, d := range dataIDs {
+		queries[i] = Query{RunID: runID, View: v, Data: d}
+	}
+	answered := e.ServeConcurrently(ctx, queries, workers)
+	out := make([]*Result, len(answered))
+	for i, qr := range answered {
+		if qr.Err != nil {
+			return nil, fmt.Errorf("batch query %d (%s): %w", i, dataIDs[i], qr.Err)
+		}
+		out[i] = qr.Result
+	}
+	return out, nil
+}

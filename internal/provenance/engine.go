@@ -28,11 +28,21 @@ import (
 var ErrForeignView = errors.New("provenance: view does not match run's specification")
 
 // Engine evaluates provenance queries against a warehouse.
+//
+// Thread-safety contract: every exported method is safe for concurrent
+// use by multiple goroutines. The engine itself holds only the memoized
+// view→composite-execution mappings, each built at most once per
+// (run, view) key via a sync.Once so concurrent first queries on the same
+// view never duplicate the Build; returned Mappings and Results are
+// treated as immutable after construction and may be shared freely. The
+// expensive UAdmin closures live in the warehouse's sharded singleflight
+// cache, so concurrent queries over the same run contend only briefly on
+// a shard lock, never on the traversal itself.
 type Engine struct {
 	w *warehouse.Warehouse
 
 	mu       sync.Mutex
-	mappings map[mappingKey]*composite.Mapping
+	mappings map[mappingKey]*mappingEntry
 }
 
 type mappingKey struct {
@@ -40,9 +50,18 @@ type mappingKey struct {
 	view  *core.UserView
 }
 
+// mappingEntry memoizes one Build outcome. The Once ensures the mapping
+// is computed exactly once even when many goroutines miss concurrently —
+// the engine-level analogue of the warehouse's singleflight.
+type mappingEntry struct {
+	once sync.Once
+	m    *composite.Mapping
+	err  error
+}
+
 // NewEngine returns an engine over the given warehouse.
 func NewEngine(w *warehouse.Warehouse) *Engine {
-	return &Engine{w: w, mappings: make(map[mappingKey]*composite.Mapping)}
+	return &Engine{w: w, mappings: make(map[mappingKey]*mappingEntry)}
 }
 
 // Warehouse returns the underlying warehouse.
@@ -50,23 +69,18 @@ func (e *Engine) Warehouse() *warehouse.Warehouse { return e.w }
 
 // mapping returns the (cached) composite-execution mapping of a run under a
 // view. Mappings depend only on (run, view), not on the queried data, so
-// they are shared across queries.
+// they are shared across queries and built exactly once per key.
 func (e *Engine) mapping(r *run.Run, v *core.UserView) (*composite.Mapping, error) {
 	key := mappingKey{runID: r.ID(), view: v}
 	e.mu.Lock()
-	m, ok := e.mappings[key]
-	e.mu.Unlock()
-	if ok {
-		return m, nil
+	ent := e.mappings[key]
+	if ent == nil {
+		ent = &mappingEntry{}
+		e.mappings[key] = ent
 	}
-	m, err := composite.Build(r, v)
-	if err != nil {
-		return nil, err
-	}
-	e.mu.Lock()
-	e.mappings[key] = m
 	e.mu.Unlock()
-	return m, nil
+	ent.once.Do(func() { ent.m, ent.err = composite.Build(r, v) })
+	return ent.m, ent.err
 }
 
 // Edge is a dataflow edge of a provenance result graph.

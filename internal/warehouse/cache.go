@@ -9,17 +9,39 @@ import (
 // closureCache is the equivalent of the paper's temporary table: "when a
 // query is executed on a given workflow run, the UAdmin provenance
 // information is stored in a temporary table, and does not need to be
-// recomputed when switching the user view on the same workflow run". It is
-// a plain LRU keyed by (run id, data id) with hit/miss counters so the
-// view-switch experiment can verify the warm path is taken.
+// recomputed when switching the user view on the same workflow run".
+//
+// The cache is built for concurrent serving:
+//
+//   - Entries live in lock-striped LRU shards keyed by a hash of
+//     (run id, data id), so goroutines querying different keys rarely
+//     contend on the same mutex. Small capacities collapse to a single
+//     shard, preserving exact global LRU order for tiny caches.
+//   - Misses go through a per-key singleflight: the first goroutine to
+//     miss becomes the leader and computes the closure once; concurrent
+//     misses on the same key wait for the leader's result instead of
+//     duplicating the ConnectBy traversal (no thundering herd).
+//   - Every run has a generation number. Invalidate, dropRun and reset
+//     bump it, and a leader only stores its result if the generation is
+//     unchanged since it started computing — a closure computed from
+//     dropped or invalidated state is delivered to its waiters but never
+//     cached.
+//
+// Counters are atomic and globally aggregated across shards; the invariant
+// hits + misses + sharedWaits == number of getOrCompute calls holds at any
+// quiescent point, and computes == misses (every miss leads a flight).
 type closureCache struct {
-	mu    sync.Mutex
-	cap   int
-	items map[cacheKey]*list.Element
-	order *list.List // front = most recently used
+	shards []*cacheShard
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits          atomic.Int64
+	misses        atomic.Int64
+	sharedWaits   atomic.Int64
+	computes      atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+
+	genMu sync.Mutex
+	gens  map[string]uint64 // run id -> generation
 }
 
 type cacheKey struct {
@@ -31,65 +53,241 @@ type cacheEntry struct {
 	c   *Closure
 }
 
+// cacheShard is one lock stripe: an LRU list plus the in-flight table for
+// the singleflight protocol.
+type cacheShard struct {
+	mu       sync.Mutex
+	cap      int
+	items    map[cacheKey]*list.Element
+	order    *list.List // front = most recently used
+	inflight map[cacheKey]*flight
+}
+
+// flight is one in-progress closure computation. done is closed by the
+// leader after c/err are set; waiters must not read them before that.
+type flight struct {
+	done chan struct{}
+	c    *Closure
+	err  error
+}
+
+// shardsFor picks the stripe count: one shard per 64 cached closures,
+// capped at 16. Tiny caches (like the eviction tests' capacity-2 cache)
+// stay single-sharded so global LRU order is exact.
+func shardsFor(capacity int) int {
+	n := capacity / 64
+	if n < 1 {
+		return 1
+	}
+	if n > 16 {
+		return 16
+	}
+	return n
+}
+
 func newClosureCache(capacity int) *closureCache {
-	return &closureCache{
-		cap:   capacity,
-		items: make(map[cacheKey]*list.Element),
-		order: list.New(),
+	n := shardsFor(capacity)
+	perShard := (capacity + n - 1) / n
+	cc := &closureCache{
+		shards: make([]*cacheShard, n),
+		gens:   make(map[string]uint64),
 	}
+	for i := range cc.shards {
+		cc.shards[i] = &cacheShard{
+			cap:      perShard,
+			items:    make(map[cacheKey]*list.Element),
+			order:    list.New(),
+			inflight: make(map[cacheKey]*flight),
+		}
+	}
+	return cc
 }
 
-func (cc *closureCache) get(runID, d string) (*Closure, bool) {
-	cc.mu.Lock()
-	defer cc.mu.Unlock()
-	el, ok := cc.items[cacheKey{runID, d}]
+// shard hashes a key to its stripe (FNV-1a over run, a separator, data).
+func (cc *closureCache) shard(key cacheKey) *cacheShard {
+	if len(cc.shards) == 1 {
+		return cc.shards[0]
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key.run); i++ {
+		h = (h ^ uint64(key.run[i])) * prime64
+	}
+	h = (h ^ 0xff) * prime64
+	for i := 0; i < len(key.data); i++ {
+		h = (h ^ uint64(key.data[i])) * prime64
+	}
+	return cc.shards[h%uint64(len(cc.shards))]
+}
+
+// generation returns the current generation of a run, registering the run
+// in the generation table so later bumps (reset, drop, invalidate) are
+// visible to an in-flight leader that read the generation first.
+func (cc *closureCache) generation(runID string) uint64 {
+	cc.genMu.Lock()
+	defer cc.genMu.Unlock()
+	g, ok := cc.gens[runID]
 	if !ok {
-		cc.misses.Add(1)
-		return nil, false
+		cc.gens[runID] = 0
 	}
-	cc.order.MoveToFront(el)
-	cc.hits.Add(1)
-	return el.Value.(*cacheEntry).c.clone(), true
+	return g
 }
 
-func (cc *closureCache) put(runID, d string, c *Closure) {
-	cc.mu.Lock()
-	defer cc.mu.Unlock()
-	key := cacheKey{runID, d}
-	if el, ok := cc.items[key]; ok {
+// bumpRun advances a run's generation so in-flight computations started
+// before the bump cannot populate the cache.
+func (cc *closureCache) bumpRun(runID string) {
+	cc.genMu.Lock()
+	cc.gens[runID]++
+	cc.genMu.Unlock()
+}
+
+// bumpAll advances every registered run's generation (reset).
+func (cc *closureCache) bumpAll() {
+	cc.genMu.Lock()
+	for id := range cc.gens {
+		cc.gens[id]++
+	}
+	cc.genMu.Unlock()
+}
+
+// insertLocked adds or refreshes an entry and evicts from the back while
+// over capacity. Callers hold sh.mu.
+func (sh *cacheShard) insertLocked(key cacheKey, c *Closure, cc *closureCache) {
+	if el, ok := sh.items[key]; ok {
 		el.Value.(*cacheEntry).c = c
-		cc.order.MoveToFront(el)
+		sh.order.MoveToFront(el)
 		return
 	}
-	cc.items[key] = cc.order.PushFront(&cacheEntry{key: key, c: c})
-	for len(cc.items) > cc.cap {
-		back := cc.order.Back()
-		cc.order.Remove(back)
-		delete(cc.items, back.Value.(*cacheEntry).key)
+	sh.items[key] = sh.order.PushFront(&cacheEntry{key: key, c: c})
+	for len(sh.items) > sh.cap {
+		back := sh.order.Back()
+		sh.order.Remove(back)
+		delete(sh.items, back.Value.(*cacheEntry).key)
+		cc.evictions.Add(1)
 	}
+}
+
+// getOrCompute returns the cached closure for (runID, d), or computes it
+// exactly once per generation under concurrent misses: the first miss
+// leads the flight and runs compute without holding any shard lock; every
+// concurrent miss on the same key blocks on the flight and shares the
+// result. Errors are delivered to all waiters and never cached.
+func (cc *closureCache) getOrCompute(runID, d string, compute func() (*Closure, error)) (*Closure, error) {
+	key := cacheKey{runID, d}
+	sh := cc.shard(key)
+	sh.mu.Lock()
+	if el, ok := sh.items[key]; ok {
+		sh.order.MoveToFront(el)
+		c := el.Value.(*cacheEntry).c
+		sh.mu.Unlock()
+		cc.hits.Add(1)
+		return c.clone(), nil
+	}
+	if fl, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
+		cc.sharedWaits.Add(1)
+		<-fl.done
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		return fl.c.clone(), nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	sh.inflight[key] = fl
+	sh.mu.Unlock()
+
+	cc.misses.Add(1)
+	gen := cc.generation(runID)
+	cc.computes.Add(1)
+	c, err := compute()
+
+	sh.mu.Lock()
+	delete(sh.inflight, key)
+	if err == nil && cc.generation(runID) == gen {
+		sh.insertLocked(key, c, cc)
+	}
+	sh.mu.Unlock()
+	fl.c, fl.err = c, err
+	close(fl.done)
+	if err != nil {
+		return nil, err
+	}
+	return c.clone(), nil
 }
 
 func (cc *closureCache) stats() (hits, misses int64) {
 	return cc.hits.Load(), cc.misses.Load()
 }
 
+// counters snapshots every cache counter.
+func (cc *closureCache) counters() CacheCounters {
+	return CacheCounters{
+		Hits:          cc.hits.Load(),
+		Misses:        cc.misses.Load(),
+		SharedWaits:   cc.sharedWaits.Load(),
+		Computes:      cc.computes.Load(),
+		Evictions:     cc.evictions.Load(),
+		Invalidations: cc.invalidations.Load(),
+	}
+}
+
+// len returns the number of cached entries across all shards.
+func (cc *closureCache) len() int {
+	n := 0
+	for _, sh := range cc.shards {
+		sh.mu.Lock()
+		n += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// invalidate evicts one key and bumps the run's generation so an in-flight
+// computation of any key of that run cannot re-populate the cache with a
+// result from before the invalidation.
+func (cc *closureCache) invalidate(runID, d string) {
+	cc.bumpRun(runID)
+	key := cacheKey{runID, d}
+	sh := cc.shard(key)
+	sh.mu.Lock()
+	if el, ok := sh.items[key]; ok {
+		sh.order.Remove(el)
+		delete(sh.items, key)
+	}
+	sh.mu.Unlock()
+	cc.invalidations.Add(1)
+}
+
 // dropRun evicts every cached closure belonging to one run.
 func (cc *closureCache) dropRun(runID string) {
-	cc.mu.Lock()
-	defer cc.mu.Unlock()
-	for key, el := range cc.items {
-		if key.run == runID {
-			cc.order.Remove(el)
-			delete(cc.items, key)
+	cc.bumpRun(runID)
+	for _, sh := range cc.shards {
+		sh.mu.Lock()
+		for key, el := range sh.items {
+			if key.run == runID {
+				sh.order.Remove(el)
+				delete(sh.items, key)
+			}
 		}
+		sh.mu.Unlock()
 	}
 }
 
 func (cc *closureCache) reset() {
-	cc.mu.Lock()
-	defer cc.mu.Unlock()
-	cc.items = make(map[cacheKey]*list.Element)
-	cc.order.Init()
+	cc.bumpAll()
+	for _, sh := range cc.shards {
+		sh.mu.Lock()
+		sh.items = make(map[cacheKey]*list.Element)
+		sh.order.Init()
+		sh.mu.Unlock()
+	}
 	cc.hits.Store(0)
 	cc.misses.Store(0)
+	cc.sharedWaits.Store(0)
+	cc.computes.Store(0)
+	cc.evictions.Store(0)
+	cc.invalidations.Store(0)
 }

@@ -69,20 +69,27 @@ func (c *Closure) Size() int { return len(c.Steps) + len(c.Data) }
 // the given run: all steps and data objects transitively used to produce
 // it. Results are cached per (run, data) — the paper's temporary table —
 // so that switching user views re-reads the closure instead of recomputing
-// it.
+// it. Concurrent misses on the same (run, data) key are coalesced by the
+// cache's singleflight: the closure is computed once and shared, so a
+// thundering herd of identical cold queries costs one ConnectBy traversal.
 func (w *Warehouse) DeepProvenance(runID, d string) (*Closure, error) {
-	if c, ok := w.cache.get(runID, d); ok {
-		return c, nil
-	}
+	return w.cache.getOrCompute(runID, d, func() (*Closure, error) {
+		return w.computeUAdminClosure(runID, d)
+	})
+}
+
+// computeUAdminClosure is the uncached closure computation (the recursive
+// CONNECT BY query). It holds the warehouse read lock for the traversal,
+// never any cache shard lock.
+func (w *Warehouse) computeUAdminClosure(runID, d string) (*Closure, error) {
 	w.mu.RLock()
+	defer w.mu.RUnlock()
 	rt, ok := w.runs[runID]
 	if !ok {
-		w.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %q", ErrUnknownRun, runID)
 	}
 	r := rt.run
 	if !r.HasData(d) {
-		w.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %q in run %q", ErrUnknownData, d, runID)
 	}
 	c := &Closure{Root: d, Steps: make(map[string]bool), Data: map[string]bool{d: true}}
@@ -104,9 +111,7 @@ func (w *Warehouse) DeepProvenance(runID, d string) (*Closure, error) {
 		}
 		return out
 	})
-	w.mu.RUnlock()
-	w.cache.put(runID, d, c)
-	return c.clone(), nil
+	return c, nil
 }
 
 // DeepDerivation is the inverse canned query the prototype section

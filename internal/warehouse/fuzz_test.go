@@ -1,0 +1,81 @@
+package warehouse
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fuzzNode maps a byte into a 12-node universe, mirroring the edgeList
+// encoding of the graph package's quick tests.
+func fuzzNode(b byte) string { return string(rune('a' + int(b)%12)) }
+
+// FuzzConnectBy feeds ConnectBy random parent functions (encoded as byte
+// pairs over a small node universe, plus two start nodes) and checks the
+// recursive operator's contract: the closure is deterministic,
+// duplicate-free, complete under the parent function, and returned in
+// exact BFS order with the start keys as a stable prefix.
+func FuzzConnectBy(f *testing.F) {
+	f.Add([]byte{0x01, 0x12, 0x23, 0x30}, byte(0), byte(1))
+	f.Add([]byte{}, byte(3), byte(3))
+	f.Add([]byte{0x00, 0x00, 0x01, 0x10}, byte(0), byte(2)) // self-loop + 2-cycle
+	f.Add([]byte{0x0b, 0xb0, 0x55}, byte(11), byte(5))
+	f.Fuzz(func(t *testing.T, edges []byte, s1, s2 byte) {
+		parents := make(map[string][]string)
+		for i := 0; i+1 < len(edges); i += 2 {
+			from, to := fuzzNode(edges[i]), fuzzNode(edges[i+1])
+			parents[from] = append(parents[from], to)
+		}
+		pf := func(k string) []string { return parents[k] }
+		start := []string{fuzzNode(s1), fuzzNode(s2)}
+
+		got := ConnectBy(start, pf)
+
+		// Deterministic: a second run returns the identical order.
+		if again := ConnectBy(start, pf); !reflect.DeepEqual(got, again) {
+			t.Fatalf("non-deterministic: %v then %v", got, again)
+		}
+		// Duplicate-free.
+		seen := make(map[string]bool, len(got))
+		for _, k := range got {
+			if seen[k] {
+				t.Fatalf("duplicate %q in %v", k, got)
+			}
+			seen[k] = true
+		}
+		// Complete and sound: closed under parents, and every key reachable.
+		for _, k := range got {
+			for _, p := range parents[k] {
+				if !seen[p] {
+					t.Fatalf("closure not closed: %s -> %s missing from %v", k, p, got)
+				}
+			}
+		}
+		// Exact BFS order, start keys (deduplicated) first: replay a
+		// reference queue and demand identical output.
+		var ref []string
+		refSeen := make(map[string]bool)
+		for _, s := range start {
+			if !refSeen[s] {
+				refSeen[s] = true
+				ref = append(ref, s)
+			}
+		}
+		for i := 0; i < len(ref); i++ {
+			for _, p := range pf(ref[i]) {
+				if !refSeen[p] {
+					refSeen[p] = true
+					ref = append(ref, p)
+				}
+			}
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("not BFS order: got %v, want %v", got, ref)
+		}
+		// BFS-prefix stability: truncating the frontier exploration to any
+		// prefix of the start set yields a prefix-consistent order — the
+		// first start key is always first.
+		if len(got) == 0 || got[0] != start[0] {
+			t.Fatalf("start key not first: %v", got)
+		}
+	})
+}

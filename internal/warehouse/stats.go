@@ -9,7 +9,9 @@ import (
 )
 
 // Stats summarizes the warehouse contents — the row counts a database
-// administrator would read off the catalog.
+// administrator would read off the catalog. The cache fields are atomic
+// snapshots; under concurrent traffic they are each exact, though the set
+// is not one instantaneous cut.
 type Stats struct {
 	Specs       int
 	Views       int
@@ -19,6 +21,26 @@ type Stats struct {
 	DataObjects int
 	CacheHits   int64
 	CacheMisses int64
+	Cache       CacheCounters
+}
+
+// CacheCounters are the closure cache's global counters. All of them are
+// maintained with atomic adds (never plain increments), so reading them
+// during a 32-goroutine stress run is race-free; at any quiescent point
+// Hits + Misses + SharedWaits equals the number of closure lookups and
+// Computes equals Misses (every miss leads exactly one singleflight).
+type CacheCounters struct {
+	// Hits and Misses count lookups served from / absent from the shards.
+	Hits, Misses int64
+	// SharedWaits counts lookups that piggy-backed on another goroutine's
+	// in-flight computation instead of recomputing (the singleflight win).
+	SharedWaits int64
+	// Computes counts closure computations actually executed.
+	Computes int64
+	// Evictions counts LRU evictions across all shards.
+	Evictions int64
+	// Invalidations counts explicit single-key invalidations.
+	Invalidations int64
 }
 
 // Stats computes the current warehouse statistics.
@@ -36,7 +58,8 @@ func (w *Warehouse) Stats() Stats {
 		st.FlowEdges += rt.run.NumEdges()
 		st.DataObjects += rt.run.NumData()
 	}
-	st.CacheHits, st.CacheMisses = w.cache.stats()
+	st.Cache = w.cache.counters()
+	st.CacheHits, st.CacheMisses = st.Cache.Hits, st.Cache.Misses
 	return st
 }
 

@@ -8,8 +8,11 @@
 // user views on an already-queried run nearly free (the paper measures
 // ~13 ms for a switch versus up to seconds for the first query).
 //
-// The warehouse is safe for concurrent use: loads take the write lock,
-// queries the read lock.
+// The warehouse is a concurrent query-serving layer. Loads take the write
+// lock, queries the read lock, and the closure cache is sharded into
+// lock-striped LRU stripes with a per-key singleflight so many goroutines
+// can answer deep-provenance queries at once without duplicating work (see
+// cache.go for the full protocol).
 package warehouse
 
 import (
@@ -34,6 +37,17 @@ var (
 )
 
 // Warehouse holds the provenance tables.
+//
+// Thread-safety contract: every exported method is safe for concurrent
+// use by multiple goroutines. Catalog state (specs, views, runs) is
+// guarded by mu; runs are immutable once loaded, so queries may retain
+// *run.Run pointers after releasing the lock. Closure queries
+// (DeepProvenance) additionally go through the sharded closure cache,
+// whose counters are atomic and whose misses are coalesced per key by a
+// singleflight. Mutators that remove state (DropRun, Invalidate,
+// ResetCache) bump the affected runs' cache generations so concurrent
+// in-flight computations can never re-populate the cache with stale
+// results.
 type Warehouse struct {
 	mu sync.RWMutex
 
@@ -228,6 +242,25 @@ func (w *Warehouse) NumRuns() int {
 // experiment.
 func (w *Warehouse) CacheStats() (hits, misses int64) {
 	return w.cache.stats()
+}
+
+// CacheCounters snapshots every closure-cache counter, including the
+// singleflight and eviction counters the concurrency experiments report.
+func (w *Warehouse) CacheCounters() CacheCounters {
+	return w.cache.counters()
+}
+
+// CacheLen returns the number of closures currently cached (always bounded
+// by the capacity passed to New).
+func (w *Warehouse) CacheLen() int {
+	return w.cache.len()
+}
+
+// Invalidate evicts the cached closure of one (run, data) key and bumps
+// the run's cache generation, forcing the next query to recompute even if
+// a computation for that run is in flight right now.
+func (w *Warehouse) Invalidate(runID, d string) {
+	w.cache.invalidate(runID, d)
 }
 
 // ResetCache drops all cached closures (used by benchmarks to separate the

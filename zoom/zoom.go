@@ -16,6 +16,7 @@
 package zoom
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/bench"
@@ -54,6 +55,14 @@ type (
 	Execution = composite.Execution
 	// Result is a provenance query answer under a view.
 	Result = provenance.Result
+	// Query is one (run, view, data) deep-provenance request for the
+	// concurrent serving API.
+	Query = provenance.Query
+	// QueryResult pairs a Query with its outcome.
+	QueryResult = provenance.QueryResult
+	// CacheCounters are the closure cache's hit/miss/singleflight/eviction
+	// counters.
+	CacheCounters = warehouse.CacheCounters
 	// Generator produces synthetic workloads (Section V.A).
 	Generator = gen.Generator
 	// WorkflowClass is a Table I workflow profile.
@@ -238,6 +247,22 @@ func (s *System) DeepProvenance(runID string, v *UserView, d string) (*Result, e
 	return s.e.DeepProvenance(runID, v, d)
 }
 
+// DeepProvenanceBatch answers the deep provenance of many data objects of
+// one run under one view in parallel with a bounded worker pool
+// (workers <= 0 selects GOMAXPROCS). Results come back in dataIDs order
+// and are identical to sequential DeepProvenance calls; concurrent misses
+// on the same cached closure are computed once (singleflight).
+func (s *System) DeepProvenanceBatch(ctx context.Context, runID string, v *UserView, dataIDs []string, workers int) ([]*Result, error) {
+	return s.e.DeepProvenanceBatch(ctx, runID, v, dataIDs, workers)
+}
+
+// ServeConcurrently answers an arbitrary mix of (run, view, data) queries
+// with a bounded worker pool and context cancellation — the multi-user
+// serving path.
+func (s *System) ServeConcurrently(ctx context.Context, queries []Query, workers int) []QueryResult {
+	return s.e.ServeConcurrently(ctx, queries, workers)
+}
+
 // ImmediateProvenance returns the composite execution that produced d
 // under the view (nil for user/workflow input).
 func (s *System) ImmediateProvenance(runID string, v *UserView, d string) (*Execution, error) {
@@ -317,6 +342,14 @@ func QueryForms() []string { return query.Forms() }
 
 // CacheStats exposes the closure-cache hit/miss counters.
 func (s *System) CacheStats() (hits, misses int64) { return s.w.CacheStats() }
+
+// CacheCounters snapshots all closure-cache counters, including the
+// singleflight shared-wait and eviction counts.
+func (s *System) CacheCounters() CacheCounters { return s.w.CacheCounters() }
+
+// Invalidate evicts one cached (run, data) closure and fences out any
+// in-flight computation for that run from re-populating the cache.
+func (s *System) Invalidate(runID, d string) { s.w.Invalidate(runID, d) }
 
 // Stats summarizes the warehouse contents (catalog row counts).
 func (s *System) Stats() warehouse.Stats { return s.w.Stats() }
