@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke bench ci
+.PHONY: all build vet test race fuzz-smoke bench bench-smoke ci
 
 all: ci
 
@@ -31,4 +31,10 @@ fuzz-smoke:
 bench:
 	$(GO) run ./cmd/zoombench
 
-ci: vet build test race fuzz-smoke
+# One-iteration pass over the compact-index benchmarks (P1): catches
+# regressions that break the indexed fast path without paying full
+# benchmark time. Full numbers: `go test -bench Compact -benchmem .`
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Compact' -benchtime=1x -benchmem .
+
+ci: vet build test race fuzz-smoke bench-smoke

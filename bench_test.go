@@ -238,6 +238,130 @@ func BenchmarkFig11Granularity(b *testing.B) {
 	}
 }
 
+// newCompactSite is newFig10Site with the warehouse's compact index
+// switched on or off before the run is loaded — the two sides of the P1
+// comparison. The same seed yields the identical workflow and run, so the
+// legacy and indexed variants answer the same queries.
+func newCompactSite(b *testing.B, rc gen.RunClass, seed int64, indexed bool) *fig10Site {
+	b.Helper()
+	g := gen.NewGenerator(seed)
+	site := &fig10Site{}
+	site.s = g.Workflow(gen.Class4(), "p1")
+	var err error
+	site.r, _, err = g.Run(site.s, rc, "p1-run")
+	if err != nil {
+		b.Fatal(err)
+	}
+	site.w = warehouse.New(0)
+	site.w.SetCompactIndex(indexed)
+	if err := site.w.RegisterSpec(site.s); err != nil {
+		b.Fatal(err)
+	}
+	if err := site.w.LoadRun(site.r); err != nil {
+		b.Fatal(err)
+	}
+	site.e = provenance.NewEngine(site.w)
+	finals := site.r.FinalOutputs()
+	site.root = finals[len(finals)-1]
+	site.admin = core.UAdmin(site.s)
+	if site.bio, err = core.BuildRelevant(site.s, gen.UBioRelevant(site.s)); err != nil {
+		b.Fatal(err)
+	}
+	if site.bb, err = core.UBlackBox(site.s); err != nil {
+		b.Fatal(err)
+	}
+	return site
+}
+
+// compactModes are the two sides of the P1 experiment.
+var compactModes = []struct {
+	name    string
+	indexed bool
+}{{"legacy", false}, {"indexed", true}}
+
+// BenchmarkCompactColdQuery (P1) is the tentpole comparison: a cold deep
+// provenance query (UAdmin closure compute + projection, cache reset each
+// iteration) on the legacy string/map path versus the interned CSR/bitset
+// path, per Table II run class. Run with -benchmem: the alloc column is
+// the headline alongside ns/op.
+func BenchmarkCompactColdQuery(b *testing.B) {
+	kinds := gen.RunClasses()
+	kinds[2].MaxNodes = 3000
+	for _, rc := range kinds {
+		for _, mode := range compactModes {
+			b.Run(rc.Name+"/"+mode.name, func(b *testing.B) {
+				site := newCompactSite(b, rc, 21, mode.indexed)
+				// Warm mapping + projector; the loop then measures only the
+				// per-query path.
+				if _, err := site.e.DeepProvenance(site.r.ID(), site.bio, site.root); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					site.w.ResetCache()
+					if _, err := site.e.DeepProvenance(site.r.ID(), site.bio, site.root); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCompactViewSwitch (P1) measures the warm half: the closure is
+// cached and each iteration re-projects it under an alternating view — the
+// paper's interactive view switch — on both representations.
+func BenchmarkCompactViewSwitch(b *testing.B) {
+	kinds := gen.RunClasses()
+	kinds[2].MaxNodes = 3000
+	for _, rc := range kinds {
+		for _, mode := range compactModes {
+			b.Run(rc.Name+"/"+mode.name, func(b *testing.B) {
+				site := newCompactSite(b, rc, 22, mode.indexed)
+				if _, err := site.e.DeepProvenance(site.r.ID(), site.admin, site.root); err != nil {
+					b.Fatal(err)
+				}
+				views := []*core.UserView{site.bio, site.bb}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := site.e.DeepProvenance(site.r.ID(), views[i%2], site.root); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCompactDerivation (P1) covers the forward direction: cold deep
+// derivation of an external input, both representations.
+func BenchmarkCompactDerivation(b *testing.B) {
+	rc := gen.Medium()
+	for _, mode := range compactModes {
+		b.Run(mode.name, func(b *testing.B) {
+			site := newCompactSite(b, rc, 23, mode.indexed)
+			ins := site.r.ExternalInputs()
+			if len(ins) == 0 {
+				b.Skip("run has no external inputs")
+			}
+			d := ins[0]
+			if _, err := site.e.DeepDerivation(site.r.ID(), site.bio, d); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				site.w.ResetCache()
+				if _, err := site.e.DeepDerivation(site.r.ID(), site.bio, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationNRPath (A1) compares the memoized nr-path fronts the
 // Analysis precomputes against answering each rpred/rsucc membership with
 // a fresh filtered BFS — the naive alternative the O(|N|²+|E|) bound of
@@ -329,7 +453,7 @@ func BenchmarkHarnessEndToEnd(b *testing.B) {
 	o.MaxSpecNodes = 200
 	o.LargeRunCap = 500
 	for i := 0; i < b.N; i++ {
-		if got := bench.RunAll(o); len(got) != 10 {
+		if got := bench.RunAll(o); len(got) != 12 {
 			b.Fatal("missing reports")
 		}
 	}

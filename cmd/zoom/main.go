@@ -320,6 +320,7 @@ func cmdQuery(args []string) error {
 	parallel := fs.Int("parallel", 1, "worker goroutines for a multi-data deep batch (0 = GOMAXPROCS)")
 	asDot := fs.Bool("dot", false, "emit Graphviz DOT of the provenance graph")
 	asProv := fs.Bool("prov", false, "emit W3C PROV-JSON (deep mode only)")
+	stats := fs.Bool("stats", false, "print warehouse statistics (catalog, cache, compact index) after answering")
 	_ = fs.Parse(args)
 	if *whPath == "" || *runID == "" || *data == "" {
 		return fmt.Errorf("query: -warehouse, -run and -data are required")
@@ -369,6 +370,9 @@ func cmdQuery(args []string) error {
 		cs := sys.CacheCounters()
 		fmt.Printf("batch of %d answered with %d workers: closure cache %d hits / %d misses / %d shared\n",
 			len(ids), workers, cs.Hits, cs.Misses, cs.SharedWaits)
+		if *stats {
+			printStats(sys)
+		}
 		return nil
 	}
 	switch *mode {
@@ -410,7 +414,24 @@ func cmdQuery(args []string) error {
 	default:
 		return fmt.Errorf("query: unknown -mode %q", *mode)
 	}
+	if *stats {
+		printStats(sys)
+	}
 	return nil
+}
+
+// printStats renders the warehouse statistics — catalog row counts, the
+// closure-cache counters, and the compact-index footprint (interned ids,
+// CSR bytes, closure bitset words).
+func printStats(sys *zoom.System) {
+	st := sys.Stats()
+	fmt.Println(st)
+	cc := sys.CacheCounters()
+	fmt.Printf("cache: hits=%d misses=%d shared=%d computes=%d evictions=%d invalidations=%d\n",
+		cc.Hits, cc.Misses, cc.SharedWaits, cc.Computes, cc.Evictions, cc.Invalidations)
+	fmt.Printf("index: runs=%d interned-steps=%d interned-data=%d csr=%dB closure-words=%d\n",
+		st.Index.IndexedRuns, st.Index.InternedSteps, st.Index.InternedData,
+		st.Index.CSRBytes, st.Index.ClosureWords)
 }
 
 func cmdRuns(args []string) error {

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/provenance"
+	"repro/internal/run"
+	"repro/internal/spec"
+	"repro/internal/warehouse"
+)
+
+// ExpCompact (P1) measures the compact-index query path against the legacy
+// string/map path on the Table II run classes: the same run is loaded into
+// two warehouses — one with the interned CSR index (the default), one with
+// SetCompactIndex(false) — and the cold deep-provenance query of the final
+// output (closure compute + projection, cache reset every repetition) is
+// timed and its heap allocations counted on both. The equivalence tests in
+// internal/provenance guarantee the two paths return identical results, so
+// the ratio columns are pure representation cost.
+func ExpCompact(o Options) *Report {
+	rep := &Report{
+		ID:    "P1",
+		Title: "Compact run index vs legacy string path (cold closure + projection)",
+		Headers: []string{"run kind", "steps", "data", "legacy ms", "indexed ms", "speedup",
+			"legacy allocs", "indexed allocs", "alloc ratio"},
+	}
+	g := gen.NewGenerator(o.Seed + 11)
+	for _, rc := range runClasses(o) {
+		// Class 4 (loops) drives the largest runs — the regime where the
+		// paper's response times reach seconds.
+		s := g.Workflow(gen.Class4(), "p1-"+rc.Name)
+		r, _, err := g.Run(s, rc, "p1-"+rc.Name+"-r")
+		if err != nil {
+			continue
+		}
+		reps := 20
+		if r.NumSteps() > 1000 {
+			reps = 5
+		}
+		legacyMS, legacyAllocs, err := measureColdQuery(s, r, false, reps)
+		if err != nil {
+			continue
+		}
+		indexedMS, indexedAllocs, err := measureColdQuery(s, r, true, reps)
+		if err != nil {
+			continue
+		}
+		speedup, allocRatio := "-", "-"
+		if indexedMS > 0 {
+			speedup = fmt.Sprintf("%.2fx", legacyMS/indexedMS)
+		}
+		if indexedAllocs > 0 {
+			allocRatio = fmt.Sprintf("%.2fx", float64(legacyAllocs)/float64(indexedAllocs))
+		}
+		rep.Append(rc.Name, r.NumSteps(), r.NumData(),
+			legacyMS, indexedMS, speedup, legacyAllocs, indexedAllocs, allocRatio)
+	}
+	rep.Notes = append(rep.Notes,
+		"same run, two warehouses; indexed = interned int32 CSR + bitset BFS + integer",
+		"projection, legacy = string BFS + map projection; every rep resets the closure",
+		"cache so each query pays the full compute-UAdmin-then-project cost.")
+	return rep
+}
+
+// measureColdQuery loads r into a fresh warehouse (indexed or legacy) and
+// returns the average wall-clock milliseconds and heap allocations of a
+// cold deep-provenance query of the last final output under the UBio view.
+func measureColdQuery(s *spec.Spec, r *run.Run, indexed bool, reps int) (avgMS float64, allocsPerOp uint64, err error) {
+	w := warehouse.New(0)
+	w.SetCompactIndex(indexed)
+	if err := w.RegisterSpec(s); err != nil {
+		return 0, 0, err
+	}
+	if err := w.LoadRun(r); err != nil {
+		return 0, 0, err
+	}
+	e := provenance.NewEngine(w)
+	bio, err := core.BuildRelevant(s, gen.UBioRelevant(s))
+	if err != nil {
+		return 0, 0, err
+	}
+	finals := r.FinalOutputs()
+	if len(finals) == 0 {
+		return 0, 0, fmt.Errorf("bench: run %q has no final outputs", r.ID())
+	}
+	root := finals[len(finals)-1]
+	// Warm the mapping and projector so the measurement isolates the
+	// per-query path (closure + projection), not one-time setup.
+	if _, err := e.DeepProvenance(r.ID(), bio, root); err != nil {
+		return 0, 0, err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		w.ResetCache()
+		if _, err := e.DeepProvenance(r.ID(), bio, root); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	avgMS = float64(elapsed.Microseconds()) / float64(reps) / 1000
+	allocsPerOp = (after.Mallocs - before.Mallocs) / uint64(reps)
+	return avgMS, allocsPerOp, nil
+}

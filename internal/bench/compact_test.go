@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+// TestCompactShape pins the P1 experiment's shape: one row per Table II
+// run class, and on the larger runs the indexed path must beat the legacy
+// path in both time and allocations (the small-run row is exempt from the
+// timing assertion — both paths finish in microseconds there and noise
+// dominates).
+func TestCompactShape(t *testing.T) {
+	rep := ExpCompact(testOptions())
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d\n%s", len(rep.Rows), rep)
+	}
+	for _, kind := range []string{"small", "medium", "large"} {
+		la := cellF(t, rep, kind, "legacy allocs")
+		ia := cellF(t, rep, kind, "indexed allocs")
+		if ia >= la {
+			t.Fatalf("%s: indexed allocs (%v) not below legacy (%v)\n%s", kind, ia, la, rep)
+		}
+	}
+	for _, kind := range []string{"medium", "large"} {
+		lm := cellF(t, rep, kind, "legacy ms")
+		im := cellF(t, rep, kind, "indexed ms")
+		if im >= lm {
+			t.Fatalf("%s: indexed path (%v ms) not faster than legacy (%v ms)\n%s", kind, im, lm, rep)
+		}
+	}
+}

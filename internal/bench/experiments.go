@@ -478,5 +478,6 @@ func RunAll(o Options) []*Report {
 		ExpMinimumGap(o),
 		ExpAblation(o),
 		ExpConcurrent(o),
+		ExpCompact(o),
 	}
 }

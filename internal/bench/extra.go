@@ -134,6 +134,11 @@ func ExpAblation(o Options) *Report {
 		panic(err)
 	}
 	w := warehouse.New(0)
+	// Measure the paper's strategy ablation on the legacy string path: with
+	// the compact index the cold closure recompute is nearly free and the
+	// cold/cached distinction drowns in noise. P1 (ExpCompact) measures
+	// indexed vs legacy directly.
+	w.SetCompactIndex(false)
 	if err := w.RegisterSpec(s4); err != nil {
 		panic(err)
 	}

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/run"
@@ -59,6 +60,14 @@ type Mapping struct {
 	execs  map[string]*Execution // id -> execution
 	ofStep map[string]string     // step id -> execution id
 	order  []string              // execution ids in topological order
+
+	// allSingleton is true when every execution is one step (id == step
+	// id) — always the case for UAdmin over loop-free composites — letting
+	// the projection skip its visibility bookkeeping.
+	allSingleton bool
+
+	projOnce sync.Once
+	proj     *Projector
 }
 
 // Build computes the composite executions of r under view v. Every module
@@ -116,11 +125,13 @@ func Build(r *run.Run, v *core.UserView) (*Mapping, error) {
 		return pos[protos[i].steps[0]] < pos[protos[j].steps[0]]
 	})
 	ordinal := make(map[string]int)
+	m.allSingleton = true
 	for _, p := range protos {
 		var id string
 		if len(p.steps) == 1 {
 			id = p.steps[0]
 		} else {
+			m.allSingleton = false
 			ordinal[p.comp]++
 			id = fmt.Sprintf("%s@%d", p.comp, ordinal[p.comp])
 		}
@@ -184,6 +195,11 @@ func (m *Mapping) Executions() []*Execution {
 
 // NumExecutions returns the number of composite executions.
 func (m *Mapping) NumExecutions() int { return len(m.execs) }
+
+// AllSingleton reports whether every execution consists of exactly one
+// step, i.e. execution ids coincide with step ids. UAdmin mappings are
+// all-singleton whenever no module self-loops.
+func (m *Mapping) AllSingleton() bool { return m.allSingleton }
 
 // ExecutionOf returns the execution id containing the given step.
 func (m *Mapping) ExecutionOf(step string) (string, bool) {
@@ -321,7 +337,9 @@ func splitNat(s string) (string, int) {
 	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
 		i--
 	}
-	if i == len(s) {
+	// No digit suffix, or one too long to fit an int without overflow
+	// (> 18 digits): fall back to plain string comparison.
+	if i == len(s) || len(s)-i > 18 {
 		return s, -1
 	}
 	n := 0

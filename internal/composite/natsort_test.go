@@ -1,0 +1,23 @@
+package composite
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSplitNatOverflow mirrors the provenance-side guard: suffixes longer
+// than 18 digits fall back to string comparison instead of overflowing.
+func TestSplitNatOverflow(t *testing.T) {
+	big := "d" + strings.Repeat("9", 25)
+	if prefix, n := splitNat(big); prefix != big || n != -1 {
+		t.Fatalf("splitNat(%q) = (%q, %d), want string fallback", big, prefix, n)
+	}
+	if lessNatural(big, "d2") {
+		t.Fatalf("%q sorted before d2: overflow wrapped negative", big)
+	}
+	xs := []string{big, "d10", "d2"}
+	sortNatural(xs)
+	if xs[0] != "d2" || xs[1] != "d10" || xs[2] != big {
+		t.Fatalf("sorted = %v", xs)
+	}
+}

@@ -53,7 +53,7 @@ func (e *Engine) InProvenance(runID, candidate, target string) (bool, error) {
 	if !r.HasData(candidate) {
 		return false, fmt.Errorf("%w: %q in run %q", warehouse.ErrUnknownData, candidate, runID)
 	}
-	return candidate != target && closure.Data[candidate], nil
+	return candidate != target && closure.HasData(candidate), nil
 }
 
 // CommonProvenance returns the data objects lying in the deep provenance
@@ -96,23 +96,24 @@ func (e *Engine) ExecutionProvenance(runID string, v *core.UserView, execID stri
 	}
 	// Union the closures of the execution's inputs; the per-(run, data)
 	// cache makes the repeats cheap.
-	merged := &warehouse.Closure{Root: execID, Steps: make(map[string]bool), Data: make(map[string]bool)}
+	mergedSteps := make(map[string]bool)
+	mergedData := make(map[string]bool)
 	for _, in := range ex.Inputs {
 		c, err := e.w.DeepProvenance(runID, in)
 		if err != nil {
 			return nil, err
 		}
-		for s := range c.Steps {
-			merged.Steps[s] = true
+		for s := range c.StepSet() {
+			mergedSteps[s] = true
 		}
-		for d := range c.Data {
-			merged.Data[d] = true
+		for d := range c.DataSet() {
+			mergedData[d] = true
 		}
 	}
 	for _, s := range ex.Steps {
-		merged.Steps[s] = true
+		mergedSteps[s] = true
 	}
-	res := project(m, merged)
+	res := project(m, warehouse.NewClosure(execID, mergedSteps, mergedData))
 	res.Root = execID
 	res.External = false
 	res.Metadata = nil

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/bitset"
 	"repro/internal/composite"
 	"repro/internal/core"
 	"repro/internal/run"
@@ -148,34 +149,97 @@ func (e *Engine) DeepProvenance(runID string, v *core.UserView, d string) (*Resu
 
 // project restricts a UAdmin closure to what a view shows: the composite
 // executions that intersect the closure, the data crossing their
-// boundaries, and the edges between them.
+// boundaries, and the edges between them. Bitset-backed closures take the
+// integer fast path (intersect interned-id sets against the mapping's
+// Projector, materialize strings only for the final Result); map-backed
+// closures — legacy warehouses and the merged closures ExecutionProvenance
+// assembles — take the string path. The equivalence property tests hold
+// the two paths element-for-element identical.
 func project(m *composite.Mapping, closure *warehouse.Closure) *Result {
+	if ix, stepBits, dataBits, ok := closure.Bits(); ok {
+		if px := m.Projector(); px.Index() == ix {
+			return projectIndexed(m, px, closure.Root, stepBits, dataBits)
+		}
+	}
+	return projectLegacy(m, closure)
+}
+
+// projectIndexed is the fast path: closure membership is a bit test, the
+// visible-execution set is a bitset over topological ordinals, and data
+// comes out naturally sorted for free because interned ids are natural
+// ranks.
+func projectIndexed(m *composite.Mapping, px *composite.Projector, root string, stepBits, dataBits bitset.Set) *Result {
+	ix := px.Index()
+	res := &Result{RunID: m.Run().ID(), Root: root, External: m.Run().IsExternal(root)}
+	if res.External {
+		res.Metadata = m.Run().InputMeta(root)
+	}
+	visible := bitset.New(px.NumExecutions())
+	stepBits.Each(func(s int32) { visible.Add(px.ExecOfStep(s)) })
+	outData := bitset.New(ix.NumData())
+	if rootID, ok := ix.DataID(root); ok {
+		outData.Add(rootID)
+	}
+	eb := borrowEdgeBuilder()
+	// Ascending ordinals are topological order, matching m.Executions().
+	visible.Each(func(ord int32) {
+		ex := px.Execution(ord)
+		res.Executions = append(res.Executions, ex)
+		for _, d := range px.InputsOf(ord) {
+			if !dataBits.Has(d) {
+				continue // input irrelevant to this derivation
+			}
+			outData.Add(d)
+			if src := px.ProducerExec(d); src < 0 {
+				eb.add(spec.Input, ex.ID, ix.DataName(d), d)
+			} else if visible.Has(src) {
+				eb.add(px.Execution(src).ID, ex.ID, ix.DataName(d), d)
+			}
+		}
+	})
+	res.Data = make([]string, 0, outData.Count())
+	outData.Each(func(d int32) { res.Data = append(res.Data, ix.DataName(d)) })
+	res.Edges = eb.build()
+	eb.release()
+	return res
+}
+
+// projectLegacy is the string/map path.
+func projectLegacy(m *composite.Mapping, closure *warehouse.Closure) *Result {
 	res := &Result{RunID: m.Run().ID(), Root: closure.Root, External: m.Run().IsExternal(closure.Root)}
 	if res.External {
 		res.Metadata = m.Run().InputMeta(closure.Root)
 	}
-	visible := make(map[string]bool)
+	// When every execution is a singleton (UAdmin without self-loops),
+	// execution ids are step ids and visibility is closure membership —
+	// no visible map needed.
+	allSingle := m.AllSingleton()
+	var visible map[string]bool
+	if !allSingle {
+		visible = make(map[string]bool)
+	}
 	for _, ex := range m.Executions() {
 		for _, s := range ex.Steps {
-			if closure.Steps[s] {
-				visible[ex.ID] = true
+			if closure.HasStep(s) {
+				if !allSingle {
+					visible[ex.ID] = true
+				}
 				res.Executions = append(res.Executions, ex)
 				break
 			}
 		}
 	}
-	dataSet := map[string]bool{closure.Root: true}
-	edgeAcc := make(map[[2]string]map[string]bool)
-	addEdge := func(from, to, d string) {
-		key := [2]string{from, to}
-		if edgeAcc[key] == nil {
-			edgeAcc[key] = make(map[string]bool)
+	isVisible := func(id string) bool {
+		if allSingle {
+			return closure.HasStep(id)
 		}
-		edgeAcc[key][d] = true
+		return visible[id]
 	}
+	dataSet := map[string]bool{closure.Root: true}
+	eb := borrowEdgeBuilder()
 	for _, ex := range res.Executions {
 		for _, d := range ex.Inputs {
-			if !closure.Data[d] {
+			if !closure.HasData(d) {
 				continue // input irrelevant to this derivation
 			}
 			dataSet[d] = true
@@ -183,8 +247,8 @@ func project(m *composite.Mapping, closure *warehouse.Closure) *Result {
 			if !ok {
 				src = spec.Input
 			}
-			if visible[src] || src == spec.Input {
-				addEdge(src, ex.ID, d)
+			if src == spec.Input || isVisible(src) {
+				eb.add(src, ex.ID, d, -1)
 			}
 		}
 	}
@@ -193,25 +257,75 @@ func project(m *composite.Mapping, closure *warehouse.Closure) *Result {
 		res.Data = append(res.Data, d)
 	}
 	sortNatural(res.Data)
-	keys := make([][2]string, 0, len(edgeAcc))
-	for k := range edgeAcc {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i][0] != keys[j][0] {
-			return keys[i][0] < keys[j][0]
-		}
-		return keys[i][1] < keys[j][1]
-	})
-	for _, k := range keys {
-		ds := make([]string, 0, len(edgeAcc[k]))
-		for d := range edgeAcc[k] {
-			ds = append(ds, d)
-		}
-		sortNatural(ds)
-		res.Edges = append(res.Edges, Edge{From: k[0], To: k[1], Data: ds})
-	}
+	res.Edges = eb.build()
+	eb.release()
 	return res
+}
+
+// edgeBuilder accumulates provenance-graph edges as a flat triple slice
+// instead of the nested map-of-maps a per-query accumulator would allocate:
+// one append per (from, to, data) fact, one sort, one grouping pass.
+// Builders are pooled across queries, so a steady query load reuses the
+// same backing arrays. rank is the data id's interned natural rank when the
+// caller knows it (the indexed path), letting the sort compare ints instead
+// of re-parsing digit suffixes; -1 falls back to lessNatural.
+type edgeBuilder struct {
+	triples []edgeTriple
+}
+
+type edgeTriple struct {
+	from, to, d string
+	rank        int32
+}
+
+var edgeBuilderPool = sync.Pool{New: func() interface{} { return &edgeBuilder{} }}
+
+func borrowEdgeBuilder() *edgeBuilder {
+	eb := edgeBuilderPool.Get().(*edgeBuilder)
+	eb.triples = eb.triples[:0]
+	return eb
+}
+
+func (eb *edgeBuilder) release() { edgeBuilderPool.Put(eb) }
+
+func (eb *edgeBuilder) add(from, to, d string, rank int32) {
+	eb.triples = append(eb.triples, edgeTriple{from: from, to: to, d: d, rank: rank})
+}
+
+// build sorts the triples by (From, To, natural data order) and groups them
+// into Edges. Callers never add the same triple twice, so no deduplication
+// is needed.
+func (eb *edgeBuilder) build() []Edge {
+	ts := eb.triples
+	if len(ts) == 0 {
+		return nil
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].from != ts[j].from {
+			return ts[i].from < ts[j].from
+		}
+		if ts[i].to != ts[j].to {
+			return ts[i].to < ts[j].to
+		}
+		if ts[i].rank >= 0 && ts[j].rank >= 0 {
+			return ts[i].rank < ts[j].rank
+		}
+		return lessNatural(ts[i].d, ts[j].d)
+	})
+	var edges []Edge
+	for i := 0; i < len(ts); {
+		j := i
+		for j < len(ts) && ts[j].from == ts[i].from && ts[j].to == ts[i].to {
+			j++
+		}
+		ds := make([]string, 0, j-i)
+		for k := i; k < j; k++ {
+			ds = append(ds, ts[k].d)
+		}
+		edges = append(edges, Edge{From: ts[i].from, To: ts[i].to, Data: ds})
+		i = j
+	}
+	return edges
 }
 
 // ImmediateProvenance returns the composite execution that produced d under
@@ -268,20 +382,79 @@ func (e *Engine) DeepDerivation(runID string, v *core.UserView, d string) (*Resu
 // projectForward mirrors project for the derivation direction: visible
 // executions intersecting the closure, and the closure data leaving each
 // execution toward other visible executions (or toward the final output).
+// Like project, bitset-backed closures take the integer fast path.
 func projectForward(m *composite.Mapping, closure *warehouse.Closure) *Result {
+	if ix, stepBits, dataBits, ok := closure.Bits(); ok {
+		if px := m.Projector(); px.Index() == ix {
+			return projectForwardIndexed(m, px, closure.Root, stepBits, dataBits)
+		}
+	}
+	return projectForwardLegacy(m, closure)
+}
+
+func projectForwardIndexed(m *composite.Mapping, px *composite.Projector, root string, stepBits, dataBits bitset.Set) *Result {
+	ix := px.Index()
+	res := &Result{RunID: m.Run().ID(), Root: root, External: m.Run().IsExternal(root)}
+	if res.External {
+		res.Metadata = m.Run().InputMeta(root)
+	}
+	visible := bitset.New(px.NumExecutions())
+	stepBits.Each(func(s int32) { visible.Add(px.ExecOfStep(s)) })
+	outData := bitset.New(ix.NumData())
+	if rootID, ok := ix.DataID(root); ok {
+		outData.Add(rootID)
+	}
+	visible.Each(func(ord int32) {
+		res.Executions = append(res.Executions, px.Execution(ord))
+		for _, d := range px.OutputsOf(ord) {
+			if !dataBits.Has(d) {
+				continue
+			}
+			if ix.IsFinal(d) || consumedOutsideIndexed(ix, px, visible, ord, d) {
+				outData.Add(d)
+			}
+		}
+	})
+	res.Data = make([]string, 0, outData.Count())
+	outData.Each(func(d int32) { res.Data = append(res.Data, ix.DataName(d)) })
+	return res
+}
+
+func consumedOutsideIndexed(ix *run.Index, px *composite.Projector, visible bitset.Set, ord, d int32) bool {
+	for _, s := range ix.ConsumersOf(d) {
+		if e := px.ExecOfStep(s); e != ord && visible.Has(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func projectForwardLegacy(m *composite.Mapping, closure *warehouse.Closure) *Result {
 	res := &Result{RunID: m.Run().ID(), Root: closure.Root, External: m.Run().IsExternal(closure.Root)}
 	if res.External {
 		res.Metadata = m.Run().InputMeta(closure.Root)
 	}
-	visible := make(map[string]bool)
+	allSingle := m.AllSingleton()
+	var visible map[string]bool
+	if !allSingle {
+		visible = make(map[string]bool)
+	}
 	for _, ex := range m.Executions() {
 		for _, s := range ex.Steps {
-			if closure.Steps[s] {
-				visible[ex.ID] = true
+			if closure.HasStep(s) {
+				if !allSingle {
+					visible[ex.ID] = true
+				}
 				res.Executions = append(res.Executions, ex)
 				break
 			}
 		}
+	}
+	isVisible := func(id string) bool {
+		if allSingle {
+			return closure.HasStep(id)
+		}
+		return visible[id]
 	}
 	dataSet := map[string]bool{closure.Root: true}
 	finals := make(map[string]bool)
@@ -290,7 +463,7 @@ func projectForward(m *composite.Mapping, closure *warehouse.Closure) *Result {
 	}
 	for _, ex := range res.Executions {
 		for _, d := range ex.Outputs {
-			if closure.Data[d] && (finals[d] || consumedOutside(m, ex.ID, d, visible)) {
+			if closure.HasData(d) && (finals[d] || consumedOutside(m, ex.ID, d, isVisible)) {
 				dataSet[d] = true
 			}
 		}
@@ -303,9 +476,9 @@ func projectForward(m *composite.Mapping, closure *warehouse.Closure) *Result {
 	return res
 }
 
-func consumedOutside(m *composite.Mapping, execID, d string, visible map[string]bool) bool {
+func consumedOutside(m *composite.Mapping, execID, d string, visible func(string) bool) bool {
 	for _, c := range m.Run().Consumers(d) {
-		if id, ok := m.ExecutionOf(c); ok && id != execID && visible[id] {
+		if id, ok := m.ExecutionOf(c); ok && id != execID && visible(id) {
 			return true
 		}
 	}
@@ -333,7 +506,9 @@ func splitNat(s string) (string, int) {
 	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
 		i--
 	}
-	if i == len(s) {
+	// No digit suffix, or one too long to fit an int without overflow
+	// (> 18 digits): fall back to plain string comparison.
+	if i == len(s) || len(s)-i > 18 {
 		return s, -1
 	}
 	n := 0

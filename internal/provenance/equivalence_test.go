@@ -1,0 +1,217 @@
+package provenance
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/run"
+	"repro/internal/spec"
+	"repro/internal/warehouse"
+)
+
+// The equivalence property: the bitset/CSR fast path (indexed warehouse)
+// and the legacy string/map path (SetCompactIndex(false)) must produce
+// element-for-element identical Results — same executions in the same
+// order, same data, same edges — for every query. These tests pin it on
+// the paper's phylogenomics example and on generated runs from every
+// workflow class and every Table II run class.
+
+// twinEngines returns two engines over the same spec and run: one indexed,
+// one legacy.
+func twinEngines(t *testing.T, s *spec.Spec, r *run.Run) (indexed, legacy *Engine) {
+	t.Helper()
+	wi := warehouse.New(0)
+	if err := wi.RegisterSpec(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := wi.LoadRun(r); err != nil {
+		t.Fatal(err)
+	}
+	wl := warehouse.New(0)
+	wl.SetCompactIndex(false)
+	if err := wl.RegisterSpec(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.LoadRun(r); err != nil {
+		t.Fatal(err)
+	}
+	if wi.RunIndex(r.ID()) == nil {
+		t.Fatal("indexed warehouse built no index")
+	}
+	if wl.RunIndex(r.ID()) != nil {
+		t.Fatal("legacy warehouse built an index")
+	}
+	return NewEngine(wi), NewEngine(wl)
+}
+
+func sameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.RunID != b.RunID || a.Root != b.Root || a.External != b.External {
+		t.Fatalf("%s: headers differ: %+v vs %+v", label, a, b)
+	}
+	if !reflect.DeepEqual(a.Metadata, b.Metadata) {
+		t.Fatalf("%s: metadata differ: %v vs %v", label, a.Metadata, b.Metadata)
+	}
+	if len(a.Executions) != len(b.Executions) {
+		t.Fatalf("%s: %d vs %d executions", label, len(a.Executions), len(b.Executions))
+	}
+	for i := range a.Executions {
+		if !reflect.DeepEqual(a.Executions[i], b.Executions[i]) {
+			t.Fatalf("%s: execution %d differs: %+v vs %+v", label, i, a.Executions[i], b.Executions[i])
+		}
+	}
+	if !reflect.DeepEqual(a.Data, b.Data) {
+		t.Fatalf("%s: data differ:\nindexed %v\nlegacy  %v", label, a.Data, b.Data)
+	}
+	if !reflect.DeepEqual(a.Edges, b.Edges) {
+		t.Fatalf("%s: edges differ:\nindexed %v\nlegacy  %v", label, a.Edges, b.Edges)
+	}
+}
+
+// checkEquivalence compares both strategies for provenance and derivation
+// of the given data objects under the given views.
+func checkEquivalence(t *testing.T, ei, el *Engine, r *run.Run, views map[string]*core.UserView, data []string) {
+	t.Helper()
+	for vname, v := range views {
+		for _, d := range data {
+			a, err := ei.DeepProvenance(r.ID(), v, d)
+			if err != nil {
+				t.Fatalf("indexed prov(%s,%s): %v", vname, d, err)
+			}
+			b, err := el.DeepProvenance(r.ID(), v, d)
+			if err != nil {
+				t.Fatalf("legacy prov(%s,%s): %v", vname, d, err)
+			}
+			sameResult(t, fmt.Sprintf("prov %s/%s/%s", r.ID(), vname, d), a, b)
+			a, err = ei.DeepDerivation(r.ID(), v, d)
+			if err != nil {
+				t.Fatalf("indexed deriv(%s,%s): %v", vname, d, err)
+			}
+			b, err = el.DeepDerivation(r.ID(), v, d)
+			if err != nil {
+				t.Fatalf("legacy deriv(%s,%s): %v", vname, d, err)
+			}
+			sameResult(t, fmt.Sprintf("deriv %s/%s/%s", r.ID(), vname, d), a, b)
+		}
+	}
+}
+
+// TestEquivalencePhylogenomics: every data object of the Figure 2 run,
+// under UAdmin, Joe's view, Mary's view, and UBlackBox.
+func TestEquivalencePhylogenomics(t *testing.T) {
+	s := spec.Phylogenomics()
+	r := run.Figure2()
+	ei, el := twinEngines(t, s, r)
+	joe, err := core.BuildRelevant(s, spec.PhyloRelevantJoe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mary, err := core.BuildRelevant(s, spec.PhyloRelevantMary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := core.UBlackBox(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := map[string]*core.UserView{
+		"admin": core.UAdmin(s), "joe": joe, "mary": mary, "blackbox": bb,
+	}
+	checkEquivalence(t, ei, el, r, views, r.AllData())
+}
+
+// TestEquivalenceGeneratedRuns: 200 generated runs covering every workflow
+// class and every Table II run class (mostly small for runtime, with
+// periodic medium and large instances), compared under UAdmin, the UBio
+// view, and a random builder view.
+func TestEquivalenceGeneratedRuns(t *testing.T) {
+	trials := 200
+	if testing.Short() {
+		trials = 24
+	}
+	g := gen.NewGenerator(777)
+	rng := rand.New(rand.NewSource(778))
+	classes := gen.Classes()
+	sawRunClass := map[string]bool{}
+	for i := 0; i < trials; i++ {
+		wc := classes[i%len(classes)]
+		rc := gen.Small()
+		switch {
+		case i%50 == 20:
+			rc = gen.Large()
+		case i%10 == 5:
+			rc = gen.Medium()
+		}
+		sawRunClass[rc.Name] = true
+		s := g.Workflow(wc, fmt.Sprintf("eq-%d", i))
+		r, _, err := g.Run(s, rc, fmt.Sprintf("eq-%d-r", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ei, el := twinEngines(t, s, r)
+		views := map[string]*core.UserView{"admin": core.UAdmin(s)}
+		if ubio, err := core.BuildRelevant(s, gen.UBioRelevant(s)); err == nil {
+			views["ubio"] = ubio
+		}
+		rel := randomModules(rng, s.ModuleNames())
+		if v, err := core.BuildRelevant(s, rel); err == nil {
+			views["random"] = v
+		}
+		data := sampleData(rng, r.AllData(), 8)
+		finals := r.FinalOutputs()
+		if len(finals) > 0 {
+			data = append(data, finals[len(finals)-1])
+		}
+		checkEquivalence(t, ei, el, r, views, data)
+	}
+	if !testing.Short() {
+		for _, want := range []string{"small", "medium", "large"} {
+			if !sawRunClass[want] {
+				t.Fatalf("run class %s never exercised", want)
+			}
+		}
+	}
+}
+
+// TestConcurrentIndexedServe runs a query burst through ServeConcurrently
+// against an indexed warehouse — the projector sync.Once, the shared frozen
+// closure bitsets, and the pooled edge builders all under -race — and
+// cross-checks every answer against the legacy engine.
+func TestConcurrentIndexedServe(t *testing.T) {
+	g := gen.NewGenerator(911)
+	s := g.Workflow(gen.Class4(), "conc-ix")
+	r, _, err := g.Run(s, gen.Medium(), "conc-ix-r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ei, el := twinEngines(t, s, r)
+	admin := core.UAdmin(s)
+	ubio, err := core.BuildRelevant(s, gen.UBioRelevant(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := sampleData(rand.New(rand.NewSource(13)), r.AllData(), 40)
+	var queries []Query
+	for rep := 0; rep < 4; rep++ { // repeats force cache-hit sharing
+		for _, d := range data {
+			queries = append(queries, Query{RunID: r.ID(), View: admin, Data: d})
+			queries = append(queries, Query{RunID: r.ID(), View: ubio, Data: d})
+		}
+	}
+	answered := ei.ServeConcurrently(context.Background(), queries, 8)
+	for _, qr := range answered {
+		if qr.Err != nil {
+			t.Fatalf("query %d (%s): %v", qr.Index, qr.Query.Data, qr.Err)
+		}
+		want, err := el.DeepProvenance(qr.Query.RunID, qr.Query.View, qr.Query.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, fmt.Sprintf("concurrent %s", qr.Query.Data), qr.Result, want)
+	}
+}

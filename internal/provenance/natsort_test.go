@@ -1,0 +1,60 @@
+package provenance
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestSplitNatOverflow pins the overflow guard: digit suffixes longer than
+// 18 characters cannot be parsed into an int without overflow, so they fall
+// back to plain string comparison instead of wrapping negative.
+func TestSplitNatOverflow(t *testing.T) {
+	big := "d" + strings.Repeat("9", 25)
+	if prefix, n := splitNat(big); prefix != big || n != -1 {
+		t.Fatalf("splitNat(%q) = (%q, %d), want string fallback", big, prefix, n)
+	}
+	// 18 digits still parse (fits in int64).
+	if prefix, n := splitNat("d999999999999999999"); prefix != "d" || n != 999999999999999999 {
+		t.Fatalf("18-digit suffix: (%q, %d)", prefix, n)
+	}
+	// An overflowing suffix must not compare below small numbers: were the
+	// parse allowed to wrap negative, big would sort before d2.
+	if lessNatural(big, "d2") {
+		t.Fatalf("%q sorted before d2: overflow wrapped negative", big)
+	}
+	if !lessNatural("d2", big) {
+		t.Fatalf("d2 not before %q", big)
+	}
+	// Two long suffixes order as strings, consistently and antisymmetrically.
+	a := "d" + strings.Repeat("1", 30)
+	b := "d" + strings.Repeat("2", 30)
+	if !lessNatural(a, b) || lessNatural(b, a) {
+		t.Fatal("long-suffix comparison not a strict order")
+	}
+}
+
+// TestSortNaturalOrdering pins the ordinary cases around the guard.
+func TestSortNaturalOrdering(t *testing.T) {
+	xs := []string{"d10", "d2", "S1", "d" + strings.Repeat("9", 25), "d1", "S10", "S9", "d9999999999999999999"}
+	sortNatural(xs)
+	want := []string{"S1", "S9", "S10", "d1", "d2", "d10", "d9999999999999999999", "d" + strings.Repeat("9", 25)}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("sorted = %v, want %v", xs, want)
+		}
+	}
+	// sort.Slice with lessNatural must be deterministic: resorting a
+	// shuffled copy gives the same order.
+	ys := append([]string(nil), xs...)
+	for i := len(ys)/2 - 1; i >= 0; i-- {
+		opp := len(ys) - 1 - i
+		ys[i], ys[opp] = ys[opp], ys[i]
+	}
+	sort.Slice(ys, func(i, j int) bool { return lessNatural(ys[i], ys[j]) })
+	for i := range xs {
+		if xs[i] != ys[i] {
+			t.Fatalf("unstable natural order: %v vs %v", xs, ys)
+		}
+	}
+}

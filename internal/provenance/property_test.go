@@ -123,7 +123,7 @@ func TestProjectionSoundness(t *testing.T) {
 				if x == d {
 					rootSeen = true
 				}
-				if !closure.Data[x] {
+				if !closure.HasData(x) {
 					t.Fatalf("visible data %s outside closure of %s", x, d)
 				}
 			}
@@ -135,7 +135,7 @@ func TestProjectionSoundness(t *testing.T) {
 				vis[ex.ID] = true
 				inClosure := false
 				for _, st := range ex.Steps {
-					if closure.Steps[st] {
+					if closure.HasStep(st) {
 						inClosure = true
 						break
 					}
@@ -184,8 +184,8 @@ func TestDerivationProvenanceDuality(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if inProv != derC.Data[tgt] {
-			t.Fatalf("duality broken for (%s, %s): prov=%v der=%v", c, tgt, inProv, derC.Data[tgt])
+		if inProv != derC.HasData(tgt) {
+			t.Fatalf("duality broken for (%s, %s): prov=%v der=%v", c, tgt, inProv, derC.HasData(tgt))
 		}
 	}
 }
@@ -211,7 +211,7 @@ func TestProjectedDerivationSoundness(t *testing.T) {
 				if x == c {
 					root = true
 				}
-				if !derC.Data[x] {
+				if !derC.HasData(x) {
 					t.Fatalf("projected derivation leaked %s outside closure of %s", x, c)
 				}
 			}

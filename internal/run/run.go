@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/spec"
@@ -49,6 +50,11 @@ type Run struct {
 	producer  map[string]string   // data id -> producing step ("" = external)
 	consumers map[string][]string // data id -> consuming steps, sorted
 	inputMeta map[string]map[string]string
+
+	// index is the lazily built compact representation (see index.go),
+	// cleared by the mutators so a stale snapshot is never handed out.
+	indexMu sync.Mutex
+	index   *Index
 }
 
 // NewRun returns an empty run for the named specification.
@@ -87,6 +93,7 @@ func (r *Run) AddStep(id, module string) error {
 	}
 	r.steps[id] = Step{ID: id, Module: module}
 	r.g.AddNode(id)
+	r.index = nil
 	return nil
 }
 
@@ -140,6 +147,7 @@ func (r *Run) AddFlow(from, to string, data []string) error {
 			r.consumers[d] = insertString(r.consumers[d], to)
 		}
 	}
+	r.index = nil
 	return nil
 }
 

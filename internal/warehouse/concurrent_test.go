@@ -35,7 +35,7 @@ func TestConcurrentSingleflightComputesOnce(t *testing.T) {
 	release := make(chan struct{})
 	compute := func() (*Closure, error) {
 		<-release
-		return &Closure{Root: "d1", Steps: map[string]bool{"S1": true}, Data: map[string]bool{"d1": true}}, nil
+		return NewClosure("d1", map[string]bool{"S1": true}, map[string]bool{"d1": true}), nil
 	}
 
 	const goroutines = 32
@@ -64,7 +64,7 @@ func TestConcurrentSingleflightComputesOnce(t *testing.T) {
 		if errs[i] != nil {
 			t.Fatalf("goroutine %d: %v", i, errs[i])
 		}
-		if !results[i].Steps["S1"] || !results[i].Data["d1"] {
+		if !results[i].HasStep("S1") || !results[i].HasData("d1") {
 			t.Fatalf("goroutine %d got wrong closure %+v", i, results[i])
 		}
 		// Every caller gets a defensive copy, never a shared map.
@@ -120,7 +120,7 @@ func TestConcurrentSingleflightErrorShared(t *testing.T) {
 	}
 	// Errors must not poison the cache: the next miss computes again.
 	ok := func() (*Closure, error) {
-		return &Closure{Root: "d1", Steps: map[string]bool{}, Data: map[string]bool{"d1": true}}, nil
+		return NewClosure("d1", nil, map[string]bool{"d1": true}), nil
 	}
 	if _, err := cc.getOrCompute("r1", "d1", ok); err != nil {
 		t.Fatal(err)
@@ -145,8 +145,8 @@ func TestConcurrentWarehouseHerd(t *testing.T) {
 				t.Errorf("herd query: %v", err)
 				return
 			}
-			if len(c.Steps) != 10 {
-				t.Errorf("herd query returned %d steps, want 10", len(c.Steps))
+			if c.NumSteps() != 10 {
+				t.Errorf("herd query returned %d steps, want 10", c.NumSteps())
 			}
 		}()
 	}
@@ -207,7 +207,7 @@ func TestStressShardedCacheCounters(t *testing.T) {
 					t.Errorf("stress query %s: %v", d, err)
 					return
 				}
-				if !c.Data[d] || c.Root != d {
+				if !c.HasData(d) || c.Root != d {
 					t.Errorf("closure of %s lost its root", d)
 					return
 				}
@@ -236,7 +236,7 @@ func TestStressShardedCacheCounters(t *testing.T) {
 	}
 	// The cache still answers correctly after the storm.
 	closure, err := w.DeepProvenance("fig2", "d447")
-	if err != nil || len(closure.Steps) != 10 {
+	if err != nil || closure.NumSteps() != 10 {
 		t.Fatalf("post-stress query broken: %v", err)
 	}
 }
@@ -315,8 +315,8 @@ func TestConcurrentDropReload(t *testing.T) {
 					}
 					continue
 				}
-				if len(c.Steps) != 10 {
-					t.Errorf("torn closure: %d steps", len(c.Steps))
+				if c.NumSteps() != 10 {
+					t.Errorf("torn closure: %d steps", c.NumSteps())
 					return
 				}
 			}
@@ -333,7 +333,7 @@ func TestConcurrentDropReload(t *testing.T) {
 	close(stop)
 	wg.Wait()
 	c, err := w.DeepProvenance("fig2", "d447")
-	if err != nil || len(c.Steps) != 10 {
+	if err != nil || c.NumSteps() != 10 {
 		t.Fatalf("post-churn query broken: %v", err)
 	}
 }

@@ -1,0 +1,127 @@
+package warehouse
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/run"
+)
+
+// The compact query path. At load time the warehouse builds each run's
+// interned CSR index (run.Index); the closure computations below are then
+// integer BFS over flat int32 slices with bitset visited sets — no string
+// hashing, no per-hop allocation — and their results are bitset-backed
+// Closures whose map views materialize lazily (see connectby.go). This is
+// the database trick behind the paper's compute-UAdmin-then-project
+// strategy done natively: intern once, traverse dense ids, only
+// re-materialize strings at the result boundary.
+
+// SetCompactIndex selects whether runs loaded *from now on* get a compact
+// index built at load time (the default). Disabling it routes queries for
+// subsequently loaded runs through the legacy string/map traversal — the
+// reference implementation the benchmarks and equivalence tests compare
+// against. Runs already loaded keep whichever representation they have.
+func (w *Warehouse) SetCompactIndex(enabled bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.noIndex = !enabled
+}
+
+// indexedProvenanceClosure is the backward integer BFS: data → producing
+// step → that step's inputs, to fixpoint. The worklist is a stack of
+// interned data ids; steps are expanded at most once, guarded by the step
+// bitset itself.
+func indexedProvenanceClosure(ix *run.Index, d string) *Closure {
+	root, _ := ix.DataID(d)
+	stepBits := bitset.New(ix.NumSteps())
+	dataBits := bitset.New(ix.NumData())
+	dataBits.Add(root)
+	stack := make([]int32, 0, 64)
+	stack = append(stack, root)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		p := ix.Producer(cur)
+		if p < 0 || stepBits.Has(p) {
+			continue
+		}
+		stepBits.Add(p)
+		for _, in := range ix.InputsOf(p) {
+			if !dataBits.Has(in) {
+				dataBits.Add(in)
+				stack = append(stack, in)
+			}
+		}
+	}
+	return newBitClosure(d, ix, stepBits, dataBits)
+}
+
+// indexedDerivationClosure is the forward integer BFS: data → consuming
+// steps → their outputs, to fixpoint.
+func indexedDerivationClosure(ix *run.Index, d string) *Closure {
+	root, _ := ix.DataID(d)
+	stepBits := bitset.New(ix.NumSteps())
+	dataBits := bitset.New(ix.NumData())
+	dataBits.Add(root)
+	stack := make([]int32, 0, 64)
+	stack = append(stack, root)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range ix.ConsumersOf(cur) {
+			if stepBits.Has(s) {
+				continue
+			}
+			stepBits.Add(s)
+			for _, out := range ix.OutputsOf(s) {
+				if !dataBits.Has(out) {
+					dataBits.Add(out)
+					stack = append(stack, out)
+				}
+			}
+		}
+	}
+	return newBitClosure(d, ix, stepBits, dataBits)
+}
+
+// RunIndex returns the compact index of a loaded run, or nil when the run
+// was loaded with compact indexing disabled. The engine's projection fast
+// path uses pointer identity between this index and the one a closure
+// carries.
+func (w *Warehouse) RunIndex(runID string) *run.Index {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	rt, ok := w.runs[runID]
+	if !ok {
+		return nil
+	}
+	return rt.index
+}
+
+// IndexStats aggregates the per-run index footprints: how many ids were
+// interned, what the flat CSR adjacency costs, and how many 64-bit words a
+// closure bitset pair needs across all loaded runs. IndexedRuns counts the
+// runs that carry a compact index (runs loaded under SetCompactIndex(false)
+// do not).
+type IndexStats struct {
+	IndexedRuns   int
+	InternedSteps int
+	InternedData  int
+	CSRBytes      int
+	ClosureWords  int
+}
+
+// indexStatsLocked aggregates index stats; callers hold w.mu.
+func (w *Warehouse) indexStatsLocked() IndexStats {
+	var st IndexStats
+	for _, rt := range w.runs {
+		if rt.index == nil {
+			continue
+		}
+		s := rt.index.Stats()
+		st.IndexedRuns++
+		st.InternedSteps += s.Steps
+		st.InternedData += s.Data
+		st.CSRBytes += s.CSRBytes
+		st.ClosureWords += s.ClosureWords
+	}
+	return st
+}

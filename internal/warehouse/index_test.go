@@ -1,0 +1,221 @@
+package warehouse
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/run"
+	"repro/internal/spec"
+)
+
+// legacyWarehouse is loadedWarehouse with the compact index disabled: the
+// reference string/map query path.
+func legacyWarehouse(t *testing.T) *Warehouse {
+	t.Helper()
+	w := New(0)
+	w.SetCompactIndex(false)
+	mustT(t, w.RegisterSpec(spec.Phylogenomics()))
+	mustT(t, w.LoadRun(run.Figure2()))
+	return w
+}
+
+// TestIndexedClosureMatchesLegacy compares the bitset closure against the
+// legacy string BFS for every data object of Figure 2, in both directions.
+func TestIndexedClosureMatchesLegacy(t *testing.T) {
+	wi := loadedWarehouse(t)
+	wl := legacyWarehouse(t)
+	r, _ := wi.Run("fig2")
+	for _, d := range r.AllData() {
+		for name, query := range map[string]func(*Warehouse) (*Closure, error){
+			"provenance": func(w *Warehouse) (*Closure, error) { return w.DeepProvenance("fig2", d) },
+			"derivation": func(w *Warehouse) (*Closure, error) { return w.DeepDerivation("fig2", d) },
+		} {
+			ci, err := query(wi)
+			if err != nil {
+				t.Fatalf("%s(%s) indexed: %v", name, d, err)
+			}
+			cl, err := query(wl)
+			if err != nil {
+				t.Fatalf("%s(%s) legacy: %v", name, d, err)
+			}
+			if _, _, _, ok := ci.Bits(); !ok {
+				t.Fatalf("%s(%s): indexed warehouse returned a map closure", name, d)
+			}
+			if _, _, _, ok := cl.Bits(); ok {
+				t.Fatalf("%s(%s): legacy warehouse returned a bitset closure", name, d)
+			}
+			if !reflect.DeepEqual(ci.StepSet(), cl.StepSet()) {
+				t.Fatalf("%s(%s): steps differ\nindexed %v\nlegacy  %v", name, d, ci.StepSet(), cl.StepSet())
+			}
+			if !reflect.DeepEqual(ci.DataSet(), cl.DataSet()) {
+				t.Fatalf("%s(%s): data differ\nindexed %v\nlegacy  %v", name, d, ci.DataSet(), cl.DataSet())
+			}
+		}
+	}
+}
+
+// TestClosureFacade pins the facade invariants: Has* agrees with the lazy
+// map views, counts agree, and the maps are per-instance (mutating one
+// caller's view cannot poison another's).
+func TestClosureFacade(t *testing.T) {
+	w := loadedWarehouse(t)
+	c, err := w.DeepProvenance("fig2", "d447")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.StepSet()) != c.NumSteps() || len(c.DataSet()) != c.NumData() {
+		t.Fatalf("lazy maps disagree with counts: %d/%d vs %d/%d",
+			len(c.StepSet()), len(c.DataSet()), c.NumSteps(), c.NumData())
+	}
+	for s := range c.StepSet() {
+		if !c.HasStep(s) {
+			t.Fatalf("HasStep(%s) false but in StepSet", s)
+		}
+	}
+	for d := range c.DataSet() {
+		if !c.HasData(d) {
+			t.Fatalf("HasData(%s) false but in DataSet", d)
+		}
+	}
+	if c.HasStep("ghost") || c.HasData("ghost") {
+		t.Fatal("facade invented members")
+	}
+	if c.Size() != c.NumSteps()+c.NumData() {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	delete(c.StepSet(), "S1")
+	c2, err := w.DeepProvenance("fig2", "d447")
+	if err != nil || !c2.HasStep("S1") {
+		t.Fatal("cache poisoned through a materialized map view")
+	}
+}
+
+// TestSetCompactIndexScope: toggling affects only subsequently loaded runs.
+func TestSetCompactIndexScope(t *testing.T) {
+	w := New(0)
+	mustT(t, w.RegisterSpec(spec.Phylogenomics()))
+	mustT(t, w.LoadRun(run.Figure2()))
+	if w.RunIndex("fig2") == nil {
+		t.Fatal("default load built no index")
+	}
+	w.SetCompactIndex(false)
+	if w.RunIndex("fig2") == nil {
+		t.Fatal("toggling dropped an existing run's index")
+	}
+	mustT(t, w.LoadRun(figure2As(t, "fig2b")))
+	if w.RunIndex("fig2b") != nil {
+		t.Fatal("run loaded under SetCompactIndex(false) got an index")
+	}
+	st := w.Stats()
+	if st.Index.IndexedRuns != 1 {
+		t.Fatalf("IndexedRuns = %d, want 1", st.Index.IndexedRuns)
+	}
+	w.SetCompactIndex(true)
+	mustT(t, w.LoadRun(figure2As(t, "fig2c")))
+	if w.RunIndex("fig2c") == nil {
+		t.Fatal("re-enabled compact index not built")
+	}
+}
+
+// figure2As rebuilds the Figure 2 run under a different id via its log.
+func figure2As(t *testing.T, id string) *run.Run {
+	t.Helper()
+	events, err := run.Figure2().ToLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := run.FromLog(id, "phylogenomics", events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestIndexDroppedWithRun: DropRun discards the index along with the run.
+func TestIndexDroppedWithRun(t *testing.T) {
+	w := loadedWarehouse(t)
+	if w.RunIndex("fig2") == nil {
+		t.Fatal("no index after load")
+	}
+	if err := w.DropRun("fig2"); err != nil {
+		t.Fatal(err)
+	}
+	if w.RunIndex("fig2") != nil {
+		t.Fatal("index survived DropRun")
+	}
+	if st := w.Stats(); st.Index.IndexedRuns != 0 || st.Index.CSRBytes != 0 {
+		t.Fatalf("stats still count dropped index: %+v", st.Index)
+	}
+}
+
+// TestIndexStatsSurface: Stats carries the aggregate index footprint and
+// renders it.
+func TestIndexStatsSurface(t *testing.T) {
+	w := loadedWarehouse(t)
+	st := w.Stats()
+	if st.Index.IndexedRuns != 1 {
+		t.Fatalf("IndexedRuns = %d", st.Index.IndexedRuns)
+	}
+	if st.Index.InternedSteps != st.Steps || st.Index.InternedData != st.DataObjects {
+		t.Fatalf("interned counts diverge from catalog counts: %+v vs steps=%d data=%d",
+			st.Index, st.Steps, st.DataObjects)
+	}
+	if st.Index.CSRBytes <= 0 || st.Index.ClosureWords <= 0 {
+		t.Fatalf("footprint missing: %+v", st.Index)
+	}
+	for _, want := range []string{"index[runs=1", "csr=", "closure="} {
+		if !contains(st.String(), want) {
+			t.Fatalf("Stats.String() = %q missing %q", st.String(), want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestConcurrentIndexedClosures hammers the indexed BFS and the lazy map
+// materialization from many goroutines — the sync.Once facade and the shared
+// frozen bitsets must be race-free (run under -race).
+func TestConcurrentIndexedClosures(t *testing.T) {
+	w := loadedWarehouse(t)
+	r, _ := w.Run("fig2")
+	data := r.AllData()
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < len(data); j++ {
+				d := data[(j+g*len(data)/goroutines)%len(data)]
+				c, err := w.DeepProvenance("fig2", d)
+				if err != nil {
+					t.Errorf("query %s: %v", d, err)
+					return
+				}
+				if !c.HasData(d) {
+					t.Errorf("closure of %s lost its root", d)
+					return
+				}
+				// Alternate access styles so bitset reads and lazy map
+				// materialization race against each other across clones.
+				switch g % 3 {
+				case 0:
+					_ = c.StepSet()
+				case 1:
+					_ = c.DataSet()
+				default:
+					_ = c.NumSteps() + c.NumData()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

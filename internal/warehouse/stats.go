@@ -22,6 +22,9 @@ type Stats struct {
 	CacheHits   int64
 	CacheMisses int64
 	Cache       CacheCounters
+	// Index summarizes the compact run indexes (interned ids, CSR bytes,
+	// closure bitset words) across all loaded runs.
+	Index IndexStats
 }
 
 // CacheCounters are the closure cache's global counters. All of them are
@@ -60,13 +63,15 @@ func (w *Warehouse) Stats() Stats {
 	}
 	st.Cache = w.cache.counters()
 	st.CacheHits, st.CacheMisses = st.Cache.Hits, st.Cache.Misses
+	st.Index = w.indexStatsLocked()
 	return st
 }
 
 // String renders the statistics on one line.
 func (s Stats) String() string {
-	return fmt.Sprintf("specs=%d views=%d runs=%d steps=%d flows=%d data=%d cache=%d/%d",
-		s.Specs, s.Views, s.Runs, s.Steps, s.FlowEdges, s.DataObjects, s.CacheHits, s.CacheMisses)
+	return fmt.Sprintf("specs=%d views=%d runs=%d steps=%d flows=%d data=%d cache=%d/%d index[runs=%d steps=%d data=%d csr=%dB closure=%dw]",
+		s.Specs, s.Views, s.Runs, s.Steps, s.FlowEdges, s.DataObjects, s.CacheHits, s.CacheMisses,
+		s.Index.IndexedRuns, s.Index.InternedSteps, s.Index.InternedData, s.Index.CSRBytes, s.Index.ClosureWords)
 }
 
 // DropRun removes a run and its cached closures. Dropping an unknown run

@@ -59,7 +59,7 @@ func TestDropRun(t *testing.T) {
 	// Reloading the same id works (the cache entry is gone).
 	mustT(t, w.LoadRun(run.Figure2()))
 	c, err := w.DeepProvenance("fig2", "d447")
-	if err != nil || len(c.Steps) != 10 {
+	if err != nil || c.NumSteps() != 10 {
 		t.Fatalf("reloaded run broken: %v", err)
 	}
 }

@@ -55,14 +55,22 @@ type Warehouse struct {
 	views map[string]map[string]*core.UserView // spec name -> view name -> view
 	runs  map[string]*runTables                // run id -> per-run tables
 
+	// noIndex disables building the compact run index for subsequently
+	// loaded runs (SetCompactIndex) — the legacy string/map query path.
+	noIndex bool
+
 	cache *closureCache
 }
 
 // runTables is the per-run slice of the relational schema: the Steps,
 // Produced and Consumed relations plus the hash indexes the queries use.
+// index is the immutable compact representation (interned ids + CSR
+// adjacency) built at load time; it is dropped with the run, so DropRun
+// invalidates it together with the run's cached closures.
 type runTables struct {
 	specName string
 	run      *run.Run
+	index    *run.Index
 }
 
 // New returns an empty warehouse. cacheSize bounds the number of cached
@@ -179,7 +187,11 @@ func (w *Warehouse) LoadRun(r *run.Run) error {
 	if err := r.ConformsTo(s); err != nil {
 		return err
 	}
-	w.runs[r.ID()] = &runTables{specName: r.SpecName(), run: r}
+	rt := &runTables{specName: r.SpecName(), run: r}
+	if !w.noIndex {
+		rt.index = r.Index()
+	}
+	w.runs[r.ID()] = rt
 	return nil
 }
 

@@ -159,14 +159,14 @@ func TestDeepProvenanceD447(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(c.Steps) != 10 {
-		t.Fatalf("steps = %d, want all 10", len(c.Steps))
+	if c.NumSteps() != 10 {
+		t.Fatalf("steps = %d, want all 10", c.NumSteps())
 	}
 	r, _ := w.Run("fig2")
-	if len(c.Data) != r.NumData() {
-		t.Fatalf("data = %d, want all %d", len(c.Data), r.NumData())
+	if c.NumData() != r.NumData() {
+		t.Fatalf("data = %d, want all %d", c.NumData(), r.NumData())
 	}
-	if !c.Data["d447"] || c.Root != "d447" {
+	if !c.HasData("d447") || c.Root != "d447" {
 		t.Fatal("root missing")
 	}
 }
@@ -180,21 +180,21 @@ func TestDeepProvenanceD413(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, s := range []string{"S1", "S2", "S3", "S4", "S5", "S6"} {
-		if !c.Steps[s] {
+		if !c.HasStep(s) {
 			t.Fatalf("step %s missing", s)
 		}
 	}
 	for _, s := range []string{"S7", "S8", "S9", "S10"} {
-		if c.Steps[s] {
+		if c.HasStep(s) {
 			t.Fatalf("step %s should not be in provenance of d413", s)
 		}
 	}
 	for _, d := range []string{"d308", "d408", "d410", "d411", "d412", "d1"} {
-		if !c.Data[d] {
+		if !c.HasData(d) {
 			t.Fatalf("data %s missing", d)
 		}
 	}
-	if c.Data["d446"] || c.Data["d202"] {
+	if c.HasData("d446") || c.HasData("d202") {
 		t.Fatal("annotation-branch data leaked into d413's provenance")
 	}
 }
@@ -205,8 +205,8 @@ func TestDeepProvenanceExternalData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(c.Steps) != 0 || len(c.Data) != 1 {
-		t.Fatalf("external data closure: steps=%d data=%d", len(c.Steps), len(c.Data))
+	if c.NumSteps() != 0 || c.NumData() != 1 {
+		t.Fatalf("external data closure: steps=%d data=%d", c.NumSteps(), c.NumData())
 	}
 }
 
@@ -228,16 +228,16 @@ func TestDeepDerivation(t *testing.T) {
 	}
 	// d410 -> S4 -> d411 -> S5 -> d412 -> S6 -> d413 -> S10 -> d447.
 	for _, s := range []string{"S4", "S5", "S6", "S10"} {
-		if !c.Steps[s] {
+		if !c.HasStep(s) {
 			t.Fatalf("step %s missing from derivation", s)
 		}
 	}
 	for _, d := range []string{"d411", "d412", "d413", "d447"} {
-		if !c.Data[d] {
+		if !c.HasData(d) {
 			t.Fatalf("data %s missing from derivation", d)
 		}
 	}
-	if c.Steps["S1"] || c.Data["d308"] {
+	if c.HasStep("S1") || c.HasData("d308") {
 		t.Fatal("upstream data leaked into derivation")
 	}
 	if _, err := w.DeepDerivation("fig2", "nope"); !errors.Is(err, ErrUnknownData) {
@@ -287,9 +287,9 @@ func TestClosureCacheBehavior(t *testing.T) {
 	}
 	// Mutating a returned closure must not poison the cache.
 	c, _ := w.DeepProvenance("fig2", "d447")
-	delete(c.Steps, "S1")
+	delete(c.StepSet(), "S1")
 	c2, _ := w.DeepProvenance("fig2", "d447")
-	if !c2.Steps["S1"] {
+	if !c2.HasStep("S1") {
 		t.Fatal("cache poisoned through returned closure")
 	}
 	w.ResetCache()
@@ -351,7 +351,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	// Provenance answers must be identical.
 	a, _ := w.DeepProvenance("fig2", "d413")
 	b, _ := back.DeepProvenance("fig2", "d413")
-	if !reflect.DeepEqual(a.Steps, b.Steps) || !reflect.DeepEqual(a.Data, b.Data) {
+	if !reflect.DeepEqual(a.StepSet(), b.StepSet()) || !reflect.DeepEqual(a.DataSet(), b.DataSet()) {
 		t.Fatal("provenance differs after round trip")
 	}
 	// Input metadata survives the round trip.
