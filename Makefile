@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke bench bench-smoke ci
+.PHONY: all build vet test race fuzz-smoke bench bench-smoke bench-ingest-smoke ci
 
 all: ci
 
@@ -37,4 +37,9 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Compact' -benchtime=1x -benchmem .
 
-ci: vet build test race fuzz-smoke bench-smoke
+# Same idea for the ingest benchmarks (L1): snapshot load/save in both
+# formats plus streaming log ingestion, one iteration each.
+bench-ingest-smoke:
+	$(GO) test -run '^$$' -bench 'Ingest' -benchtime=1x -benchmem .
+
+ci: vet build test race fuzz-smoke bench-smoke bench-ingest-smoke

@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -17,6 +18,7 @@ import (
 	"repro/internal/run"
 	"repro/internal/spec"
 	"repro/internal/warehouse"
+	"repro/internal/wflog"
 )
 
 // BenchmarkTable1WorkflowClasses measures workload generation per Table I
@@ -453,8 +455,133 @@ func BenchmarkHarnessEndToEnd(b *testing.B) {
 	o.MaxSpecNodes = 200
 	o.LargeRunCap = 500
 	for i := 0; i < b.N; i++ {
-		if got := bench.RunAll(o); len(got) != 12 {
+		if got := bench.RunAll(o); len(got) != 13 {
 			b.Fatal("missing reports")
+		}
+	}
+}
+
+// ingestImages builds a multi-run warehouse for one Table II class and
+// returns its v1 (JSON) and v2 (binary) snapshot images.
+func ingestImages(b *testing.B, rc gen.RunClass, seed int64) (v1, v2 []byte) {
+	b.Helper()
+	g := gen.NewGenerator(seed)
+	s := g.Workflow(gen.Class4(), "ingest-"+rc.Name)
+	w := warehouse.New(0)
+	if err := w.RegisterSpec(s); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		r, _, err := g.Run(s, rc, fmt.Sprintf("ingest-%s-r%d", rc.Name, i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.LoadRun(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var b1, b2 bytes.Buffer
+	if err := w.Save(&b1); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.SaveBinary(&b2); err != nil {
+		b.Fatal(err)
+	}
+	return b1.Bytes(), b2.Bytes()
+}
+
+// BenchmarkIngestSnapshotLoad (L1) is the tentpole comparison: a full
+// snapshot load — decode, reconstruct, validate, conformance-check, compact
+// index — per format and worker mode, per Table II run class. Run with
+// -benchmem: the v2 rows should show both less time and far fewer
+// allocations than the v1 rows.
+func BenchmarkIngestSnapshotLoad(b *testing.B) {
+	kinds := gen.RunClasses()
+	kinds[2].MaxNodes = 3000
+	for _, rc := range kinds {
+		v1, v2 := ingestImages(b, rc, 31)
+		for _, mode := range []struct {
+			name    string
+			image   []byte
+			workers int
+		}{
+			{"v1/serial", v1, 1},
+			{"v1/parallel", v1, 0},
+			{"v2/serial", v2, 1},
+			{"v2/parallel", v2, 0},
+		} {
+			b.Run(rc.Name+"/"+mode.name, func(b *testing.B) {
+				b.SetBytes(int64(len(mode.image)))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := warehouse.LoadWith(bytes.NewReader(mode.image), 0,
+						warehouse.LoadOptions{Workers: mode.workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkIngestSnapshotSave measures the write side of both formats on
+// the medium class.
+func BenchmarkIngestSnapshotSave(b *testing.B) {
+	v1, _ := ingestImages(b, gen.Medium(), 32)
+	w, err := warehouse.Load(bytes.NewReader(v1), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("v1", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := w.Save(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("v2", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := w.SaveBinary(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIngestLogStream measures streaming log ingestion: a JSON-lines
+// event log is decoded and fed straight into run construction without ever
+// materializing an event slice.
+func BenchmarkIngestLogStream(b *testing.B) {
+	g := gen.NewGenerator(33)
+	s := g.Workflow(gen.Class4(), "ingest-log")
+	r, _, err := g.Run(s, gen.Medium(), "ingest-log-r")
+	if err != nil {
+		b.Fatal(err)
+	}
+	events, err := r.ToLog()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var log bytes.Buffer
+	if err := wflog.Write(&log, events); err != nil {
+		b.Fatal(err)
+	}
+	image := log.Bytes()
+	b.SetBytes(int64(len(image)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := warehouse.New(0)
+		if err := w.RegisterSpec(s); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.LoadLogReader(r.ID(), s.Name(), bytes.NewReader(image)); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -8,7 +8,7 @@
 //	zoom example                          walk through the paper's Figures 1-3
 //	zoom spec    -file spec.json [-dot]   validate / render a specification
 //	zoom view    -file spec.json -relevant M2,M3,M7 [-dot]
-//	zoom load    -warehouse wh.json -file spec.json [-log run.jsonl -run id]
+//	zoom load    -warehouse wh.json -file spec.json [-log run.jsonl -run id] [-parallel N] [-format json|binary|keep]
 //	zoom query   -warehouse wh.json -run id -data d447[,d448,...] [-parallel N] [-relevant ...] [-mode deep|immediate|derived] [-dot]
 //	zoom runs    -warehouse wh.json       list warehouse contents
 //	zoom ask     -warehouse wh.json -run id -q "deep(d447)" [-relevant ...]
@@ -241,6 +241,12 @@ func cmdView(args []string) error {
 }
 
 func loadSystem(path string) (*zoom.System, error) {
+	return loadSystemWith(path, 0)
+}
+
+// loadSystemWith opens a warehouse snapshot (either format, auto-detected)
+// with an explicit worker count for the parallel run reconstruction.
+func loadSystemWith(path string, workers int) (*zoom.System, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -249,15 +255,37 @@ func loadSystem(path string) (*zoom.System, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return zoom.LoadSystem(f)
+	return zoom.LoadSystemWith(f, zoom.LoadOptions{Workers: workers})
+}
+
+// snapshotIsBinary reports whether an existing snapshot file is in the v2
+// binary format (so re-saving can keep the format it found).
+func snapshotIsBinary(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var head [1]byte
+	if _, err := f.Read(head[:]); err != nil {
+		return false
+	}
+	return head[0] == 'Z'
 }
 
 func saveSystem(sys *zoom.System, path string) error {
+	return saveSystemFormat(sys, path, "json")
+}
+
+func saveSystemFormat(sys *zoom.System, path, format string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	if format == "binary" {
+		return sys.SaveBinary(f)
+	}
 	return sys.Save(f)
 }
 
@@ -268,11 +296,24 @@ func cmdLoad(args []string) error {
 	logPath := fs.String("log", "", "workflow log (JSON lines) to ingest")
 	runID := fs.String("run", "", "run id for the ingested log")
 	specName := fs.String("spec", "", "spec name the log executes (default: the -file spec)")
+	parallel := fs.Int("parallel", 0, "workers for parallel snapshot loading (0 = GOMAXPROCS)")
+	format := fs.String("format", "keep", "snapshot format to write: json, binary, or keep (preserve the existing file's format)")
 	_ = fs.Parse(args)
 	if *whPath == "" {
 		return fmt.Errorf("load: -warehouse is required")
 	}
-	sys, err := loadSystem(*whPath)
+	switch *format {
+	case "json", "binary":
+	case "keep":
+		if snapshotIsBinary(*whPath) {
+			*format = "binary"
+		} else {
+			*format = "json"
+		}
+	default:
+		return fmt.Errorf("load: unknown -format %q (want json, binary or keep)", *format)
+	}
+	sys, err := loadSystemWith(*whPath, *parallel)
 	if err != nil {
 		return err
 	}
@@ -297,17 +338,14 @@ func cmdLoad(args []string) error {
 		if err != nil {
 			return err
 		}
-		events, err := zoom.ReadLog(f)
+		n, err := sys.LoadLogReader(*runID, *specName, f)
 		f.Close()
 		if err != nil {
 			return err
 		}
-		if err := sys.LoadLog(*runID, *specName, events); err != nil {
-			return err
-		}
-		fmt.Printf("ingested %d events as run %q\n", len(events), *runID)
+		fmt.Printf("ingested %d events as run %q\n", n, *runID)
 	}
-	return saveSystem(sys, *whPath)
+	return saveSystemFormat(sys, *whPath, *format)
 }
 
 func cmdQuery(args []string) error {

@@ -479,5 +479,6 @@ func RunAll(o Options) []*Report {
 		ExpAblation(o),
 		ExpConcurrent(o),
 		ExpCompact(o),
+		ExpIngest(o),
 	}
 }

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/warehouse"
+)
+
+// ExpIngest (L1) measures the warehouse ingest path: the same multi-run
+// warehouse is snapshotted in both formats and reloaded four ways — v1
+// (JSON) and v2 (binary frames), each serially (Workers=1) and with the
+// default parallel worker pool — timing the full load (decode, reconstruct,
+// validate, conformance-check, compact-index build) and counting its heap
+// allocations. The headline column is v2 parallel against v1 serial: the
+// old path versus everything this PR's ingest work buys. On a single-core
+// host the parallel columns track the serial ones and the speedup is the
+// format + interned-reconstruction win alone; with more cores the frame-
+// parallel decode widens it.
+func ExpIngest(o Options) *Report {
+	rep := &Report{
+		ID:    "L1",
+		Title: "Snapshot ingest: v1 JSON vs v2 binary frames, serial vs parallel",
+		Headers: []string{"run kind", "runs", "steps", "v1 KB", "v2 KB",
+			"v1 ser ms", "v1 par ms", "v2 ser ms", "v2 par ms", "speedup", "alloc ratio"},
+	}
+	g := gen.NewGenerator(o.Seed + 13)
+	for _, rc := range runClasses(o) {
+		s := g.Workflow(gen.Class4(), "l1-"+rc.Name)
+		w := warehouse.New(0)
+		if err := w.RegisterSpec(s); err != nil {
+			continue
+		}
+		nRuns := o.RunsPerKind
+		if nRuns < 1 {
+			nRuns = 1
+		}
+		ok := true
+		for i := 0; i < nRuns; i++ {
+			r, _, err := g.Run(s, rc, fmt.Sprintf("l1-%s-r%d", rc.Name, i))
+			if err != nil || w.LoadRun(r) != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		st := w.Stats()
+
+		var v1, v2 bytes.Buffer
+		if w.Save(&v1) != nil || w.SaveBinary(&v2) != nil {
+			continue
+		}
+		reps := 10
+		if st.Steps > 3000 {
+			reps = 3
+		}
+		v1ser, v1allocs, err1 := measureLoad(v1.Bytes(), 1, reps)
+		v1par, _, err2 := measureLoad(v1.Bytes(), 0, reps)
+		v2ser, _, err3 := measureLoad(v2.Bytes(), 1, reps)
+		v2par, v2allocs, err4 := measureLoad(v2.Bytes(), 0, reps)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			continue
+		}
+		speedup, allocRatio := "-", "-"
+		if v2par > 0 {
+			speedup = fmt.Sprintf("%.2fx", v1ser/v2par)
+		}
+		if v2allocs > 0 {
+			allocRatio = fmt.Sprintf("%.2fx", float64(v1allocs)/float64(v2allocs))
+		}
+		rep.Append(rc.Name, nRuns, st.Steps,
+			fmt.Sprintf("%.1f", float64(v1.Len())/1024),
+			fmt.Sprintf("%.1f", float64(v2.Len())/1024),
+			v1ser, v1par, v2ser, v2par, speedup, allocRatio)
+	}
+	rep.Notes = append(rep.Notes,
+		"speedup = v1 serial / v2 parallel (the upgrade a deployment sees); the v2 win",
+		"is length-prefixed frames + interned-id reconstruction that pre-builds the",
+		"compact index from integer tables, skipping every natural-order string sort;",
+		"on a single-core host the parallel columns equal the serial ones.")
+	return rep
+}
+
+// measureLoad loads a snapshot image reps times with the given worker count
+// and returns the average wall-clock milliseconds and heap allocations per
+// load.
+func measureLoad(image []byte, workers, reps int) (avgMS float64, allocsPerOp uint64, err error) {
+	// One warm-up load keeps one-time costs (lazy runtime setup) out of the
+	// measurement.
+	if _, err := warehouse.LoadWith(bytes.NewReader(image), 0, warehouse.LoadOptions{Workers: workers}); err != nil {
+		return 0, 0, err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := warehouse.LoadWith(bytes.NewReader(image), 0, warehouse.LoadOptions{Workers: workers}); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	avgMS = float64(elapsed.Microseconds()) / float64(reps) / 1000
+	allocsPerOp = (after.Mallocs - before.Mallocs) / uint64(reps)
+	return avgMS, allocsPerOp, nil
+}

@@ -1,0 +1,30 @@
+package bench
+
+import "testing"
+
+// TestIngestShape pins the L1 experiment's shape: one row per Table II run
+// class, v2 smaller than v1 on disk, fewer allocations per load, and on the
+// larger classes the v2 parallel load must clearly beat the v1 serial load
+// (the committed BENCH_L1.json asserts the full >=3x headline at bench
+// scale; the test floor is looser so CI noise cannot flake it).
+func TestIngestShape(t *testing.T) {
+	rep := ExpIngest(testOptions())
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d\n%s", len(rep.Rows), rep)
+	}
+	for _, kind := range []string{"small", "medium", "large"} {
+		v1 := cellF(t, rep, kind, "v1 KB")
+		v2 := cellF(t, rep, kind, "v2 KB")
+		if v2 >= v1 {
+			t.Fatalf("%s: v2 snapshot (%v KB) not smaller than v1 (%v KB)\n%s", kind, v2, v1, rep)
+		}
+	}
+	for _, kind := range []string{"medium", "large"} {
+		v1ser := cellF(t, rep, kind, "v1 ser ms")
+		v2par := cellF(t, rep, kind, "v2 par ms")
+		if v2par*1.5 >= v1ser {
+			t.Fatalf("%s: v2 parallel load (%v ms) not clearly faster than v1 serial (%v ms)\n%s",
+				kind, v2par, v1ser, rep)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package run
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/bitset"
 	"repro/internal/spec"
@@ -94,12 +95,15 @@ func buildIndex(r *Run) *Index {
 		ix.outOff[i+1] = int32(len(ix.outData))
 	}
 
-	// Data-side CSR: consuming steps per interned data id.
+	// Data-side CSR: consuming steps per interned data id, ascending (the
+	// Consumers accessor sorts lexicographically, so re-sort by id).
 	ix.conOff = make([]int32, len(ix.dataName)+1)
 	for i, d := range ix.dataName {
 		for _, s := range r.Consumers(d) {
 			ix.conStep = append(ix.conStep, ix.stepID[s])
 		}
+		row := ix.conStep[ix.conOff[i]:]
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
 		ix.conOff[i+1] = int32(len(ix.conStep))
 	}
 
@@ -108,6 +112,114 @@ func buildIndex(r *Run) *Index {
 		ix.finals.Add(ix.dataID[d])
 	}
 	return ix
+}
+
+// validateStructure checks Validate's invariants on the interned
+// representation: the step relation implied by the flows is acyclic and
+// every step is forward-reachable from INPUT and backward-reachable from
+// OUTPUT. This walk is equivalent to the execution-graph walk because every
+// flow's data objects are produced by the flow's source, so "t consumes
+// data produced by s" holds exactly when the graph has edge s -> t, and
+// INPUT/OUTPUT — a pure source and a pure sink — can never be on a cycle.
+func (ix *Index) validateStructure() error {
+	n := len(ix.stepName)
+	r := ix.r
+
+	// Acyclicity: Kahn's algorithm over the step relation. The (s, t) pairs
+	// are enumerated identically in both passes (possibly repeated when s
+	// feeds t several data objects), so the counts balance.
+	indeg := make([]int32, n)
+	for s := 0; s < n; s++ {
+		for _, d := range ix.OutputsOf(int32(s)) {
+			for _, t := range ix.ConsumersOf(d) {
+				indeg[t]++
+			}
+		}
+	}
+	queue := make([]int32, 0, n)
+	for s := 0; s < n; s++ {
+		if indeg[s] == 0 {
+			queue = append(queue, int32(s))
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		s := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		done++
+		for _, d := range ix.OutputsOf(s) {
+			for _, t := range ix.ConsumersOf(d) {
+				if indeg[t]--; indeg[t] == 0 {
+					queue = append(queue, t)
+				}
+			}
+		}
+	}
+	if done != n {
+		return fmt.Errorf("run %q: %w", r.id, ErrCyclicRun)
+	}
+
+	// Forward reach from INPUT: seed with the consumers of external data,
+	// expand along the same step relation.
+	fwd := make([]bool, n)
+	queue = queue[:0]
+	mark := func(t int32) {
+		if !fwd[t] {
+			fwd[t] = true
+			queue = append(queue, t)
+		}
+	}
+	for d, p := range ix.producer {
+		if p < 0 {
+			for _, t := range ix.ConsumersOf(int32(d)) {
+				mark(t)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, d := range ix.OutputsOf(s) {
+			for _, t := range ix.ConsumersOf(d) {
+				mark(t)
+			}
+		}
+	}
+
+	// Backward reach from OUTPUT: seed with the producers of final data,
+	// expand along producers of each step's inputs.
+	bwd := make([]bool, n)
+	queue = queue[:0]
+	markB := func(s int32) {
+		if !bwd[s] {
+			bwd[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for d, p := range ix.producer {
+		if p >= 0 && ix.finals.Has(int32(d)) {
+			markB(p)
+		}
+	}
+	for len(queue) > 0 {
+		t := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, d := range ix.InputsOf(t) {
+			if p := ix.producer[d]; p >= 0 {
+				markB(p)
+			}
+		}
+	}
+
+	for s := 0; s < n; s++ {
+		if !fwd[s] {
+			return fmt.Errorf("run %q: step %q unreachable from INPUT: %w", r.id, ix.stepName[s], ErrDisconnected)
+		}
+		if !bwd[s] {
+			return fmt.Errorf("run %q: step %q cannot reach OUTPUT: %w", r.id, ix.stepName[s], ErrDisconnected)
+		}
+	}
+	return nil
 }
 
 // Run returns the run this index was built from.

@@ -1,0 +1,315 @@
+package run
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/spec"
+)
+
+// Node codes used by interned flow tables (and the v2 binary snapshot):
+// INPUT and OUTPUT get fixed small codes so step k can be code k+2.
+const (
+	NodeInput  = 0
+	NodeOutput = 1
+	NodeStep0  = 2
+)
+
+// InternedFlow is one dataflow edge in interned form: endpoints are node
+// codes (NodeInput, NodeOutput, or NodeStep0+k for the k-th step in natural
+// order) and Data are indexes into the run's natural-order data table.
+type InternedFlow struct {
+	From, To int32
+	Data     []int32
+}
+
+// ReconstructInterned bulk-builds a run from interned tables — the binary
+// snapshot loader's fast path. steps and data are expected in natural order
+// (the compact index's interning order) and each flow's data indexes are
+// expected strictly ascending; under those assumptions the run's relations
+// AND its compact index are assembled from integer work alone, with no
+// natural-order comparisons at all.
+//
+// The assumptions are verified, not trusted: an O(n) pass checks the
+// orderings, and any table that fails it (a hand-crafted or corrupt frame)
+// is routed through the string-world Reconstruct path, which normalizes.
+// Structural invariants — unique steps, known endpoints, single producer
+// per data object, non-empty data on every edge — are enforced here exactly
+// as AddStep and AddFlow enforce them, with the same error values.
+func ReconstructInterned(id, specName string, steps []Step, data []string, flows []InternedFlow, meta map[int32]map[string]string) (*Run, error) {
+	if !internedTablesOrdered(steps, data, flows) {
+		return reconstructFromInterned(id, specName, steps, data, flows, meta)
+	}
+
+	r := NewRun(id, specName)
+	// Pre-size every relation: the table sizes are exact, so the maps never
+	// rehash while the bulk inserts run.
+	r.steps = make(map[string]Step, len(steps))
+	r.edgeData = make(map[[2]string][]string, len(flows))
+	r.producer = make(map[string]string, len(data))
+	r.consumers = make(map[string][]string, len(data))
+	names := make([]string, NodeStep0+len(steps))
+	names[NodeInput] = spec.Input
+	names[NodeOutput] = spec.Output
+	for i, st := range steps {
+		if err := checkStep(st); err != nil {
+			return nil, err
+		}
+		r.steps[st.ID] = st
+		r.g.AddNode(st.ID)
+		names[NodeStep0+i] = st.ID
+	}
+
+	// prod[d] is the producing node code of data id d: NodeInput marks an
+	// external object, -1 marks never-seen. A data table entry no flow uses
+	// has no producer, which the string path resolves by dropping it — so
+	// that case falls back too.
+	prod := make([]int32, len(data))
+	for i := range prod {
+		prod[i] = -1
+	}
+	type edgeKey struct{ f, t int32 }
+	seenEdge := make(map[edgeKey]bool, len(flows))
+	for _, f := range flows {
+		if int(f.From) >= len(names) || int(f.To) >= len(names) || f.From < 0 || f.To < 0 {
+			return nil, fmt.Errorf("%w: node code out of range on %d -> %d", ErrBadFlow, f.From, f.To)
+		}
+		from, to := names[f.From], names[f.To]
+		if f.From == NodeOutput || f.To == NodeInput {
+			return nil, fmt.Errorf("%w: direction %s -> %s", ErrBadFlow, from, to)
+		}
+		if f.From == f.To {
+			return nil, fmt.Errorf("%w: self flow on %s", ErrBadFlow, from)
+		}
+		if len(f.Data) == 0 {
+			return nil, fmt.Errorf("%w: edge %s -> %s carries no data", ErrBadFlow, from, to)
+		}
+		if seenEdge[edgeKey{f.From, f.To}] {
+			// Duplicate edges need the merge path; Save never writes them.
+			return reconstructFromInterned(id, specName, steps, data, flows, meta)
+		}
+		seenEdge[edgeKey{f.From, f.To}] = true
+		p := f.From
+		for _, di := range f.Data {
+			if int(di) >= len(data) || di < 0 {
+				return nil, fmt.Errorf("%w: data index %d out of range on %s -> %s", ErrBadFlow, di, from, to)
+			}
+			if data[di] == "" {
+				return nil, fmt.Errorf("%w: empty data id on %s -> %s", ErrBadFlow, from, to)
+			}
+			if prev := prod[di]; prev >= 0 {
+				if prev != p {
+					return nil, fmt.Errorf("%w: %q produced by %q and %q", ErrTwoProducers,
+						data[di], producerName(names, prev), producerName(names, p))
+				}
+			} else {
+				prod[di] = p
+			}
+		}
+		ds := make([]string, len(f.Data))
+		for i, di := range f.Data {
+			ds[i] = data[di]
+		}
+		r.edgeData[[2]string{from, to}] = ds
+		r.g.AddEdge(from, to)
+	}
+	for di, p := range prod {
+		if p < 0 {
+			// Unused data table entry: normalize through the string path.
+			return reconstructFromInterned(id, specName, steps, data, flows, meta)
+		}
+		r.producer[data[di]] = producerName(names, p)
+	}
+
+	r.index = buildIndexInterned(r, names, data, prod, flows)
+	// Consumer lists in the Run are lexicographically sorted (the Consumers
+	// contract); derive them from the index's interned rows.
+	for di := range data {
+		row := r.index.ConsumersOf(int32(di))
+		if len(row) == 0 {
+			continue
+		}
+		cs := make([]string, len(row))
+		for i, s := range row {
+			cs[i] = steps[s].ID
+		}
+		sort.Strings(cs)
+		r.consumers[data[di]] = cs
+	}
+
+	metaKeys := make([]int32, 0, len(meta))
+	for di := range meta {
+		metaKeys = append(metaKeys, di)
+	}
+	sort.Slice(metaKeys, func(i, j int) bool { return metaKeys[i] < metaKeys[j] })
+	for _, di := range metaKeys {
+		if err := r.AnnotateInput(data[di], meta[di]); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+func producerName(names []string, code int32) string {
+	if code == NodeInput {
+		return "" // external
+	}
+	return names[code]
+}
+
+func checkStep(st Step) error {
+	if st.ID == "" || st.Module == "" {
+		return fmt.Errorf("%w: empty id or module", ErrBadStep)
+	}
+	if st.ID == spec.Input || st.ID == spec.Output {
+		return fmt.Errorf("%w: step id %q is reserved", ErrBadStep, st.ID)
+	}
+	return nil
+}
+
+// internedTablesOrdered verifies the fast path's ordering assumptions:
+// steps and data strictly increasing naturally (which also implies both are
+// duplicate-free) and every flow's data indexes strictly ascending.
+func internedTablesOrdered(steps []Step, data []string, flows []InternedFlow) bool {
+	for i := 1; i < len(steps); i++ {
+		if !lessNatural(steps[i-1].ID, steps[i].ID) {
+			return false
+		}
+	}
+	for i := 1; i < len(data); i++ {
+		if !lessNatural(data[i-1], data[i]) {
+			return false
+		}
+	}
+	for _, f := range flows {
+		for i := 1; i < len(f.Data); i++ {
+			if f.Data[i-1] >= f.Data[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// reconstructFromInterned maps the interned tables back to strings and runs
+// the normalizing Reconstruct path — the fallback when the fast path's
+// ordering assumptions do not hold.
+func reconstructFromInterned(id, specName string, steps []Step, data []string, flows []InternedFlow, meta map[int32]map[string]string) (*Run, error) {
+	nodeName := func(code int32) (string, error) {
+		switch {
+		case code == NodeInput:
+			return spec.Input, nil
+		case code == NodeOutput:
+			return spec.Output, nil
+		case code >= NodeStep0 && int(code-NodeStep0) < len(steps):
+			return steps[code-NodeStep0].ID, nil
+		}
+		return "", fmt.Errorf("%w: node code %d out of range", ErrBadFlow, code)
+	}
+	sf := make([]Flow, 0, len(flows))
+	for _, f := range flows {
+		from, err := nodeName(f.From)
+		if err != nil {
+			return nil, err
+		}
+		to, err := nodeName(f.To)
+		if err != nil {
+			return nil, err
+		}
+		ds := make([]string, 0, len(f.Data))
+		for _, di := range f.Data {
+			if int(di) >= len(data) || di < 0 {
+				return nil, fmt.Errorf("%w: data index %d out of range on %s -> %s", ErrBadFlow, di, from, to)
+			}
+			ds = append(ds, data[di])
+		}
+		sf = append(sf, Flow{From: from, To: to, Data: ds})
+	}
+	var sm map[string]map[string]string
+	if len(meta) > 0 {
+		sm = make(map[string]map[string]string, len(meta))
+		for di, kv := range meta {
+			if int(di) >= len(data) || di < 0 {
+				return nil, fmt.Errorf("%w: meta data index %d out of range", ErrBadFlow, di)
+			}
+			sm[data[di]] = kv
+		}
+	}
+	return Reconstruct(id, specName, steps, sf, sm)
+}
+
+// buildIndexInterned assembles the compact index straight from the interned
+// tables — the same structure buildIndex derives by sorting the string
+// world, produced here by integer passes alone.
+func buildIndexInterned(r *Run, names []string, data []string, prod []int32, flows []InternedFlow) *Index {
+	nSteps := len(names) - NodeStep0
+	ix := &Index{
+		r:        r,
+		stepName: names[NodeStep0:],
+		dataName: data,
+	}
+	ix.stepID = make(map[string]int32, nSteps)
+	for i, s := range ix.stepName {
+		ix.stepID[s] = int32(i)
+	}
+	ix.dataID = make(map[string]int32, len(data))
+	for i, d := range data {
+		ix.dataID[d] = int32(i)
+	}
+	ix.producer = make([]int32, len(data))
+	for i, p := range prod {
+		if p == NodeInput {
+			ix.producer[i] = -1
+		} else {
+			ix.producer[i] = p - NodeStep0
+		}
+	}
+
+	in := make([][]int32, nSteps)
+	out := make([][]int32, nSteps)
+	cons := make([][]int32, len(data))
+	ix.finals = bitset.New(len(data))
+	for _, f := range flows {
+		if f.To == NodeOutput {
+			for _, di := range f.Data {
+				ix.finals.Add(di)
+			}
+		} else {
+			s := f.To - NodeStep0
+			in[s] = append(in[s], f.Data...)
+			for _, di := range f.Data {
+				cons[di] = append(cons[di], s)
+			}
+		}
+		if f.From != NodeInput {
+			s := f.From - NodeStep0
+			out[s] = append(out[s], f.Data...)
+		}
+	}
+	ix.inOff, ix.inData = flattenSortedUnique(in)
+	ix.outOff, ix.outData = flattenSortedUnique(out)
+	ix.conOff, ix.conStep = flattenSortedUnique(cons)
+	return ix
+}
+
+// flattenSortedUnique sorts each row ascending, deduplicates it, and
+// flattens the rows into a CSR offset/value pair.
+func flattenSortedUnique(rows [][]int32) (off, vals []int32) {
+	off = make([]int32, len(rows)+1)
+	total := 0
+	for _, row := range rows {
+		total += len(row)
+	}
+	vals = make([]int32, 0, total)
+	for i, row := range rows {
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+		for j, v := range row {
+			if j == 0 || v != row[j-1] {
+				vals = append(vals, v)
+			}
+		}
+		off[i+1] = int32(len(vals))
+	}
+	return off, vals
+}

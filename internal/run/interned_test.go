@@ -1,0 +1,161 @@
+package run
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// internedTables derives the interned form of a run — natural-order step and
+// data tables plus code/index flows — exactly as the binary snapshot writer
+// does.
+func internedTables(r *Run) (steps []Step, data []string, flows []InternedFlow, meta map[int32]map[string]string) {
+	steps = r.Steps()
+	data = r.AllData()
+	code := map[string]int32{spec.Input: NodeInput, spec.Output: NodeOutput}
+	for i, st := range steps {
+		code[st.ID] = int32(NodeStep0 + i)
+	}
+	idx := make(map[string]int32, len(data))
+	for i, d := range data {
+		idx[d] = int32(i)
+	}
+	for _, e := range r.Graph().Edges() {
+		var ds []int32
+		for _, d := range r.DataOn(e.From, e.To) { // natural order = ascending indexes
+			ds = append(ds, idx[d])
+		}
+		flows = append(flows, InternedFlow{From: code[e.From], To: code[e.To], Data: ds})
+	}
+	for _, d := range r.AnnotatedInputs() {
+		if meta == nil {
+			meta = make(map[int32]map[string]string)
+		}
+		meta[idx[d]] = r.InputMeta(d)
+	}
+	return steps, data, flows, meta
+}
+
+// TestReconstructInternedEquivalent: the interned fast path must rebuild a
+// run that is element-identical to the original — same steps, flows, data,
+// producers, consumers and metadata — and whose pre-built index matches the
+// index the string-world buildIndex derives, field for field.
+func TestReconstructInternedEquivalent(t *testing.T) {
+	orig := Figure2()
+	if err := orig.AnnotateInput("d1", map[string]string{"who": "joe", "when": "2008-04-07"}); err != nil {
+		t.Fatal(err)
+	}
+	steps, data, flows, meta := internedTables(orig)
+	got, err := ReconstructInterned(orig.ID(), orig.SpecName(), steps, data, flows, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Compare(orig, got); !d.SameShape() {
+		t.Fatalf("interned reconstruction differs: %s", d)
+	}
+	for _, d := range orig.AllData() {
+		po, _ := orig.Producer(d)
+		pg, ok := got.Producer(d)
+		if !ok || po != pg {
+			t.Fatalf("producer of %q: %q vs %q (ok=%v)", d, po, pg, ok)
+		}
+		if !reflect.DeepEqual(orig.Consumers(d), got.Consumers(d)) {
+			t.Fatalf("consumers of %q: %v vs %v", d, orig.Consumers(d), got.Consumers(d))
+		}
+	}
+	if !reflect.DeepEqual(orig.InputMeta("d1"), got.InputMeta("d1")) {
+		t.Fatalf("meta differs: %v vs %v", orig.InputMeta("d1"), got.InputMeta("d1"))
+	}
+
+	// The pre-built index must match buildIndex's output exactly. Build the
+	// reference from the reconstructed run so both cover identical contents.
+	pre := got.Index()
+	ref := buildIndex(got)
+	if !reflect.DeepEqual(pre.stepName, ref.stepName) || !reflect.DeepEqual(pre.dataName, ref.dataName) {
+		t.Fatal("interning tables differ")
+	}
+	if !reflect.DeepEqual(pre.producer, ref.producer) {
+		t.Fatalf("producer columns differ:\n%v\n%v", pre.producer, ref.producer)
+	}
+	for _, pair := range [][2][]int32{
+		{pre.inOff, ref.inOff}, {pre.inData, ref.inData},
+		{pre.outOff, ref.outOff}, {pre.outData, ref.outData},
+		{pre.conOff, ref.conOff}, {pre.conStep, ref.conStep},
+	} {
+		if !reflect.DeepEqual(pair[0], pair[1]) {
+			t.Fatalf("CSR relation differs:\n%v\n%v", pair[0], pair[1])
+		}
+	}
+	for i := 0; i < len(data); i++ {
+		if pre.IsFinal(int32(i)) != ref.IsFinal(int32(i)) {
+			t.Fatalf("finals differ at %d", i)
+		}
+	}
+}
+
+// TestReconstructInternedFallback: tables that violate the ordering
+// assumptions must still reconstruct correctly (through the normalizing
+// string path), and structural violations must fail with the same errors
+// the incremental builders report.
+func TestReconstructInternedFallback(t *testing.T) {
+	orig := Figure2()
+	steps, data, flows, _ := internedTables(orig)
+
+	// Swap two data table entries: natural order broken, content identical.
+	data2 := append([]string(nil), data...)
+	data2[0], data2[1] = data2[1], data2[0]
+	flows2 := make([]InternedFlow, len(flows))
+	remap := func(di int32) int32 {
+		switch di {
+		case 0:
+			return 1
+		case 1:
+			return 0
+		}
+		return di
+	}
+	for i, f := range flows {
+		ds := make([]int32, len(f.Data))
+		for j, di := range f.Data {
+			ds[j] = remap(di)
+		}
+		flows2[i] = InternedFlow{From: f.From, To: f.To, Data: ds}
+	}
+	got, err := ReconstructInterned(orig.ID(), orig.SpecName(), steps, data2, flows2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Compare(orig, got); !d.SameShape() {
+		t.Fatalf("fallback reconstruction differs: %s", d)
+	}
+
+	// Structural violations surface the builder errors on both paths.
+	for _, tc := range []struct {
+		name  string
+		mut   func(fs []InternedFlow) []InternedFlow
+		errIs error
+	}{
+		{"self flow", func(fs []InternedFlow) []InternedFlow {
+			return append(fs, InternedFlow{From: NodeStep0, To: NodeStep0, Data: []int32{0}})
+		}, ErrBadFlow},
+		{"empty data", func(fs []InternedFlow) []InternedFlow {
+			return append(fs, InternedFlow{From: NodeStep0, To: NodeOutput})
+		}, ErrBadFlow},
+		{"bad code", func(fs []InternedFlow) []InternedFlow {
+			return append(fs, InternedFlow{From: 99, To: NodeOutput, Data: []int32{0}})
+		}, ErrBadFlow},
+		{"two producers", func(fs []InternedFlow) []InternedFlow {
+			d := fs[len(fs)-1].Data[0] // produced by a step; claim INPUT produced it too
+			return append(fs, InternedFlow{From: NodeInput, To: fs[0].To, Data: []int32{d}})
+		}, ErrTwoProducers},
+	} {
+		fs := tc.mut(append([]InternedFlow(nil), flows...))
+		if _, err := ReconstructInterned(orig.ID(), orig.SpecName(), steps, data, fs, nil); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		} else if !errors.Is(err, tc.errIs) {
+			t.Fatalf("%s: error %v, want %v", tc.name, err, tc.errIs)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package run
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/spec"
+	"repro/internal/wflog"
+)
+
+// LogLoader incrementally reconstructs a run from a stream of workflow-log
+// events. It is the streaming counterpart of FromLog: events are validated
+// and folded into the run as they arrive, so a multi-gigabyte log never has
+// to be materialized as an []Event slice. The reconstruction rules are
+// FromLog's:
+//
+//   - every start event introduces a step;
+//   - a read of a data object written by step p induces the flow p -> reader;
+//   - a read of a data object nobody wrote is external input (INPUT -> reader);
+//   - data written but never read is final output (writer -> OUTPUT).
+//
+// Flows can only be wired once the producer of every read object is known,
+// so the dataflow edges are materialized by Finish, not per event.
+type LogLoader struct {
+	r         *Run
+	writer    map[string]string   // data -> producing step
+	readsOf   map[string][]string // step -> data read (in log order)
+	writesOf  map[string][]string // step -> data written
+	read      map[string]bool     // data ever read
+	started   map[string]bool
+	stepOrder []string
+	lastSeq   int64
+	n         int
+	done      bool
+}
+
+// NewLogLoader returns an empty loader for the named run and specification.
+func NewLogLoader(runID, specName string) *LogLoader {
+	return &LogLoader{
+		r:        NewRun(runID, specName),
+		writer:   make(map[string]string),
+		readsOf:  make(map[string][]string),
+		writesOf: make(map[string][]string),
+		read:     make(map[string]bool),
+		started:  make(map[string]bool),
+		lastSeq:  -1,
+	}
+}
+
+// Add folds one event into the run under construction. It enforces the same
+// per-event and sequence invariants as wflog.ValidateSequence — event
+// validity, strictly increasing sequence numbers, start before read/write —
+// incrementally, and reports errors with the same "event %d" indexes.
+func (l *LogLoader) Add(e wflog.Event) error {
+	if l.done {
+		return fmt.Errorf("run: LogLoader used after Finish")
+	}
+	i := l.n
+	if err := e.Validate(); err != nil {
+		return fmt.Errorf("event %d: %w", i, err)
+	}
+	if e.Seq <= l.lastSeq {
+		return fmt.Errorf("event %d: seq %d after %d: %w", i, e.Seq, l.lastSeq, wflog.ErrOutOfOrder)
+	}
+	l.lastSeq = e.Seq
+	switch e.Kind {
+	case wflog.KindStart:
+		if l.started[e.Step] {
+			return fmt.Errorf("event %d: duplicate start for step %q: %w", i, e.Step, wflog.ErrBadEvent)
+		}
+		l.started[e.Step] = true
+		if err := l.r.AddStep(e.Step, e.Module); err != nil {
+			return err
+		}
+		l.stepOrder = append(l.stepOrder, e.Step)
+	case wflog.KindRead:
+		if !l.started[e.Step] {
+			return fmt.Errorf("event %d: %s before start of step %q: %w", i, e.Kind, e.Step, wflog.ErrOutOfOrder)
+		}
+		l.readsOf[e.Step] = append(l.readsOf[e.Step], e.Data)
+		l.read[e.Data] = true
+	case wflog.KindWrite:
+		if !l.started[e.Step] {
+			return fmt.Errorf("event %d: %s before start of step %q: %w", i, e.Kind, e.Step, wflog.ErrOutOfOrder)
+		}
+		if prev, dup := l.writer[e.Data]; dup {
+			return fmt.Errorf("%w: %q written by %q and %q", ErrTwoProducers, e.Data, prev, e.Step)
+		}
+		l.writer[e.Data] = e.Step
+		l.writesOf[e.Step] = append(l.writesOf[e.Step], e.Data)
+	}
+	l.n++
+	return nil
+}
+
+// NumEvents returns the number of events folded in so far.
+func (l *LogLoader) NumEvents() int { return l.n }
+
+// Finish materializes the dataflow edges and returns the reconstructed run.
+// The loader cannot be reused afterwards.
+func (l *LogLoader) Finish() (*Run, error) {
+	if l.done {
+		return nil, fmt.Errorf("run: LogLoader used after Finish")
+	}
+	l.done = true
+	// Group flows per (source, target) pair for compact edges.
+	for _, step := range l.stepOrder {
+		bySource := make(map[string][]string)
+		for _, d := range l.readsOf[step] {
+			src, ok := l.writer[d]
+			if !ok {
+				src = spec.Input
+			}
+			bySource[src] = append(bySource[src], d)
+		}
+		srcs := make([]string, 0, len(bySource))
+		for src := range bySource {
+			srcs = append(srcs, src)
+		}
+		sort.Strings(srcs)
+		for _, src := range srcs {
+			if err := l.r.AddFlow(src, step, bySource[src]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Unread writes become final outputs.
+	for _, step := range l.stepOrder {
+		var finals []string
+		for _, d := range l.writesOf[step] {
+			if !l.read[d] {
+				finals = append(finals, d)
+			}
+		}
+		if len(finals) > 0 {
+			if err := l.r.AddFlow(step, spec.Output, finals); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return l.r, nil
+}

@@ -2,9 +2,7 @@ package run
 
 import (
 	"fmt"
-	"sort"
 
-	"repro/internal/spec"
 	"repro/internal/wflog"
 )
 
@@ -18,70 +16,16 @@ import (
 //   - a read of a data object written by step p induces the flow p -> reader;
 //   - a read of a data object nobody wrote is external input (INPUT -> reader);
 //   - data written but never read is final output (writer -> OUTPUT).
+// FromLog is the batch form of LogLoader (see loader.go), which streams the
+// same reconstruction event by event.
 func FromLog(runID, specName string, events []wflog.Event) (*Run, error) {
-	if err := wflog.ValidateSequence(events); err != nil {
-		return nil, err
-	}
-	r := NewRun(runID, specName)
-	writer := make(map[string]string)     // data -> producing step
-	readsOf := make(map[string][]string)  // step -> data read (in log order)
-	writesOf := make(map[string][]string) // step -> data written
-	read := make(map[string]bool)         // data ever read
-	var stepOrder []string
+	l := NewLogLoader(runID, specName)
 	for _, e := range events {
-		switch e.Kind {
-		case wflog.KindStart:
-			if err := r.AddStep(e.Step, e.Module); err != nil {
-				return nil, err
-			}
-			stepOrder = append(stepOrder, e.Step)
-		case wflog.KindRead:
-			readsOf[e.Step] = append(readsOf[e.Step], e.Data)
-			read[e.Data] = true
-		case wflog.KindWrite:
-			if prev, dup := writer[e.Data]; dup {
-				return nil, fmt.Errorf("%w: %q written by %q and %q", ErrTwoProducers, e.Data, prev, e.Step)
-			}
-			writer[e.Data] = e.Step
-			writesOf[e.Step] = append(writesOf[e.Step], e.Data)
+		if err := l.Add(e); err != nil {
+			return nil, err
 		}
 	}
-	// Group flows per (source, target) pair for compact edges.
-	for _, step := range stepOrder {
-		bySource := make(map[string][]string)
-		for _, d := range readsOf[step] {
-			src, ok := writer[d]
-			if !ok {
-				src = spec.Input
-			}
-			bySource[src] = append(bySource[src], d)
-		}
-		srcs := make([]string, 0, len(bySource))
-		for src := range bySource {
-			srcs = append(srcs, src)
-		}
-		sort.Strings(srcs)
-		for _, src := range srcs {
-			if err := r.AddFlow(src, step, bySource[src]); err != nil {
-				return nil, err
-			}
-		}
-	}
-	// Unread writes become final outputs.
-	for _, step := range stepOrder {
-		var finals []string
-		for _, d := range writesOf[step] {
-			if !read[d] {
-				finals = append(finals, d)
-			}
-		}
-		if len(finals) > 0 {
-			if err := r.AddFlow(step, spec.Output, finals); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return r, nil
+	return l.Finish()
 }
 
 // ToLog renders a run as the event log that would have produced it: steps

@@ -258,7 +258,16 @@ func (r *Run) HasData(d string) bool {
 
 // Validate checks the structural requirements of Section II: the execution
 // graph is acyclic and every step lies on some path from INPUT to OUTPUT.
+// When the compact index is already built (a snapshot load pre-builds it),
+// the checks run as integer traversals over the index — same invariants,
+// same errors, no string-keyed graph walk.
 func (r *Run) Validate() error {
+	r.indexMu.Lock()
+	ix := r.index
+	r.indexMu.Unlock()
+	if ix != nil {
+		return ix.validateStructure()
+	}
 	if !r.g.IsAcyclic() {
 		return fmt.Errorf("run %q: %w", r.id, ErrCyclicRun)
 	}

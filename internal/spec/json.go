@@ -3,6 +3,7 @@ package spec
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 )
@@ -14,8 +15,11 @@ type specJSON struct {
 	Edges   [][2]string `json:"edges"`
 }
 
-// MarshalJSON encodes the specification deterministically: modules sorted by
-// name, edges in graph order.
+// MarshalJSON encodes the specification canonically: modules sorted by
+// name, edges sorted by (from, to). Canonical means the encoding is a pure
+// function of the specification's value — two equal specs marshal to the
+// same bytes no matter what order their modules and edges were added in,
+// which is what makes snapshot round trips byte-stable.
 func (s *Spec) MarshalJSON() ([]byte, error) {
 	var doc specJSON
 	doc.Name = s.name
@@ -23,6 +27,12 @@ func (s *Spec) MarshalJSON() ([]byte, error) {
 	for _, e := range s.g.Edges() {
 		doc.Edges = append(doc.Edges, [2]string{e.From, e.To})
 	}
+	sort.Slice(doc.Edges, func(i, j int) bool {
+		if doc.Edges[i][0] != doc.Edges[j][0] {
+			return doc.Edges[i][0] < doc.Edges[j][0]
+		}
+		return doc.Edges[i][1] < doc.Edges[j][1]
+	})
 	return json.Marshal(doc)
 }
 

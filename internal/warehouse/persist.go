@@ -1,20 +1,31 @@
 package warehouse
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/run"
 	"repro/internal/spec"
 )
 
-// Snapshot persistence. The warehouse serializes to a single JSON document
-// containing every specification, view definition and run; loading rebuilds
-// the indexes through the same validated construction path as live loads,
-// so a corrupted snapshot cannot produce an inconsistent warehouse.
+// Snapshot persistence. Two on-disk formats share one loading path:
+//
+//   - v1 is a single JSON document (Save) — human-readable, diff-able, and
+//     the compatibility format every earlier snapshot is in;
+//   - v2 is a length-prefixed binary format (SaveBinary, persist_v2.go)
+//     whose runs are independent frames, which is what lets Load decode and
+//     index them on a worker pool instead of serially.
+//
+// Load auto-detects the format from the first byte ('{' for JSON, the magic
+// byte for v2). Either way, loading rebuilds every run through the same
+// validated construction path as live loads, so a corrupted snapshot cannot
+// produce an inconsistent warehouse.
 
 type snapshot struct {
 	Specs []json.RawMessage `json:"specs"`
@@ -42,7 +53,7 @@ type flowSnap struct {
 	Data []string `json:"data"`
 }
 
-// Save writes the warehouse contents as JSON.
+// Save writes the warehouse contents as JSON (the v1 snapshot format).
 func (w *Warehouse) Save(out io.Writer) error {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
@@ -88,12 +99,45 @@ func (w *Warehouse) Save(out io.Writer) error {
 		}
 		snap.Runs = append(snap.Runs, rs)
 	}
-	enc := json.NewEncoder(out)
-	return enc.Encode(&snap)
+	bw := bufio.NewWriterSize(out, 1<<16)
+	if err := json.NewEncoder(bw).Encode(&snap); err != nil {
+		return fmt.Errorf("warehouse: encode snapshot: %w", err)
+	}
+	return bw.Flush()
 }
 
-// Load reads a snapshot produced by Save into an empty warehouse.
+// LoadOptions tune snapshot loading.
+type LoadOptions struct {
+	// Workers bounds the goroutines that reconstruct, validate and index
+	// runs concurrently. Zero or negative selects GOMAXPROCS. Whatever the
+	// worker count, the loaded warehouse (and, on failure, the reported
+	// error) is identical to a serial load.
+	Workers int
+}
+
+// Load reads a snapshot produced by Save or SaveBinary into an empty
+// warehouse, auto-detecting the format, with the default (parallel) load
+// options.
 func Load(in io.Reader, cacheSize int) (*Warehouse, error) {
+	return LoadWith(in, cacheSize, LoadOptions{})
+}
+
+// LoadWith is Load with explicit options.
+func LoadWith(in io.Reader, cacheSize int, opts LoadOptions) (*Warehouse, error) {
+	br := bufio.NewReaderSize(in, 1<<16)
+	head, err := br.Peek(1)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: decode snapshot: %w", err)
+	}
+	if head[0] == snapMagic[0] {
+		return loadBinary(br, cacheSize, opts)
+	}
+	return loadJSON(br, cacheSize, opts)
+}
+
+// loadJSON restores a v1 (JSON) snapshot: the document is decoded in one
+// piece, then the runs are rebuilt on the worker pool.
+func loadJSON(in io.Reader, cacheSize int, opts LoadOptions) (*Warehouse, error) {
 	var snap snapshot
 	if err := json.NewDecoder(in).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("warehouse: decode snapshot: %w", err)
@@ -121,26 +165,89 @@ func Load(in io.Reader, cacheSize int) (*Warehouse, error) {
 			return nil, err
 		}
 	}
-	for _, rs := range snap.Runs {
-		r := run.NewRun(rs.ID, rs.Spec)
-		for _, st := range rs.Steps {
-			if err := r.AddStep(st.ID, st.Module); err != nil {
-				return nil, fmt.Errorf("warehouse: snapshot run %q: %w", rs.ID, err)
-			}
-		}
-		for _, f := range rs.Flows {
-			if err := r.AddFlow(f.From, f.To, f.Data); err != nil {
-				return nil, fmt.Errorf("warehouse: snapshot run %q: %w", rs.ID, err)
-			}
-		}
-		for d, meta := range rs.Meta {
-			if err := r.AnnotateInput(d, meta); err != nil {
-				return nil, fmt.Errorf("warehouse: snapshot run %q: %w", rs.ID, err)
-			}
-		}
-		if err := w.LoadRun(r); err != nil {
-			return nil, err
-		}
+	err := w.loadRunsParallel(opts.Workers, len(snap.Runs), func(i int) (*run.Run, error) {
+		return reconstructSnapshotRun(&snap.Runs[i])
+	})
+	if err != nil {
+		return nil, err
 	}
 	return w, nil
+}
+
+// reconstructSnapshotRun rebuilds one v1 run record through the bulk
+// construction path.
+func reconstructSnapshotRun(rs *runSnapshot) (*run.Run, error) {
+	flows := make([]run.Flow, len(rs.Flows))
+	for i, f := range rs.Flows {
+		flows[i] = run.Flow{From: f.From, To: f.To, Data: f.Data}
+	}
+	r, err := run.Reconstruct(rs.ID, rs.Spec, rs.Steps, flows, rs.Meta)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: snapshot run %q: %w", rs.ID, err)
+	}
+	return r, nil
+}
+
+// loadRunsParallel rebuilds n runs with a bounded worker pool: each worker
+// calls build(i) — reconstruction from the snapshot record — and then
+// LoadRun, which validates, checks spec conformance and builds the compact
+// index outside the catalog lock. Error reporting is deterministic: if any
+// indexes fail, the error of the *lowest* failing index is returned, no
+// matter how the pool interleaved. Indexes above a known failure are
+// skipped best-effort, never ones below it.
+func (w *Warehouse) loadRunsParallel(workers, n int, build func(i int) (*run.Run, error)) error {
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+	}
+	failedBelow := func(i int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return i > firstIdx
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+	}()
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if failedBelow(i) {
+					continue
+				}
+				r, err := build(i)
+				if err == nil {
+					err = w.LoadRun(r)
+				}
+				if err != nil {
+					record(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
 }

@@ -1,0 +1,470 @@
+package warehouse
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/run"
+	"repro/internal/spec"
+)
+
+// The v2 binary snapshot format. Layout:
+//
+//	magic   4 bytes  "ZOOM"  (first byte != '{', so Load can dispatch)
+//	version 1 byte   2
+//	specs   uvarint count, then per spec  a length-prefixed JSON island
+//	views   uvarint count, then per view  a length-prefixed JSON island
+//	runs    uvarint count, then per run   a length-prefixed binary frame
+//
+// Specifications and view definitions are tiny and change rarely, so they
+// stay as JSON islands (same schema as v1). Runs are the bulk of a
+// warehouse, so each run is one self-contained binary frame: strings are
+// interned once per frame — steps and data ids in natural order, exactly
+// the compact index's interning order (run.Index) — and every flow edge is
+// written as integer ids into those tables. Because each frame is length-
+// prefixed, the loader can slice the file into frames without decoding
+// them, hand the frames to a worker pool, and reconstruct runs in parallel.
+//
+// Frame layout (all integers are uvarints):
+//
+//	runID, specName                      length-prefixed strings
+//	#steps, then per step                id, module (natural order)
+//	#data, then per datum                data id (natural order)
+//	#flows, then per flow                from, to, #data, data indexes
+//	#meta, then per annotated input      data index, #keys, then key, value
+//
+// Flow endpoints are node codes: 0 = INPUT, 1 = OUTPUT, k+2 = interned step
+// k. Flows are sorted by (from, to) and their data indexes ascend (natural
+// order == interned order), so Save → Load → Save is byte-identical.
+var snapMagic = [4]byte{'Z', 'O', 'O', 'M'}
+
+const snapVersion2 = 2
+
+const (
+	nodeInput  = run.NodeInput
+	nodeOutput = run.NodeOutput
+	nodeStep0  = run.NodeStep0
+)
+
+// SaveBinary writes the warehouse contents in the v2 binary snapshot
+// format. Load reads either format transparently.
+func (w *Warehouse) SaveBinary(out io.Writer) error {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	bw := bufio.NewWriterSize(out, 1<<16)
+	enc := &binWriter{w: bw}
+	enc.raw(snapMagic[:])
+	enc.raw([]byte{snapVersion2})
+
+	specNames := make([]string, 0, len(w.specs))
+	for n := range w.specs {
+		specNames = append(specNames, n)
+	}
+	sort.Strings(specNames)
+	enc.uvarint(uint64(len(specNames)))
+	for _, n := range specNames {
+		blob, err := json.Marshal(w.specs[n])
+		if err != nil {
+			return fmt.Errorf("warehouse: encode spec %q: %w", n, err)
+		}
+		enc.blob(blob)
+	}
+
+	var views []viewSnapshot
+	for _, n := range specNames {
+		viewNames := make([]string, 0, len(w.views[n]))
+		for vn := range w.views[n] {
+			viewNames = append(viewNames, vn)
+		}
+		sort.Strings(viewNames)
+		for _, vn := range viewNames {
+			views = append(views, viewSnapshot{Spec: n, Name: vn, Blocks: w.views[n][vn].Blocks()})
+		}
+	}
+	enc.uvarint(uint64(len(views)))
+	for i := range views {
+		blob, err := json.Marshal(&views[i])
+		if err != nil {
+			return fmt.Errorf("warehouse: encode view %q: %w", views[i].Name, err)
+		}
+		enc.blob(blob)
+	}
+
+	runIDs := make([]string, 0, len(w.runs))
+	for id := range w.runs {
+		runIDs = append(runIDs, id)
+	}
+	sort.Strings(runIDs)
+	enc.uvarint(uint64(len(runIDs)))
+	var frame []byte
+	for _, id := range runIDs {
+		frame = appendRunFrame(frame[:0], w.runs[id].run)
+		enc.blob(frame)
+	}
+	if enc.err != nil {
+		return fmt.Errorf("warehouse: write snapshot: %w", enc.err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("warehouse: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// appendRunFrame encodes one run as a v2 frame, appending to dst.
+func appendRunFrame(dst []byte, r *run.Run) []byte {
+	dst = appendString(dst, r.ID())
+	dst = appendString(dst, r.SpecName())
+
+	steps := r.Steps() // natural order = interning order
+	dst = binary.AppendUvarint(dst, uint64(len(steps)))
+	stepCode := make(map[string]uint64, len(steps)+2)
+	stepCode[spec.Input] = nodeInput
+	stepCode[spec.Output] = nodeOutput
+	for i, st := range steps {
+		dst = appendString(dst, st.ID)
+		dst = appendString(dst, st.Module)
+		stepCode[st.ID] = uint64(i + nodeStep0)
+	}
+
+	data := r.AllData() // natural order = interning order
+	dst = binary.AppendUvarint(dst, uint64(len(data)))
+	dataIdx := make(map[string]uint64, len(data))
+	for i, d := range data {
+		dst = appendString(dst, d)
+		dataIdx[d] = uint64(i)
+	}
+
+	type edge struct {
+		fc, tc   uint64
+		from, to string
+	}
+	edges := make([]edge, 0, r.NumEdges())
+	for _, e := range r.Graph().Edges() {
+		edges = append(edges, edge{fc: stepCode[e.From], tc: stepCode[e.To], from: e.From, to: e.To})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].fc != edges[j].fc {
+			return edges[i].fc < edges[j].fc
+		}
+		return edges[i].tc < edges[j].tc
+	})
+	dst = binary.AppendUvarint(dst, uint64(len(edges)))
+	for _, e := range edges {
+		dst = binary.AppendUvarint(dst, e.fc)
+		dst = binary.AppendUvarint(dst, e.tc)
+		ds := r.DataOn(e.from, e.to) // naturally sorted = ascending indexes
+		dst = binary.AppendUvarint(dst, uint64(len(ds)))
+		for _, d := range ds {
+			dst = binary.AppendUvarint(dst, dataIdx[d])
+		}
+	}
+
+	ann := r.AnnotatedInputs() // natural order
+	dst = binary.AppendUvarint(dst, uint64(len(ann)))
+	for _, d := range ann {
+		dst = binary.AppendUvarint(dst, dataIdx[d])
+		meta := r.InputMeta(d)
+		keys := make([]string, 0, len(meta))
+		for k := range meta {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		dst = binary.AppendUvarint(dst, uint64(len(keys)))
+		for _, k := range keys {
+			dst = appendString(dst, k)
+			dst = appendString(dst, meta[k])
+		}
+	}
+	return dst
+}
+
+// loadBinary restores a v2 snapshot: specs and views are registered
+// serially (they are small JSON islands), then the run frames — already
+// sliced apart by their length prefixes — are decoded, validated and
+// indexed on the worker pool.
+func loadBinary(br *bufio.Reader, cacheSize int, opts LoadOptions) (*Warehouse, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("warehouse: decode snapshot header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != snapMagic {
+		return nil, fmt.Errorf("warehouse: bad snapshot magic %q", hdr[:4])
+	}
+	if hdr[4] != snapVersion2 {
+		return nil, fmt.Errorf("warehouse: unsupported snapshot version %d", hdr[4])
+	}
+	dec := &binReader{r: br}
+	w := New(cacheSize)
+
+	nSpecs := dec.uvarint()
+	for i := uint64(0); i < nSpecs && dec.err == nil; i++ {
+		blob := dec.blob()
+		if dec.err != nil {
+			break
+		}
+		s, err := spec.Decode(blob)
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: snapshot spec %d: %w", i, err)
+		}
+		if err := w.RegisterSpec(s); err != nil {
+			return nil, err
+		}
+	}
+	nViews := dec.uvarint()
+	for i := uint64(0); i < nViews && dec.err == nil; i++ {
+		blob := dec.blob()
+		if dec.err != nil {
+			break
+		}
+		var vs viewSnapshot
+		if err := json.Unmarshal(blob, &vs); err != nil {
+			return nil, fmt.Errorf("warehouse: snapshot view %d: %w", i, err)
+		}
+		s, err := w.Spec(vs.Spec)
+		if err != nil {
+			return nil, err
+		}
+		v, err := core.NewUserView(s, vs.Blocks)
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: snapshot view %q: %w", vs.Name, err)
+		}
+		if err := w.RegisterView(vs.Name, v); err != nil {
+			return nil, err
+		}
+	}
+	nRuns := dec.uvarint()
+	var frames [][]byte
+	for i := uint64(0); i < nRuns && dec.err == nil; i++ {
+		if blob := dec.blob(); dec.err == nil {
+			frames = append(frames, blob)
+		}
+	}
+	if dec.err != nil {
+		return nil, fmt.Errorf("warehouse: decode snapshot: %w", dec.err)
+	}
+	err := w.loadRunsParallel(opts.Workers, len(frames), func(i int) (*run.Run, error) {
+		return decodeRunFrame(frames[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// decodeRunFrame rebuilds one run from its v2 frame through the bulk
+// construction path. Every count, index and length is bounds-checked, so a
+// corrupt frame yields an error, never a panic or an unbounded allocation.
+func decodeRunFrame(frame []byte) (*run.Run, error) {
+	fr := newFrameReader(frame)
+	runID := fr.str()
+	specName := fr.str()
+
+	nSteps := fr.count(2) // a step is at least two length bytes
+	steps := make([]run.Step, 0, nSteps)
+	for i := 0; i < nSteps && fr.err == nil; i++ {
+		id := fr.str()
+		module := fr.str()
+		steps = append(steps, run.Step{ID: id, Module: module})
+	}
+
+	nData := fr.count(1)
+	data := make([]string, 0, nData)
+	for i := 0; i < nData && fr.err == nil; i++ {
+		data = append(data, fr.str())
+	}
+
+	node := func(code uint64) int32 {
+		if code >= nodeStep0+uint64(len(steps)) {
+			fr.fail(fmt.Errorf("node code %d out of range", code))
+			return 0
+		}
+		return int32(code)
+	}
+
+	nFlows := fr.count(3) // from, to, count
+	flows := make([]run.InternedFlow, 0, nFlows)
+	for i := 0; i < nFlows && fr.err == nil; i++ {
+		from := node(fr.uvarint())
+		to := node(fr.uvarint())
+		nd := fr.count(1)
+		ds := make([]int32, 0, nd)
+		for j := 0; j < nd && fr.err == nil; j++ {
+			di := fr.uvarint()
+			if di >= uint64(len(data)) {
+				fr.fail(fmt.Errorf("data index %d out of range", di))
+				break
+			}
+			ds = append(ds, int32(di))
+		}
+		flows = append(flows, run.InternedFlow{From: from, To: to, Data: ds})
+	}
+
+	var meta map[int32]map[string]string
+	nMeta := fr.count(2)
+	for i := 0; i < nMeta && fr.err == nil; i++ {
+		di := fr.uvarint()
+		if fr.err == nil && di >= uint64(len(data)) {
+			fr.fail(fmt.Errorf("meta data index %d out of range", di))
+			break
+		}
+		nk := fr.count(2)
+		kv := make(map[string]string, nk)
+		for j := 0; j < nk && fr.err == nil; j++ {
+			k := fr.str()
+			v := fr.str()
+			kv[k] = v
+		}
+		if fr.err == nil {
+			if meta == nil {
+				meta = make(map[int32]map[string]string, nMeta)
+			}
+			meta[int32(di)] = kv
+		}
+	}
+	if fr.err != nil {
+		return nil, fmt.Errorf("warehouse: snapshot run frame %q: %w", runID, fr.err)
+	}
+	r, err := run.ReconstructInterned(runID, specName, steps, data, flows, meta)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: snapshot run %q: %w", runID, err)
+	}
+	return r, nil
+}
+
+// appendString appends a length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// binWriter wraps a bufio.Writer with sticky-error varint/blob primitives.
+type binWriter struct {
+	w   *bufio.Writer
+	tmp [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (b *binWriter) raw(p []byte) {
+	if b.err == nil {
+		_, b.err = b.w.Write(p)
+	}
+}
+
+func (b *binWriter) uvarint(x uint64) {
+	n := binary.PutUvarint(b.tmp[:], x)
+	b.raw(b.tmp[:n])
+}
+
+func (b *binWriter) blob(p []byte) {
+	b.uvarint(uint64(len(p)))
+	b.raw(p)
+}
+
+// binReader reads sticky-error varints and length-prefixed blobs from a
+// stream. Blob allocation is chunked, so a corrupt length prefix cannot
+// force one giant allocation: the claimed size is only ever committed as
+// actual bytes arrive.
+type binReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (b *binReader) uvarint() uint64 {
+	if b.err != nil {
+		return 0
+	}
+	x, err := binary.ReadUvarint(b.r)
+	if err != nil {
+		b.err = err
+		return 0
+	}
+	return x
+}
+
+func (b *binReader) blob() []byte {
+	n := b.uvarint()
+	if b.err != nil {
+		return nil
+	}
+	const chunk = 1 << 20
+	buf := make([]byte, 0, min(n, chunk))
+	for uint64(len(buf)) < n {
+		step := min(n-uint64(len(buf)), chunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(b.r, buf[start:]); err != nil {
+			b.err = err
+			return nil
+		}
+	}
+	return buf
+}
+
+// frameReader decodes one run frame from an in-memory slice with bounds
+// checking on every read. All strings are substrings of one immutable copy
+// of the frame, so decoding a run performs one string allocation total, not
+// one per step and data id (the frame stays reachable for as long as any of
+// its ids do, which for a loaded run is its whole lifetime anyway).
+type frameReader struct {
+	b   []byte
+	s   string // string(b), backing every str() result
+	off int
+	err error
+}
+
+func newFrameReader(b []byte) *frameReader {
+	return &frameReader{b: b, s: string(b)}
+}
+
+func (f *frameReader) fail(err error) {
+	if f.err == nil {
+		f.err = err
+	}
+}
+
+func (f *frameReader) uvarint() uint64 {
+	if f.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(f.b[f.off:])
+	if n <= 0 {
+		f.fail(fmt.Errorf("truncated varint at offset %d", f.off))
+		return 0
+	}
+	f.off += n
+	return x
+}
+
+// count reads a length and sanity-checks it against the bytes remaining in
+// the frame (each counted element occupies at least minBytes), so a corrupt
+// count cannot drive an oversized allocation.
+func (f *frameReader) count(minBytes int) int {
+	x := f.uvarint()
+	if f.err != nil {
+		return 0
+	}
+	if x > uint64(len(f.b)-f.off)/uint64(minBytes)+1 {
+		f.fail(fmt.Errorf("count %d exceeds frame size", x))
+		return 0
+	}
+	return int(x)
+}
+
+func (f *frameReader) str() string {
+	n := f.uvarint()
+	if f.err != nil {
+		return ""
+	}
+	if n > uint64(len(f.b)-f.off) {
+		f.fail(fmt.Errorf("string length %d exceeds frame size", n))
+		return ""
+	}
+	s := f.s[f.off : f.off+int(n)]
+	f.off += int(n)
+	return s
+}

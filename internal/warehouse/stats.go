@@ -3,9 +3,6 @@ package warehouse
 import (
 	"fmt"
 	"io"
-
-	"repro/internal/run"
-	"repro/internal/wflog"
 )
 
 // Stats summarizes the warehouse contents — the row counts a database
@@ -91,18 +88,8 @@ func (w *Warehouse) DropRun(id string) error {
 // run — the "during execution" ingestion path of the paper's architecture,
 // where the extractor tails the workflow system's log. The whole stream is
 // validated before anything becomes visible to queries, so a malformed
-// tail cannot leave a half-loaded run behind.
+// tail cannot leave a half-loaded run behind. It is an alias of
+// LoadLogReader, which streams events straight into run construction.
 func (w *Warehouse) IngestLogStream(runID, specName string, r io.Reader) (int, error) {
-	events, err := wflog.Read(r)
-	if err != nil {
-		return 0, err
-	}
-	rn, err := run.FromLog(runID, specName, events)
-	if err != nil {
-		return 0, err
-	}
-	if err := w.LoadRun(rn); err != nil {
-		return 0, err
-	}
-	return len(events), nil
+	return w.LoadLogReader(runID, specName, r)
 }

@@ -18,6 +18,7 @@ package warehouse
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
@@ -171,14 +172,23 @@ func (w *Warehouse) ViewNames(specName string) []string {
 
 // LoadRun stores a validated run. Its specification must be registered and
 // the run must conform to it.
+//
+// The expensive part of a load — structural validation, spec conformance,
+// and the compact-index build — runs *outside* the catalog lock, so many
+// goroutines can ingest runs concurrently (the parallel snapshot loader and
+// live multi-run ingestion both lean on this); only the brief catalog
+// insert serializes. Duplicate ids are re-checked under the write lock, so
+// two racing loads of the same id still resolve to exactly one winner.
 func (w *Warehouse) LoadRun(r *run.Run) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.mu.RLock()
 	s, ok := w.specs[r.SpecName()]
+	_, dup := w.runs[r.ID()]
+	noIndex := w.noIndex
+	w.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownSpec, r.SpecName())
 	}
-	if _, dup := w.runs[r.ID()]; dup {
+	if dup {
 		return fmt.Errorf("%w: run %q", ErrDuplicate, r.ID())
 	}
 	if err := r.Validate(); err != nil {
@@ -188,8 +198,13 @@ func (w *Warehouse) LoadRun(r *run.Run) error {
 		return err
 	}
 	rt := &runTables{specName: r.SpecName(), run: r}
-	if !w.noIndex {
+	if !noIndex {
 		rt.index = r.Index()
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.runs[r.ID()]; dup {
+		return fmt.Errorf("%w: run %q", ErrDuplicate, r.ID())
 	}
 	w.runs[r.ID()] = rt
 	return nil
@@ -204,6 +219,33 @@ func (w *Warehouse) LoadLog(runID, specName string, events []wflog.Event) error 
 		return err
 	}
 	return w.LoadRun(r)
+}
+
+// LoadLogReader streams a JSON-lines workflow log from src into run
+// construction, one event at a time — no []Event slice is ever
+// materialized, so log size is bounded by the run it describes, not by the
+// event count. The run only becomes visible to queries after the whole
+// stream has validated and loaded, exactly like LoadLog. It returns the
+// number of events ingested.
+func (w *Warehouse) LoadLogReader(runID, specName string, src io.Reader) (int, error) {
+	dec := wflog.NewDecoder(src)
+	l := run.NewLogLoader(runID, specName)
+	for dec.Next() {
+		if err := l.Add(dec.Event()); err != nil {
+			return l.NumEvents(), err
+		}
+	}
+	if err := dec.Err(); err != nil {
+		return l.NumEvents(), err
+	}
+	r, err := l.Finish()
+	if err != nil {
+		return l.NumEvents(), err
+	}
+	if err := w.LoadRun(r); err != nil {
+		return l.NumEvents(), err
+	}
+	return l.NumEvents(), nil
 }
 
 // Run returns a loaded run.

@@ -45,7 +45,17 @@ type Event struct {
 var (
 	ErrBadEvent   = errors.New("wflog: malformed event")
 	ErrOutOfOrder = errors.New("wflog: events out of order")
+	// ErrLineTooLong reports a log line exceeding MaxLineBytes. It wraps the
+	// scanner's bufio.ErrTooLong with the offending line number so operators
+	// can find the bad record instead of guessing from a bare "token too
+	// long".
+	ErrLineTooLong = errors.New("wflog: line too long")
 )
+
+// MaxLineBytes is the largest JSON-lines record the reader accepts. A single
+// event is tiny; the cap only exists so a corrupt (newline-free) file cannot
+// buffer without bound.
+const MaxLineBytes = 16 * 1024 * 1024
 
 // Validate checks a single event's internal consistency.
 func (e Event) Validate() error {
@@ -114,26 +124,78 @@ func Write(w io.Writer, events []Event) error {
 // Read parses a JSON-lines log. It stops at EOF and rejects malformed lines.
 func Read(r io.Reader) ([]Event, error) {
 	var out []Event
+	dec := NewDecoder(r)
+	for dec.Next() {
+		out = append(out, dec.Event())
+	}
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Decoder reads a JSON-lines log one event at a time, so large logs can be
+// ingested without materializing an []Event slice — the streaming half of
+// the warehouse's LoadLogReader path.
+//
+//	dec := wflog.NewDecoder(f)
+//	for dec.Next() {
+//	    handle(dec.Event())
+//	}
+//	if err := dec.Err(); err != nil { ... }
+type Decoder struct {
+	sc   *bufio.Scanner
+	line int
+	e    Event
+	err  error
+}
+
+// NewDecoder returns a decoder over a JSON-lines log.
+func NewDecoder(r io.Reader) *Decoder {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := sc.Bytes()
+	sc.Buffer(make([]byte, 0, 64*1024), MaxLineBytes)
+	return &Decoder{sc: sc}
+}
+
+// Next advances to the next event, skipping blank lines. It returns false at
+// end of input or on the first error; Err distinguishes the two.
+func (d *Decoder) Next() bool {
+	if d.err != nil {
+		return false
+	}
+	for d.sc.Scan() {
+		d.line++
+		text := d.sc.Bytes()
 		if len(text) == 0 {
 			continue
 		}
 		var e Event
 		if err := json.Unmarshal(text, &e); err != nil {
-			return nil, fmt.Errorf("wflog: line %d: %w", line, err)
+			d.err = fmt.Errorf("wflog: line %d: %w", d.line, err)
+			return false
 		}
-		out = append(out, e)
+		d.e = e
+		return true
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("wflog: scan: %w", err)
+	if err := d.sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// The scanner dies on the line after the last one it returned.
+			d.err = fmt.Errorf("%w: line %d exceeds %d bytes", ErrLineTooLong, d.line+1, MaxLineBytes)
+		} else {
+			d.err = fmt.Errorf("wflog: scan: %w", err)
+		}
 	}
-	return out, nil
+	return false
 }
+
+// Event returns the event read by the last successful Next.
+func (d *Decoder) Event() Event { return d.e }
+
+// Line returns the line number of the last event returned.
+func (d *Decoder) Line() int { return d.line }
+
+// Err returns the first decoding error, or nil on clean end of input.
+func (d *Decoder) Err() error { return d.err }
 
 // Builder incrementally assembles a valid log, assigning sequence numbers.
 type Builder struct {

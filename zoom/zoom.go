@@ -363,12 +363,32 @@ func (s *System) IngestLogStream(runID, specName string, r io.Reader) (int, erro
 	return s.w.IngestLogStream(runID, specName, r)
 }
 
-// Save writes the warehouse to JSON; LoadSystem restores it.
-func (s *System) Save(out io.Writer) error { return s.w.Save(out) }
+// LoadLogReader streams a JSON-lines workflow log straight into run
+// construction — no event slice is materialized. It returns the number of
+// events ingested.
+func (s *System) LoadLogReader(runID, specName string, r io.Reader) (int, error) {
+	return s.w.LoadLogReader(runID, specName, r)
+}
 
-// LoadSystem restores a system from a Save snapshot.
+// LoadOptions tune snapshot loading (worker count of the parallel run
+// reconstruction).
+type LoadOptions = warehouse.LoadOptions
+
+// Save writes the warehouse as a v1 JSON snapshot; SaveBinary writes the v2
+// binary snapshot (smaller, and loadable frame-parallel). LoadSystem
+// restores either format, auto-detecting.
+func (s *System) Save(out io.Writer) error       { return s.w.Save(out) }
+func (s *System) SaveBinary(out io.Writer) error { return s.w.SaveBinary(out) }
+
+// LoadSystem restores a system from a Save or SaveBinary snapshot with
+// default options.
 func LoadSystem(in io.Reader) (*System, error) {
-	w, err := warehouse.Load(in, 0)
+	return LoadSystemWith(in, LoadOptions{})
+}
+
+// LoadSystemWith is LoadSystem with explicit load options.
+func LoadSystemWith(in io.Reader, opts LoadOptions) (*System, error) {
+	w, err := warehouse.LoadWith(in, 0, opts)
 	if err != nil {
 		return nil, err
 	}
