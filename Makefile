@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke bench bench-smoke bench-ingest-smoke ci
+.PHONY: all build vet test race fuzz-smoke bench bench-smoke bench-ingest-smoke bench-obs-smoke ci
 
 all: ci
 
@@ -42,4 +42,10 @@ bench-smoke:
 bench-ingest-smoke:
 	$(GO) test -run '^$$' -bench 'Ingest' -benchtime=1x -benchmem .
 
-ci: vet build test race fuzz-smoke bench-smoke bench-ingest-smoke
+# Observability overhead (O1): the warm-query benchmark with metrics
+# detached vs. attached. The attached side must stay within ~2% of
+# detached; full numbers: `go test -bench ObsOverhead -benchtime=2s .`
+bench-obs-smoke:
+	$(GO) test -run '^$$' -bench 'ObsOverhead' -benchtime=1x -benchmem .
+
+ci: vet build test race fuzz-smoke bench-smoke bench-ingest-smoke bench-obs-smoke

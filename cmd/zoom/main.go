@@ -9,14 +9,16 @@
 //	zoom spec    -file spec.json [-dot]   validate / render a specification
 //	zoom view    -file spec.json -relevant M2,M3,M7 [-dot]
 //	zoom load    -warehouse wh.json -file spec.json [-log run.jsonl -run id] [-parallel N] [-format json|binary|keep]
-//	zoom query   -warehouse wh.json -run id -data d447[,d448,...] [-parallel N] [-relevant ...] [-mode deep|immediate|derived] [-dot]
+//	zoom query   -warehouse wh.json -run id -data d447[,d448,...] [-parallel N] [-relevant ...] [-mode deep|immediate|derived] [-dot] [-trace]
 //	zoom runs    -warehouse wh.json       list warehouse contents
+//	zoom stats   -warehouse wh.json [-json]  warehouse statistics and metrics
 //	zoom ask     -warehouse wh.json -run id -q "deep(d447)" [-relevant ...]
 //	zoom compare -warehouse wh.json -a run1 -b run2
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +47,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "runs":
 		err = cmdRuns(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
 	case "ask":
 		err = cmdAsk(os.Args[2:])
 	case "compare":
@@ -63,7 +67,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: zoom <example|spec|view|load|query|ask|compare|runs> [flags]
+	fmt.Fprintln(os.Stderr, `usage: zoom <example|spec|view|load|query|ask|compare|runs|stats> [flags]
 run "zoom <subcommand> -h" for per-command flags
 canned query forms for "ask": `+strings.Join(zoom.QueryForms(), ", "))
 }
@@ -241,21 +245,27 @@ func cmdView(args []string) error {
 }
 
 func loadSystem(path string) (*zoom.System, error) {
-	return loadSystemWith(path, 0)
+	return loadSystemWith(path, 0, nil)
 }
 
 // loadSystemWith opens a warehouse snapshot (either format, auto-detected)
-// with an explicit worker count for the parallel run reconstruction.
-func loadSystemWith(path string, workers int) (*zoom.System, error) {
+// with an explicit worker count for the parallel run reconstruction and an
+// optional metrics registry to attach (the snapshot load is then recorded
+// there too).
+func loadSystemWith(path string, workers int, reg *zoom.Metrics) (*zoom.System, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return zoom.NewSystem(), nil
+			sys := zoom.NewSystem()
+			if reg != nil {
+				sys.AttachMetrics(reg)
+			}
+			return sys, nil
 		}
 		return nil, err
 	}
 	defer f.Close()
-	return zoom.LoadSystemWith(f, zoom.LoadOptions{Workers: workers})
+	return zoom.LoadSystemWith(f, zoom.LoadOptions{Workers: workers, Metrics: reg})
 }
 
 // snapshotIsBinary reports whether an existing snapshot file is in the v2
@@ -313,7 +323,7 @@ func cmdLoad(args []string) error {
 	default:
 		return fmt.Errorf("load: unknown -format %q (want json, binary or keep)", *format)
 	}
-	sys, err := loadSystemWith(*whPath, *parallel)
+	sys, err := loadSystemWith(*whPath, *parallel, nil)
 	if err != nil {
 		return err
 	}
@@ -359,11 +369,16 @@ func cmdQuery(args []string) error {
 	asDot := fs.Bool("dot", false, "emit Graphviz DOT of the provenance graph")
 	asProv := fs.Bool("prov", false, "emit W3C PROV-JSON (deep mode only)")
 	stats := fs.Bool("stats", false, "print warehouse statistics (catalog, cache, compact index) after answering")
+	trace := fs.Bool("trace", false, "print a per-stage timing breakdown (cold query, then warm re-query; deep mode, single -data)")
 	_ = fs.Parse(args)
 	if *whPath == "" || *runID == "" || *data == "" {
 		return fmt.Errorf("query: -warehouse, -run and -data are required")
 	}
-	sys, err := loadSystem(*whPath)
+	var reg *zoom.Metrics
+	if *trace {
+		reg = zoom.NewMetrics()
+	}
+	sys, err := loadSystemWith(*whPath, 0, reg)
 	if err != nil {
 		return err
 	}
@@ -385,8 +400,8 @@ func cmdQuery(args []string) error {
 		if *mode != "deep" {
 			return fmt.Errorf("query: multiple -data ids require -mode deep")
 		}
-		if *asDot || *asProv {
-			return fmt.Errorf("query: -dot/-prov need a single -data id")
+		if *asDot || *asProv || *trace {
+			return fmt.Errorf("query: -dot/-prov/-trace need a single -data id")
 		}
 		results, err := sys.DeepProvenanceBatch(context.Background(), *runID, v, ids, *parallel)
 		if err != nil {
@@ -415,6 +430,23 @@ func cmdQuery(args []string) error {
 	}
 	switch *mode {
 	case "deep":
+		if *trace {
+			// Cold then warm: the first query computes the UAdmin closure
+			// (or finds it cached from an earlier process — the snapshot
+			// cache does not persist, so here it is the cold path), the
+			// second re-serves it from the closure cache. The warm line is
+			// the paper's view-switch cost.
+			_, cold, err := sys.DeepProvenanceTraced(*runID, v, *data)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("cold %s\n", cold)
+			_, warm, err := sys.DeepProvenanceTraced(*runID, v, *data)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("warm %s\n", warm)
+		}
 		res, err := sys.DeepProvenance(*runID, v, *data)
 		if err != nil {
 			return err
@@ -465,11 +497,42 @@ func printStats(sys *zoom.System) {
 	st := sys.Stats()
 	fmt.Println(st)
 	cc := sys.CacheCounters()
-	fmt.Printf("cache: hits=%d misses=%d shared=%d computes=%d evictions=%d invalidations=%d\n",
-		cc.Hits, cc.Misses, cc.SharedWaits, cc.Computes, cc.Evictions, cc.Invalidations)
+	fmt.Printf("cache: hits=%d misses=%d shared=%d computes=%d stores=%d evictions=%d invalidations=%d drops=%d\n",
+		cc.Hits, cc.Misses, cc.SharedWaits, cc.Computes, cc.Stores, cc.Evictions, cc.Invalidations, cc.Drops)
 	fmt.Printf("index: runs=%d interned-steps=%d interned-data=%d csr=%dB closure-words=%d\n",
 		st.Index.IndexedRuns, st.Index.InternedSteps, st.Index.InternedData,
 		st.Index.CSRBytes, st.Index.ClosureWords)
+}
+
+// cmdStats prints warehouse statistics on their own; -json emits the whole
+// Stats structure — catalog, cache counters, index footprint, and the
+// metrics snapshot — as one JSON document. A metrics registry is attached
+// before loading, so the ingest section reflects the load just performed
+// (snapshot load time, runs loaded).
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	whPath := fs.String("warehouse", "", "warehouse snapshot file (required)")
+	asJSON := fs.Bool("json", false, "emit the full statistics, including the metrics snapshot, as JSON")
+	parallel := fs.Int("parallel", 0, "workers for parallel snapshot loading (0 = GOMAXPROCS)")
+	_ = fs.Parse(args)
+	if *whPath == "" {
+		return fmt.Errorf("stats: -warehouse is required")
+	}
+	reg := zoom.NewMetrics()
+	sys, err := loadSystemWith(*whPath, *parallel, reg)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		out, err := json.MarshalIndent(sys.Stats(), "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	printStats(sys)
+	return nil
 }
 
 func cmdRuns(args []string) error {

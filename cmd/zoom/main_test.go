@@ -2,13 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
 	"reflect"
+	"regexp"
 	"strings"
 	"testing"
 
+	"repro/internal/warehouse"
 	"repro/zoom"
 )
 
@@ -365,5 +368,105 @@ func TestCmdCompare(t *testing.T) {
 		return cmdCompare([]string{"-warehouse", wh, "-a", "ghost", "-b", "runB"})
 	}); err == nil {
 		t.Fatal("unknown run accepted")
+	}
+}
+
+// TestCmdQueryTrace: -trace runs the deep query cold then warm and prints a
+// per-stage breakdown for each, demonstrating the paper's view-switch
+// speedup (the warm query is a closure-cache hit).
+func TestCmdQueryTrace(t *testing.T) {
+	dir := t.TempDir()
+	specPath := writeSpecFile(t, dir)
+	logPath := writeLogFile(t, dir)
+	wh := filepath.Join(dir, "wh.json")
+	if _, err := capture(t, func() error {
+		return cmdLoad([]string{"-warehouse", wh, "-file", specPath, "-log", logPath, "-run", "fig2"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := capture(t, func() error {
+		return cmdQuery([]string{"-warehouse", wh, "-run", "fig2", "-data", "d447",
+			"-relevant", "M2,M3,M7", "-trace"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the (nondeterministic) durations and compare the shape.
+	norm := regexp.MustCompile(`[0-9]+(\.[0-9]+)?(ns|µs|ms|s)`).ReplaceAllString(out, "<dur>")
+	for _, want := range []string{
+		"cold trace: run=fig2 data=d447 outcome=miss",
+		"(compute <dur>)",
+		"warm trace: run=fig2 data=d447 outcome=hit",
+		"closure lookup",
+		"view projection",
+		"result: 4 steps, 240 data objects, 6 edges", // projected through Joe's view
+		"deep provenance of d447", // the normal answer still prints after the traces
+	} {
+		if !strings.Contains(norm, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, norm)
+		}
+	}
+	// The warm trace must not report compute time.
+	warm := norm[strings.Index(norm, "warm trace"):]
+	if strings.Contains(strings.Split(warm, "view projection")[0], "compute") {
+		t.Fatalf("warm trace reports a compute stage:\n%s", warm)
+	}
+
+	// -trace is single-query only.
+	if _, err := capture(t, func() error {
+		return cmdQuery([]string{"-warehouse", wh, "-run", "fig2", "-data", "d447,d413", "-trace"})
+	}); err == nil {
+		t.Fatal("-trace with multiple data ids accepted")
+	}
+}
+
+// TestCmdStats: the stats subcommand prints warehouse and cache state, and
+// -json emits a machine-readable Stats including the Metrics section
+// populated by the load itself.
+func TestCmdStats(t *testing.T) {
+	dir := t.TempDir()
+	specPath := writeSpecFile(t, dir)
+	logPath := writeLogFile(t, dir)
+	wh := filepath.Join(dir, "wh.json")
+	if _, err := capture(t, func() error {
+		return cmdLoad([]string{"-warehouse", wh, "-file", specPath, "-log", logPath, "-run", "fig2"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := capture(t, func() error { return cmdStats([]string{"-warehouse", wh}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"runs=1", "cache:", "stores=0", "drops=0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = capture(t, func() error { return cmdStats([]string{"-warehouse", wh, "-json"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats warehouse.Stats
+	if err := json.Unmarshal([]byte(out), &stats); err != nil {
+		t.Fatalf("stats -json is not JSON: %v\n%s", err, out)
+	}
+	if stats.Runs != 1 {
+		t.Fatalf("stats.Runs = %d, want 1", stats.Runs)
+	}
+	if stats.Metrics == nil {
+		t.Fatal("stats -json missing Metrics section")
+	}
+	if stats.Metrics.Counters["ingest.runs_loaded"] != 1 {
+		t.Fatalf("ingest metrics not recorded: %+v", stats.Metrics.Counters)
+	}
+	if stats.Metrics.Histograms["ingest.snapshot_load_ns"].Count != 1 {
+		t.Fatalf("snapshot load not timed: %+v", stats.Metrics.Histograms)
+	}
+
+	if _, err := capture(t, func() error { return cmdStats(nil) }); err == nil {
+		t.Fatal("stats without -warehouse accepted")
 	}
 }

@@ -10,6 +10,7 @@ package provenance
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -41,6 +42,15 @@ type QueryResult struct {
 // ctx.Err() while in-flight ones finish normally, so the returned slice
 // always has one entry per query.
 func (e *Engine) ServeConcurrently(ctx context.Context, queries []Query, workers int) []QueryResult {
+	return e.serve(ctx, queries, workers, nil)
+}
+
+// serve is the worker pool behind ServeConcurrently and
+// DeepProvenanceBatch. onError, when non-nil, is called (possibly from
+// several workers at once) for every genuine query failure — not for
+// queries skipped because ctx was already cancelled — which is how the
+// batch path turns the first failure into a cancellation of the rest.
+func (e *Engine) serve(ctx context.Context, queries []Query, workers int, onError func(error)) []QueryResult {
 	out := make([]QueryResult, len(queries))
 	if len(queries) == 0 {
 		return out
@@ -50,6 +60,11 @@ func (e *Engine) ServeConcurrently(ctx context.Context, queries []Query, workers
 	}
 	if workers > len(queries) {
 		workers = len(queries)
+	}
+	if m := e.obs.Load(); m != nil {
+		m.batchSize.Observe(int64(len(queries)))
+		m.batchWorkers.Observe(int64(workers))
+		m.batches.Inc()
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -65,6 +80,9 @@ func (e *Engine) ServeConcurrently(ctx context.Context, queries []Query, workers
 				}
 				res, err := e.DeepProvenance(q.RunID, q.View, q.Data)
 				out[idx] = QueryResult{Index: idx, Query: q, Result: res, Err: err}
+				if err != nil && onError != nil {
+					onError(err)
+				}
 			}
 		}()
 	}
@@ -80,18 +98,43 @@ func (e *Engine) ServeConcurrently(ctx context.Context, queries []Query, workers
 // one run under one view, in parallel, returning results in dataIDs order.
 // It is exactly equivalent to calling DeepProvenance sequentially for each
 // id (a property the tests pin); the first failing query aborts the batch
-// with its error. workers <= 0 selects GOMAXPROCS.
+// with its error: queries not yet started when the failure surfaces are
+// cancelled instead of computed, so a bad id near the front of a large
+// batch does not cost the whole batch's work. workers <= 0 selects
+// GOMAXPROCS.
 func (e *Engine) DeepProvenanceBatch(ctx context.Context, runID string, v *core.UserView, dataIDs []string, workers int) ([]*Result, error) {
 	queries := make([]Query, len(dataIDs))
 	for i, d := range dataIDs {
 		queries[i] = Query{RunID: runID, View: v, Data: d}
 	}
-	answered := e.ServeConcurrently(ctx, queries, workers)
+	// Abort the pool on the first genuine failure. The child context keeps
+	// the induced cancellation distinguishable from one the caller issued.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	answered := e.serve(cctx, queries, workers, func(error) { cancel() })
+	// With the parent context clean, any context error in the results is
+	// our own abort propagating — skip those entries to report the genuine
+	// failure that caused them; everything else (including context errors
+	// when the caller really did cancel) reports as before.
+	skipInduced := ctx.Err() == nil
+	var firstErr error
+	firstIdx := -1
+	for i, qr := range answered {
+		if qr.Err == nil {
+			continue
+		}
+		if skipInduced && (errors.Is(qr.Err, context.Canceled) || errors.Is(qr.Err, context.DeadlineExceeded)) {
+			continue
+		}
+		if firstIdx == -1 || i < firstIdx {
+			firstIdx, firstErr = i, qr.Err
+		}
+	}
+	if firstIdx != -1 {
+		return nil, fmt.Errorf("batch query %d (%s): %w", firstIdx, dataIDs[firstIdx], firstErr)
+	}
 	out := make([]*Result, len(answered))
 	for i, qr := range answered {
-		if qr.Err != nil {
-			return nil, fmt.Errorf("batch query %d (%s): %w", i, dataIDs[i], qr.Err)
-		}
 		out[i] = qr.Result
 	}
 	return out, nil

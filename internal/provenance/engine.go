@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/composite"
@@ -44,6 +46,11 @@ type Engine struct {
 
 	mu       sync.Mutex
 	mappings map[mappingKey]*mappingEntry
+
+	// obs holds the engine's metrics instruments (nil when detached — the
+	// common case, in which queries never read the clock). Published
+	// atomically so AttachMetrics is safe against in-flight queries.
+	obs atomic.Pointer[engineMetrics]
 }
 
 type mappingKey struct {
@@ -128,23 +135,77 @@ func (r *Result) Tuples() int { return len(r.Executions) + len(r.Data) }
 // data objects / sequence of steps which have been used to produce this
 // data object?" — with respect to a user view.
 func (e *Engine) DeepProvenance(runID string, v *core.UserView, d string) (*Result, error) {
+	return e.deepProvenance(runID, v, d, nil)
+}
+
+// deepProvenance is the shared query path behind DeepProvenance and
+// DeepProvenanceTraced. When a metrics registry is attached or a trace is
+// requested it times each stage (closure-cache lookup including compute or
+// wait, then view projection including the memoized mapping's first build);
+// otherwise it never reads the clock, which is what keeps the detached
+// overhead to a few nil checks (BenchmarkObsOverhead pins this).
+func (e *Engine) deepProvenance(runID string, v *core.UserView, d string, tr *QueryTrace) (*Result, error) {
+	m := e.obs.Load()
+	timed := m != nil || tr != nil
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
 	r, err := e.w.Run(runID)
 	if err != nil {
+		m.queryError()
 		return nil, err
 	}
 	if r.SpecName() != v.Spec().Name() {
+		m.queryError()
 		return nil, fmt.Errorf("%w: run %q executes %q, view is over %q",
 			ErrForeignView, runID, r.SpecName(), v.Spec().Name())
 	}
-	closure, err := e.w.DeepProvenance(runID, d)
+	closure, o, err := e.w.DeepProvenanceObserved(runID, d, timed)
 	if err != nil {
+		m.queryError()
 		return nil, err
 	}
-	m, err := e.mapping(r, v)
+	var lookupNs int64
+	var projectStart time.Time
+	if timed {
+		// The lookup stage is measured from the query start: the run/view
+		// validation above it costs tens of nanoseconds, not worth a third
+		// clock read on the warm path.
+		projectStart = time.Now()
+		lookupNs = projectStart.Sub(start).Nanoseconds()
+	}
+	mp, err := e.mapping(r, v)
 	if err != nil {
+		m.queryError()
 		return nil, err
 	}
-	return project(m, closure), nil
+	res := project(mp, closure)
+	if timed {
+		end := time.Now()
+		projectNs := end.Sub(projectStart).Nanoseconds()
+		totalNs := end.Sub(start).Nanoseconds()
+		if m != nil {
+			m.queries.Inc()
+			m.totalNs[o.Outcome].Observe(totalNs)
+			m.lookupNs.Observe(lookupNs)
+			if o.Outcome == warehouse.OutcomeMiss {
+				m.computeNs.Observe(o.ComputeNs)
+			}
+			m.projectNs.Observe(projectNs)
+		}
+		if tr != nil {
+			tr.Outcome = o.Outcome.String()
+			tr.LookupNs = lookupNs
+			tr.ComputeNs = o.ComputeNs
+			tr.ProjectNs = projectNs
+			tr.TotalNs = totalNs
+			tr.Steps = res.NumSteps()
+			tr.Data_ = res.NumData()
+			tr.Edges = len(res.Edges)
+		}
+	}
+	return res, nil
 }
 
 // project restricts a UAdmin closure to what a view shows: the composite
@@ -358,25 +419,40 @@ func (e *Engine) ImmediateProvenance(runID string, v *core.UserView, d string) (
 
 // DeepDerivation is the canned inverse query ("return the data objects
 // which have a given data object in their data provenance") projected
-// through a view.
+// through a view. Unlike DeepProvenance its closure is uncached, so the
+// attached histogram (query.derivation_ns) records the full traversal each
+// time.
 func (e *Engine) DeepDerivation(runID string, v *core.UserView, d string) (*Result, error) {
+	m := e.obs.Load()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	r, err := e.w.Run(runID)
 	if err != nil {
+		m.queryError()
 		return nil, err
 	}
 	if r.SpecName() != v.Spec().Name() {
+		m.queryError()
 		return nil, fmt.Errorf("%w: run %q executes %q, view is over %q",
 			ErrForeignView, runID, r.SpecName(), v.Spec().Name())
 	}
 	closure, err := e.w.DeepDerivation(runID, d)
 	if err != nil {
+		m.queryError()
 		return nil, err
 	}
-	m, err := e.mapping(r, v)
+	mp, err := e.mapping(r, v)
 	if err != nil {
+		m.queryError()
 		return nil, err
 	}
-	return projectForward(m, closure), nil
+	res := projectForward(mp, closure)
+	if m != nil {
+		m.forwardNs.Observe(time.Since(start).Nanoseconds())
+	}
+	return res, nil
 }
 
 // projectForward mirrors project for the derivation direction: visible

@@ -46,7 +46,7 @@ func TestConcurrentSingleflightComputesOnce(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = cc.getOrCompute("r1", "d1", compute)
+			results[i], _, errs[i] = cc.getOrCompute("r1", "d1", false, compute)
 		}(i)
 	}
 	waitForSharedWaits(t, cc, goroutines-1)
@@ -75,8 +75,8 @@ func TestConcurrentSingleflightComputesOnce(t *testing.T) {
 		}
 	}
 	// The key is now cached: one more lookup is a hit without a compute.
-	if _, err := cc.getOrCompute("r1", "d1", compute); err != nil {
-		t.Fatal(err)
+	if _, o, err := cc.getOrCompute("r1", "d1", false, compute); err != nil || o.Outcome != OutcomeHit {
+		t.Fatalf("warm lookup: outcome=%v err=%v, want hit", o.Outcome, err)
 	}
 	c = cc.counters()
 	if c.Hits != 1 || c.Computes != 1 {
@@ -103,7 +103,7 @@ func TestConcurrentSingleflightErrorShared(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = cc.getOrCompute("r1", "d1", failing)
+			_, _, errs[i] = cc.getOrCompute("r1", "d1", false, failing)
 		}(i)
 	}
 	waitForSharedWaits(t, cc, goroutines-1)
@@ -122,7 +122,7 @@ func TestConcurrentSingleflightErrorShared(t *testing.T) {
 	ok := func() (*Closure, error) {
 		return NewClosure("d1", nil, map[string]bool{"d1": true}), nil
 	}
-	if _, err := cc.getOrCompute("r1", "d1", ok); err != nil {
+	if _, _, err := cc.getOrCompute("r1", "d1", false, ok); err != nil {
 		t.Fatal(err)
 	}
 	if c := cc.counters(); c.Computes != 2 {
@@ -161,6 +161,29 @@ func TestConcurrentWarehouseHerd(t *testing.T) {
 	}
 	if c.Computes < 1 {
 		t.Fatal("closure never computed")
+	}
+}
+
+// checkQuiescentInvariants asserts every CacheCounters invariant documented
+// on the type, at a quiescent point (no lookup or removal in flight):
+// lookups fully partition into hits/misses/shared-waits, every miss led one
+// compute, and every stored closure is either still cached or left through
+// exactly one counted exit.
+func checkQuiescentInvariants(t *testing.T, c CacheCounters, lookups int64, cached int) {
+	t.Helper()
+	if c.Hits+c.Misses+c.SharedWaits != lookups {
+		t.Fatalf("counter leak: hits(%d)+misses(%d)+shared(%d) != %d lookups",
+			c.Hits, c.Misses, c.SharedWaits, lookups)
+	}
+	if c.Computes != c.Misses {
+		t.Fatalf("computes (%d) != misses (%d)", c.Computes, c.Misses)
+	}
+	if c.Stores > c.Computes {
+		t.Fatalf("stores (%d) > computes (%d)", c.Stores, c.Computes)
+	}
+	if got := c.Evictions + c.Invalidations + c.Drops + int64(cached); c.Stores != got {
+		t.Fatalf("removal accounting broken: stores(%d) != evictions(%d)+invalidations(%d)+drops(%d)+cached(%d)",
+			c.Stores, c.Evictions, c.Invalidations, c.Drops, cached)
 	}
 }
 
@@ -218,15 +241,12 @@ func TestStressShardedCacheCounters(t *testing.T) {
 
 	c := w.CacheCounters()
 	totalQueries := int64(goroutines * queriesPerG)
-	if c.Hits+c.Misses+c.SharedWaits != totalQueries {
-		t.Fatalf("counter leak: hits(%d)+misses(%d)+shared(%d) != %d queries",
-			c.Hits, c.Misses, c.SharedWaits, totalQueries)
-	}
-	if c.Computes != c.Misses {
-		t.Fatalf("computes (%d) != misses (%d)", c.Computes, c.Misses)
-	}
-	if c.Invalidations != int64(goroutines*invalidatesPerG) {
-		t.Fatalf("invalidations = %d, want %d", c.Invalidations, goroutines*invalidatesPerG)
+	checkQuiescentInvariants(t, c, totalQueries, w.CacheLen())
+	// Invalidations counts only removals, so it is bounded by (not equal
+	// to) the Invalidate calls issued: invalidating an uncached key — which
+	// a tiny LRU cache makes common — is a no-op.
+	if want := int64(goroutines * invalidatesPerG); c.Invalidations > want {
+		t.Fatalf("invalidations = %d > %d Invalidate calls", c.Invalidations, want)
 	}
 	if n := w.CacheLen(); n > capacity {
 		t.Fatalf("cache holds %d entries, capacity %d", n, capacity)

@@ -195,7 +195,17 @@ func (c *Closure) clone() *Closure {
 // cache's singleflight: the closure is computed once and shared, so a
 // thundering herd of identical cold queries costs one traversal.
 func (w *Warehouse) DeepProvenance(runID, d string) (*Closure, error) {
-	return w.cache.getOrCompute(runID, d, func() (*Closure, error) {
+	c, _, err := w.DeepProvenanceObserved(runID, d, false)
+	return c, err
+}
+
+// DeepProvenanceObserved is DeepProvenance plus an Observation telling the
+// caller how the lookup was served (hit, miss, shared-wait) and — when
+// timed is true or a metrics registry is attached — how long a miss's
+// closure compute took. The provenance engine uses it to split its query
+// latency histograms by outcome and to fill per-query traces.
+func (w *Warehouse) DeepProvenanceObserved(runID, d string, timed bool) (*Closure, Observation, error) {
+	return w.cache.getOrCompute(runID, d, timed, func() (*Closure, error) {
 		return w.computeUAdminClosure(runID, d)
 	})
 }

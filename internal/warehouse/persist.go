@@ -8,8 +8,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/run"
 	"repro/internal/spec"
 )
@@ -113,6 +115,10 @@ type LoadOptions struct {
 	// worker count, the loaded warehouse (and, on failure, the reported
 	// error) is identical to a serial load.
 	Workers int
+	// Metrics, when non-nil, is attached to the loaded warehouse, and the
+	// load itself is recorded there (ingest.snapshot_load_ns plus the
+	// loaded run count under ingest.runs_loaded).
+	Metrics *obs.Registry
 }
 
 // Load reads a snapshot produced by Save or SaveBinary into an empty
@@ -124,15 +130,34 @@ func Load(in io.Reader, cacheSize int) (*Warehouse, error) {
 
 // LoadWith is Load with explicit options.
 func LoadWith(in io.Reader, cacheSize int, opts LoadOptions) (*Warehouse, error) {
+	var start time.Time
+	if opts.Metrics != nil {
+		start = time.Now()
+	}
 	br := bufio.NewReaderSize(in, 1<<16)
 	head, err := br.Peek(1)
 	if err != nil {
 		return nil, fmt.Errorf("warehouse: decode snapshot: %w", err)
 	}
+	var w *Warehouse
 	if head[0] == snapMagic[0] {
-		return loadBinary(br, cacheSize, opts)
+		w, err = loadBinary(br, cacheSize, opts)
+	} else {
+		w, err = loadJSON(br, cacheSize, opts)
 	}
-	return loadJSON(br, cacheSize, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Metrics != nil {
+		w.AttachMetrics(opts.Metrics)
+		w.observeSnapshotLoad(start)
+		// The parallel loader bypasses LoadRun's per-run observation, so
+		// credit the loaded runs here.
+		if m := w.obs.Load(); m != nil {
+			m.runsLoaded.Add(int64(w.NumRuns()))
+		}
+	}
+	return w, nil
 }
 
 // loadJSON restores a v1 (JSON) snapshot: the document is decoded in one

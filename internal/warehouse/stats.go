@@ -3,6 +3,8 @@ package warehouse
 import (
 	"fmt"
 	"io"
+
+	"repro/internal/obs"
 )
 
 // Stats summarizes the warehouse contents — the row counts a database
@@ -22,13 +24,27 @@ type Stats struct {
 	// Index summarizes the compact run indexes (interned ids, CSR bytes,
 	// closure bitset words) across all loaded runs.
 	Index IndexStats
+	// Metrics is a snapshot of the attached observability registry (nil
+	// unless AttachMetrics was called): query-stage latency histograms,
+	// ingest throughput, and cache lifecycle counters.
+	Metrics *obs.Snapshot
 }
 
 // CacheCounters are the closure cache's global counters. All of them are
 // maintained with atomic adds (never plain increments), so reading them
-// during a 32-goroutine stress run is race-free; at any quiescent point
-// Hits + Misses + SharedWaits equals the number of closure lookups and
-// Computes equals Misses (every miss leads exactly one singleflight).
+// during a 32-goroutine stress run is race-free. At any quiescent point
+// (no lookup, invalidation, drop, or reset in flight) they satisfy:
+//
+//	Hits + Misses + SharedWaits == number of closure lookups
+//	Computes == Misses                 (every miss leads one singleflight)
+//	Stores <= Computes                 (errors and fenced results not cached)
+//	Stores == Evictions + Invalidations + Drops + cached entries
+//
+// The last line is the removal-accounting invariant: every closure that
+// ever entered the cache is either still cached or left through exactly one
+// counted exit (LRU eviction, explicit invalidation, or run drop). Reset
+// zeroes all counters together with the cache, so the invariants hold
+// trivially afterwards.
 type CacheCounters struct {
 	// Hits and Misses count lookups served from / absent from the shards.
 	Hits, Misses int64
@@ -37,10 +53,16 @@ type CacheCounters struct {
 	SharedWaits int64
 	// Computes counts closure computations actually executed.
 	Computes int64
+	// Stores counts closures inserted into the cache (a compute whose
+	// result passed the generation fence).
+	Stores int64
 	// Evictions counts LRU evictions across all shards.
 	Evictions int64
-	// Invalidations counts explicit single-key invalidations.
+	// Invalidations counts explicit single-key invalidations that removed
+	// a cached entry; invalidating an absent key does not count.
 	Invalidations int64
+	// Drops counts entries removed because their run was dropped.
+	Drops int64
 }
 
 // Stats computes the current warehouse statistics.
@@ -61,6 +83,10 @@ func (w *Warehouse) Stats() Stats {
 	st.Cache = w.cache.counters()
 	st.CacheHits, st.CacheMisses = st.Cache.Hits, st.Cache.Misses
 	st.Index = w.indexStatsLocked()
+	if reg := w.metricsReg.Load(); reg != nil {
+		snap := reg.Snapshot()
+		st.Metrics = &snap
+	}
 	return st
 }
 

@@ -21,8 +21,10 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/run"
 	"repro/internal/spec"
 	"repro/internal/wflog"
@@ -61,6 +63,13 @@ type Warehouse struct {
 	noIndex bool
 
 	cache *closureCache
+
+	// metricsReg/obs are the attached observability registry and the
+	// warehouse's instruments resolved from it (both nil when detached —
+	// the common case). Published atomically so AttachMetrics is safe
+	// against concurrent ingest; see metrics.go.
+	metricsReg atomic.Pointer[obs.Registry]
+	obs        atomic.Pointer[warehouseMetrics]
 }
 
 // runTables is the per-run slice of the relational schema: the Steps,
@@ -207,6 +216,7 @@ func (w *Warehouse) LoadRun(r *run.Run) error {
 		return fmt.Errorf("%w: run %q", ErrDuplicate, r.ID())
 	}
 	w.runs[r.ID()] = rt
+	w.observeRunLoaded()
 	return nil
 }
 
@@ -228,6 +238,7 @@ func (w *Warehouse) LoadLog(runID, specName string, events []wflog.Event) error 
 // stream has validated and loaded, exactly like LoadLog. It returns the
 // number of events ingested.
 func (w *Warehouse) LoadLogReader(runID, specName string, src io.Reader) (int, error) {
+	start := w.metricsTime()
 	dec := wflog.NewDecoder(src)
 	l := run.NewLogLoader(runID, specName)
 	for dec.Next() {
@@ -245,6 +256,7 @@ func (w *Warehouse) LoadLogReader(runID, specName string, src io.Reader) (int, e
 	if err := w.LoadRun(r); err != nil {
 		return l.NumEvents(), err
 	}
+	w.observeLogIngest(l.NumEvents(), start)
 	return l.NumEvents(), nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"repro/internal/dot"
 	"repro/internal/export"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/provenance"
 	"repro/internal/query"
 	"repro/internal/run"
@@ -63,6 +64,13 @@ type (
 	// CacheCounters are the closure cache's hit/miss/singleflight/eviction
 	// counters.
 	CacheCounters = warehouse.CacheCounters
+	// Metrics is the observability registry (counters, gauges, latency
+	// histograms) a System can be attached to.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time export of a Metrics registry.
+	MetricsSnapshot = obs.Snapshot
+	// QueryTrace is the per-stage timing breakdown of one traced query.
+	QueryTrace = provenance.QueryTrace
 	// Generator produces synthetic workloads (Section V.A).
 	Generator = gen.Generator
 	// WorkflowClass is a Table I workflow profile.
@@ -247,6 +255,14 @@ func (s *System) DeepProvenance(runID string, v *UserView, d string) (*Result, e
 	return s.e.DeepProvenance(runID, v, d)
 }
 
+// DeepProvenanceTraced is DeepProvenance plus a per-stage timing breakdown
+// (closure-cache lookup, closure compute, view projection) — the legible
+// analogue of the paper's strategy-timing table, printed by
+// `zoom query -trace`.
+func (s *System) DeepProvenanceTraced(runID string, v *UserView, d string) (*Result, *QueryTrace, error) {
+	return s.e.DeepProvenanceTraced(runID, v, d)
+}
+
 // DeepProvenanceBatch answers the deep provenance of many data objects of
 // one run under one view in parallel with a bounded worker pool
 // (workers <= 0 selects GOMAXPROCS). Results come back in dataIDs order
@@ -354,6 +370,29 @@ func (s *System) Invalidate(runID, d string) { s.w.Invalidate(runID, d) }
 // Stats summarizes the warehouse contents (catalog row counts).
 func (s *System) Stats() warehouse.Stats { return s.w.Stats() }
 
+// NewMetrics returns an empty observability registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// AttachMetrics wires the system — warehouse, closure cache, and query
+// engine — to one metrics registry; nil detaches. Detached instrumentation
+// is a few nil checks per query (pinned by BenchmarkObsOverhead), so
+// systems that never attach pay nothing measurable.
+func (s *System) AttachMetrics(reg *Metrics) {
+	s.w.AttachMetrics(reg)
+	s.e.AttachMetrics(reg)
+}
+
+// Metrics returns the attached registry (nil when detached).
+func (s *System) Metrics() *Metrics { return s.w.Metrics() }
+
+// PublishMetrics registers the attached registry with the process-global
+// expvar table under the given name, so an HTTP embedder serving
+// /debug/vars exports a live snapshot. No-op when detached; an error when
+// the name is already published.
+func (s *System) PublishMetrics(name string) error {
+	return s.w.Metrics().Publish(name)
+}
+
 // DropRun removes a run and its cached closures.
 func (s *System) DropRun(id string) error { return s.w.DropRun(id) }
 
@@ -386,13 +425,19 @@ func LoadSystem(in io.Reader) (*System, error) {
 	return LoadSystemWith(in, LoadOptions{})
 }
 
-// LoadSystemWith is LoadSystem with explicit load options.
+// LoadSystemWith is LoadSystem with explicit load options. When
+// opts.Metrics is set, the snapshot load is recorded there and the whole
+// system comes up attached.
 func LoadSystemWith(in io.Reader, opts LoadOptions) (*System, error) {
 	w, err := warehouse.LoadWith(in, 0, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &System{w: w, e: provenance.NewEngine(w)}, nil
+	sys := &System{w: w, e: provenance.NewEngine(w)}
+	if opts.Metrics != nil {
+		sys.e.AttachMetrics(opts.Metrics)
+	}
+	return sys, nil
 }
 
 // Rendering helpers (Graphviz DOT and plain text).
