@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke bench bench-smoke bench-ingest-smoke bench-obs-smoke ci
+.PHONY: all build vet test race fuzz-smoke bench bench-smoke bench-ingest-smoke bench-obs-smoke serve-smoke ci
 
 all: ci
 
@@ -42,10 +42,17 @@ bench-smoke:
 bench-ingest-smoke:
 	$(GO) test -run '^$$' -bench 'Ingest' -benchtime=1x -benchmem .
 
-# Observability overhead (O1): the warm-query benchmark with metrics
-# detached vs. attached. The attached side must stay within ~2% of
-# detached; full numbers: `go test -bench ObsOverhead -benchtime=2s .`
+# Observability overhead (O1/O2): the warm-query benchmark with metrics
+# detached vs. attached vs. fully traced. The attached side must stay
+# within ~2% of detached; full numbers:
+# `go test -bench ObsOverhead -benchtime=2s .`
 bench-obs-smoke:
 	$(GO) test -run '^$$' -bench 'ObsOverhead' -benchtime=1x -benchmem .
 
-ci: vet build test race fuzz-smoke bench-smoke bench-ingest-smoke bench-obs-smoke
+# End-to-end smoke of `zoom serve`: boots the server on a free port against
+# the example warehouse, then checks /healthz, /readyz, /metrics, a traced
+# query (trace id header + span tree), the slow log, and SIGTERM shutdown.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+ci: vet build test race fuzz-smoke bench-smoke bench-ingest-smoke bench-obs-smoke serve-smoke

@@ -8,6 +8,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 
@@ -600,11 +601,23 @@ func BenchmarkIngestLogStream(b *testing.B) {
 // fixed ~3 clock reads + histogram updates of an attached registry are a
 // measurable fraction of the op — EXPERIMENTS.md section O1 records the
 // absolute cost; detached stays at baseline in both.
+//
+// "traced" (O2) additionally builds a request span tree per query — an
+// obs.Trace, a context carrying it, and one span per engine stage — the
+// full per-request cost the HTTP server pays for X-Zoom-Trace-Id and the
+// slow-query log. Untraced queries through the same instrumented code
+// (detached/attached) must not regress: spans cost nothing until a trace
+// is actually in the context.
 func BenchmarkObsOverhead(b *testing.B) {
 	for _, mode := range []struct {
-		name string
-		reg  *obs.Registry
-	}{{"detached", nil}, {"attached", obs.NewRegistry()}} {
+		name   string
+		reg    *obs.Registry
+		traced bool
+	}{
+		{"detached", nil, false},
+		{"attached", obs.NewRegistry(), false},
+		{"traced", obs.NewRegistry(), true},
+	} {
 		site := newFig10Site(b, gen.Class4(), gen.Medium(), 41)
 		site.e.AttachMetrics(mode.reg)
 		site.w.AttachMetrics(mode.reg)
@@ -612,11 +625,22 @@ func BenchmarkObsOverhead(b *testing.B) {
 		if _, err := site.e.DeepProvenance(site.r.ID(), site.bio, site.root); err != nil {
 			b.Fatal(err)
 		}
+		query := func(v *core.UserView) error {
+			if !mode.traced {
+				_, err := site.e.DeepProvenance(site.r.ID(), v, site.root)
+				return err
+			}
+			tr := obs.NewTrace("bench.query")
+			ctx := tr.Context(context.Background())
+			_, err := site.e.DeepProvenanceCtx(ctx, site.r.ID(), v, site.root)
+			tr.Finish()
+			return err
+		}
 		b.Run("cold/"+mode.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				site.w.ResetCache()
-				if _, err := site.e.DeepProvenance(site.r.ID(), site.admin, site.root); err != nil {
+				if err := query(site.admin); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -629,7 +653,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := site.e.DeepProvenance(site.r.ID(), views[i%2], site.root); err != nil {
+				if err := query(views[i%2]); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -5,7 +5,8 @@
 //
 // Subcommands:
 //
-//	zoom example                          walk through the paper's Figures 1-3
+//	zoom example [-warehouse wh.json]     walk through the paper's Figures 1-3
+//	zoom serve   -warehouse wh.json [-addr :8080] [-slow 10ms] [-slowlog 128] [-drain 5s] [-expvar zoom]
 //	zoom spec    -file spec.json [-dot]   validate / render a specification
 //	zoom view    -file spec.json -relevant M2,M3,M7 [-dot]
 //	zoom load    -warehouse wh.json -file spec.json [-log run.jsonl -run id] [-parallel N] [-format json|binary|keep]
@@ -19,11 +20,17 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/zoom"
 )
@@ -36,7 +43,9 @@ func main() {
 	var err error
 	switch os.Args[1] {
 	case "example":
-		err = cmdExample()
+		err = cmdExample(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "spec":
 		err = cmdSpec(os.Args[2:])
 	case "view":
@@ -67,7 +76,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: zoom <example|spec|view|load|query|ask|compare|runs|stats> [flags]
+	fmt.Fprintln(os.Stderr, `usage: zoom <example|spec|view|load|query|ask|compare|runs|stats|serve> [flags]
 run "zoom <subcommand> -h" for per-command flags
 canned query forms for "ask": `+strings.Join(zoom.QueryForms(), ", "))
 }
@@ -135,8 +144,14 @@ func cmdAsk(args []string) error {
 	return nil
 }
 
-// cmdExample walks through the paper's running example end to end.
-func cmdExample() error {
+// cmdExample walks through the paper's running example end to end. With
+// -warehouse it also saves the example system as a snapshot (the Joe and
+// Mary views registered by name) — the one-command way to get a warehouse
+// that `zoom query` and `zoom serve` can use.
+func cmdExample(args []string) error {
+	fs := flag.NewFlagSet("example", flag.ExitOnError)
+	whPath := fs.String("warehouse", "", "save the example system as a warehouse snapshot")
+	_ = fs.Parse(args)
 	s := zoom.Phylogenomics()
 	r := zoom.PhylogenomicsRun()
 	fmt.Printf("specification: %s\n", s)
@@ -160,6 +175,9 @@ func cmdExample() error {
 		if err != nil {
 			return err
 		}
+		if err := sys.RegisterView(strings.ToLower(user.name), v); err != nil {
+			return err
+		}
 		fmt.Printf("%s finds %v relevant; RelevUserViewBuilder gives %v (size %d)\n",
 			user.name, user.relevant, v, v.Size())
 		ex, err := sys.ImmediateProvenance(r.ID(), v, "d413")
@@ -175,7 +193,80 @@ func cmdExample() error {
 		fmt.Printf("  deep provenance of d447: %d executions, %d data objects\n\n",
 			res.NumSteps(), res.NumData())
 	}
+	if *whPath != "" {
+		if err := saveSystem(sys, *whPath); err != nil {
+			return err
+		}
+		fmt.Printf("saved warehouse snapshot to %s (views: joe, mary)\n", *whPath)
+	}
 	return nil
+}
+
+// cmdServe runs the HTTP provenance service. The listener comes up first,
+// the warehouse loads in the background, and the server answers 503 on
+// /readyz and the query API until the load finishes — so orchestrators
+// see the process alive immediately and route traffic only once ready.
+// SIGINT/SIGTERM drain in-flight requests for up to -drain.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	whPath := fs.String("warehouse", "", "warehouse snapshot file (required)")
+	parallel := fs.Int("parallel", 0, "workers for parallel snapshot loading (0 = GOMAXPROCS)")
+	slow := fs.Duration("slow", 10*time.Millisecond, "slow-query log threshold (negative logs every request)")
+	slowlogSize := fs.Int("slowlog", 128, "slow-query log ring size")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+	expvarName := fs.String("expvar", "zoom", `expvar name for the live metrics snapshot ("" skips /debug/vars publishing)`)
+	workers := fs.Int("workers", 0, "default worker pool per batch request (0 = GOMAXPROCS)")
+	_ = fs.Parse(args)
+	if *whPath == "" {
+		return fmt.Errorf("serve: -warehouse is required")
+	}
+	if _, err := os.Stat(*whPath); err != nil {
+		return fmt.Errorf("serve: warehouse snapshot: %w", err)
+	}
+	reg := zoom.NewMetrics()
+	// NewServer fails fast on an already-published expvar name — better a
+	// startup error than a server whose /debug/vars silently shows some
+	// other registry.
+	srv, err := zoom.NewServer(reg, zoom.ServerConfig{
+		SlowThreshold: *slow,
+		SlowLogSize:   *slowlogSize,
+		ExpvarName:    *expvarName,
+		Workers:       *workers,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "zoom serve: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	loadErr := make(chan error, 1)
+	go func() {
+		sys, err := loadSystemWith(*whPath, *parallel, reg)
+		if err != nil {
+			loadErr <- err
+			stop() // shut the server down; the error is reported below
+			return
+		}
+		sys.ConnectServer(srv)
+		fmt.Fprintf(os.Stderr, "zoom serve: warehouse %s loaded (%d runs), ready\n",
+			*whPath, len(sys.RunIDs()))
+	}()
+	err = srv.Serve(ctx, ln, *drain)
+	select {
+	case lerr := <-loadErr:
+		return fmt.Errorf("serve: loading %s: %w", *whPath, lerr)
+	default:
+	}
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	return err
 }
 
 func readSpec(path string) (*zoom.Spec, error) {
@@ -435,17 +526,19 @@ func cmdQuery(args []string) error {
 			// (or finds it cached from an earlier process — the snapshot
 			// cache does not persist, so here it is the cold path), the
 			// second re-serves it from the closure cache. The warm line is
-			// the paper's view-switch cost.
+			// the paper's view-switch cost. The breakdown goes to stderr so
+			// stdout stays exactly the query answer (-prov output remains
+			// valid JSON, -dot valid DOT) under -trace.
 			_, cold, err := sys.DeepProvenanceTraced(*runID, v, *data)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("cold %s\n", cold)
+			fmt.Fprintf(os.Stderr, "cold %s\n", cold)
 			_, warm, err := sys.DeepProvenanceTraced(*runID, v, *data)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("warm %s\n", warm)
+			fmt.Fprintf(os.Stderr, "warm %s\n", warm)
 		}
 		res, err := sys.DeepProvenance(*runID, v, *data)
 		if err != nil {

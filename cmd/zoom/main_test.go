@@ -34,6 +34,35 @@ func capture(t *testing.T, fn func() error) (string, error) {
 	return buf.String(), runErr
 }
 
+// captureBoth runs fn with stdout and stderr redirected, returning both
+// streams separately — for commands whose contract is exactly "answer on
+// stdout, diagnostics on stderr" (like query -trace).
+func captureBoth(t *testing.T, fn func() error) (stdout, stderr string, err error) {
+	t.Helper()
+	oldOut, oldErr := os.Stdout, os.Stderr
+	ro, wo, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, we, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout, os.Stderr = wo, we
+	runErr := fn()
+	wo.Close()
+	we.Close()
+	os.Stdout, os.Stderr = oldOut, oldErr
+	var bufOut, bufErr bytes.Buffer
+	if _, err := io.Copy(&bufOut, ro); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(&bufErr, re); err != nil {
+		t.Fatal(err)
+	}
+	return bufOut.String(), bufErr.String(), runErr
+}
+
 func writeSpecFile(t *testing.T, dir string) string {
 	t.Helper()
 	data, err := zoom.EncodeSpec(zoom.Phylogenomics())
@@ -66,7 +95,7 @@ func writeLogFile(t *testing.T, dir string) string {
 }
 
 func TestCmdExample(t *testing.T) {
-	out, err := capture(t, cmdExample)
+	out, err := capture(t, func() error { return cmdExample(nil) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,15 +414,17 @@ func TestCmdQueryTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	out, err := capture(t, func() error {
+	out, errOut, err := captureBoth(t, func() error {
 		return cmdQuery([]string{"-warehouse", wh, "-run", "fig2", "-data", "d447",
 			"-relevant", "M2,M3,M7", "-trace"})
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Strip the (nondeterministic) durations and compare the shape.
-	norm := regexp.MustCompile(`[0-9]+(\.[0-9]+)?(ns|µs|ms|s)`).ReplaceAllString(out, "<dur>")
+	// The timing breakdown goes to stderr so stdout stays exactly the
+	// query answer; strip the (nondeterministic) durations and compare the
+	// shape.
+	norm := regexp.MustCompile(`[0-9]+(\.[0-9]+)?(ns|µs|ms|s)`).ReplaceAllString(errOut, "<dur>")
 	for _, want := range []string{
 		"cold trace: run=fig2 data=d447 outcome=miss",
 		"(compute <dur>)",
@@ -401,11 +432,17 @@ func TestCmdQueryTrace(t *testing.T) {
 		"closure lookup",
 		"view projection",
 		"result: 4 steps, 240 data objects, 6 edges", // projected through Joe's view
-		"deep provenance of d447", // the normal answer still prints after the traces
 	} {
 		if !strings.Contains(norm, want) {
-			t.Fatalf("trace output missing %q:\n%s", want, norm)
+			t.Fatalf("trace output (stderr) missing %q:\n%s", want, norm)
 		}
+	}
+	// The normal answer still prints — on stdout, trace-free.
+	if !strings.Contains(out, "deep provenance of d447") {
+		t.Fatalf("stdout lost the query answer:\n%s", out)
+	}
+	if strings.Contains(out, "cold trace") || strings.Contains(out, "warm trace") {
+		t.Fatalf("trace breakdown leaked onto stdout:\n%s", out)
 	}
 	// The warm trace must not report compute time.
 	warm := norm[strings.Index(norm, "warm trace"):]
@@ -468,5 +505,81 @@ func TestCmdStats(t *testing.T) {
 
 	if _, err := capture(t, func() error { return cmdStats(nil) }); err == nil {
 		t.Fatal("stats without -warehouse accepted")
+	}
+}
+
+// TestCmdQueryTraceProvJSON pins the stdout contract: with -trace AND
+// -prov, stdout must still be exactly one valid PROV-JSON document — the
+// breakdown lives on stderr, so piping `zoom query -prov -trace` into a
+// JSON consumer keeps working.
+func TestCmdQueryTraceProvJSON(t *testing.T) {
+	dir := t.TempDir()
+	wh := filepath.Join(dir, "wh.json")
+	if _, err := capture(t, func() error {
+		return cmdExample([]string{"-warehouse", wh})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	out, errOut, err := captureBoth(t, func() error {
+		return cmdQuery([]string{"-warehouse", wh, "-run", "fig2", "-data", "d447",
+			"-relevant", "M2,M3,M7", "-trace", "-prov"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("stdout is not valid JSON under -trace -prov: %v\n%s", err, out)
+	}
+	if _, ok := doc["entity"]; !ok {
+		t.Fatalf("PROV-JSON document has no entities: %s", out)
+	}
+	if !strings.Contains(errOut, "cold trace") || !strings.Contains(errOut, "warm trace") {
+		t.Fatalf("trace breakdown missing from stderr:\n%s", errOut)
+	}
+}
+
+// TestCmdExampleWarehouse: `zoom example -warehouse` saves a queryable
+// snapshot with the joe and mary views registered by name.
+func TestCmdExampleWarehouse(t *testing.T) {
+	dir := t.TempDir()
+	wh := filepath.Join(dir, "wh.json")
+	out, err := capture(t, func() error { return cmdExample([]string{"-warehouse", wh}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "saved warehouse snapshot") {
+		t.Fatalf("no save confirmation:\n%s", out)
+	}
+	sys, err := loadSystem(wh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.ViewNames("phylogenomics"); len(got) != 2 {
+		t.Fatalf("saved views: %v, want joe and mary", got)
+	}
+	v, err := sys.View("phylogenomics", "joe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.DeepProvenance("fig2", v, "d447")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumSteps() != 4 {
+		t.Fatalf("deep provenance through saved joe view: %d steps, want 4", res.NumSteps())
+	}
+}
+
+// TestCmdServeValidation covers the fast failures: a missing -warehouse
+// flag and a nonexistent snapshot file must error before binding a port.
+func TestCmdServeValidation(t *testing.T) {
+	if err := cmdServe(nil); err == nil {
+		t.Fatal("serve without -warehouse accepted")
+	}
+	err := cmdServe([]string{"-warehouse", filepath.Join(t.TempDir(), "absent.json")})
+	if err == nil || !strings.Contains(err.Error(), "snapshot") {
+		t.Fatalf("serve with absent warehouse: %v", err)
 	}
 }

@@ -145,6 +145,10 @@ type Bucket struct {
 	UpperBound int64 `json:"le"`
 	// Count is the number of observations in the bucket.
 	Count int64 `json:"n"`
+	// Cum is the cumulative count of observations <= UpperBound — exactly
+	// the value a Prometheus `_bucket{le="..."}` series reports, so the
+	// text exposition renders straight off the snapshot.
+	Cum int64 `json:"cum"`
 }
 
 // HistogramSnapshot is a point-in-time reading of a histogram.
@@ -174,9 +178,11 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	s.Sum = h.sum.Load()
 	s.Max = h.max.Load()
+	var cum int64
 	for i, n := range counts {
+		cum += n
 		if n > 0 {
-			s.Buckets = append(s.Buckets, Bucket{UpperBound: BucketBound(i), Count: n})
+			s.Buckets = append(s.Buckets, Bucket{UpperBound: BucketBound(i), Count: n, Cum: cum})
 		}
 	}
 	s.P50 = quantile(&counts, s.Count, 50)

@@ -1,0 +1,132 @@
+// Prometheus text exposition (format version 0.0.4), rendered straight
+// from a Snapshot with no external dependencies. Registry names are flat
+// dotted strings; the renderer maps them onto the Prometheus data model:
+//
+//   - dots and other non-identifier characters become underscores, and
+//     every series gets a namespace prefix ("zoom_" for the server);
+//   - the per-outcome latency histograms the engine registers
+//     (query.deep_total_ns.hit / .miss / .shared-wait) fold into ONE metric
+//     family with an outcome label, which is how Prometheus wants
+//     same-quantity-different-dimension series spelled;
+//   - histograms emit cumulative _bucket{le="..."} series (from
+//     Bucket.Cum), a _sum approximation, and _count, with the mandatory
+//     le="+Inf" bucket equal to _count.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// outcomeLabels are the trailing name segments folded into an
+// outcome="..." label instead of being part of the metric name.
+var outcomeLabels = map[string]bool{"hit": true, "miss": true, "shared-wait": true}
+
+// promSplit maps a registry name to a sanitized metric name and an
+// optional label pair.
+func promSplit(namespace, name string) (metric, labels string) {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 && outcomeLabels[name[i+1:]] {
+		labels = `outcome="` + name[i+1:] + `"`
+		name = name[:i]
+	}
+	var b strings.Builder
+	if namespace != "" {
+		b.WriteString(namespace)
+		b.WriteByte('_')
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_',
+			c >= '0' && c <= '9' && b.Len() > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String(), labels
+}
+
+// promSeries is one series of a family: its label set and source name.
+type promSeries struct {
+	labels string
+	name   string // the original registry name
+}
+
+// groupFamilies buckets registry names by sanitized metric name so # TYPE
+// is emitted once per family even when outcome labels split it into
+// several series. Families and series come out sorted for deterministic
+// scrapes.
+func groupFamilies(namespace string, names []string) (familyNames []string, families map[string][]promSeries) {
+	families = make(map[string][]promSeries)
+	for _, name := range names {
+		metric, labels := promSplit(namespace, name)
+		families[metric] = append(families[metric], promSeries{labels: labels, name: name})
+	}
+	for metric, ss := range families {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+		families[metric] = ss
+		familyNames = append(familyNames, metric)
+	}
+	sort.Strings(familyNames)
+	return familyNames, families
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// joinLabels merges a family label set with an extra pair (for le).
+func joinLabels(labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return ""
+	case labels == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + labels + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format. namespace prefixes every metric name ("zoom" is the server's
+// convention); pass "" for none. The output is deterministic: families and
+// series are sorted by name and label set.
+func WritePrometheus(w io.Writer, s Snapshot, namespace string) {
+	counterFams, counters := groupFamilies(namespace, sortedKeys(s.Counters))
+	for _, fam := range counterFams {
+		fmt.Fprintf(w, "# TYPE %s counter\n", fam)
+		for _, ser := range counters[fam] {
+			fmt.Fprintf(w, "%s%s %d\n", fam, joinLabels(ser.labels, ""), s.Counters[ser.name])
+		}
+	}
+	gaugeFams, gauges := groupFamilies(namespace, sortedKeys(s.Gauges))
+	for _, fam := range gaugeFams {
+		fmt.Fprintf(w, "# TYPE %s gauge\n", fam)
+		for _, ser := range gauges[fam] {
+			fmt.Fprintf(w, "%s%s %d\n", fam, joinLabels(ser.labels, ""), s.Gauges[ser.name])
+		}
+	}
+	histFams, hists := groupFamilies(namespace, sortedKeys(s.Histograms))
+	for _, fam := range histFams {
+		fmt.Fprintf(w, "# TYPE %s histogram\n", fam)
+		for _, ser := range hists[fam] {
+			h := s.Histograms[ser.name]
+			for _, b := range h.Buckets {
+				fmt.Fprintf(w, "%s_bucket%s %d\n",
+					fam, joinLabels(ser.labels, fmt.Sprintf(`le="%d"`, b.UpperBound)), b.Cum)
+			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n", fam, joinLabels(ser.labels, `le="+Inf"`), h.Count)
+			fmt.Fprintf(w, "%s_sum%s %d\n", fam, joinLabels(ser.labels, ""), h.Sum)
+			fmt.Fprintf(w, "%s_count%s %d\n", fam, joinLabels(ser.labels, ""), h.Count)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"bufio"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promMetricName is the Prometheus metric-name grammar.
+var promMetricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// promSample is one parsed exposition line: name{labels} value.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseExposition is a small parser for the text format the test uses to
+// check WritePrometheus output round-trips: it validates line syntax as it
+// goes and returns the TYPE declarations and samples in order.
+func parseExposition(t *testing.T, text string) (types map[string]string, samples []promSample) {
+	t.Helper()
+	types = make(map[string]string)
+	labelRe := regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"$`)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) != 4 || f[1] != "TYPE" {
+				t.Fatalf("bad comment line %q", line)
+			}
+			if !promMetricName.MatchString(f[2]) {
+				t.Fatalf("TYPE declares invalid metric name %q", f[2])
+			}
+			if _, dup := types[f[2]]; dup {
+				t.Fatalf("family %s declared twice", f[2])
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		// name{label="v",...} value  |  name value
+		rest := line
+		var s promSample
+		s.labels = make(map[string]string)
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			j := strings.IndexByte(rest, '}')
+			if j < i {
+				t.Fatalf("unbalanced braces in %q", line)
+			}
+			s.name = rest[:i]
+			for _, pair := range strings.Split(rest[i+1:j], ",") {
+				m := labelRe.FindStringSubmatch(pair)
+				if m == nil {
+					t.Fatalf("bad label pair %q in %q", pair, line)
+				}
+				s.labels[m[1]] = m[2]
+			}
+			rest = strings.TrimSpace(rest[j+1:])
+		} else {
+			f := strings.Fields(rest)
+			if len(f) != 2 {
+				t.Fatalf("bad sample line %q", line)
+			}
+			s.name, rest = f[0], f[1]
+		}
+		if !promMetricName.MatchString(s.name) {
+			t.Fatalf("invalid metric name %q in %q", s.name, line)
+		}
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			if rest != "+Inf" {
+				t.Fatalf("bad value %q in %q", rest, line)
+			}
+			v = math.Inf(1)
+		}
+		s.value = v
+		samples = append(samples, s)
+	}
+	return types, samples
+}
+
+// family strips the _bucket/_sum/_count suffix a histogram sample carries.
+func family(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// TestWritePrometheusRoundTrip renders a registry exercised like the real
+// system (outcome-suffixed histograms, dotted names, counters and gauges)
+// and re-parses the exposition text, checking the invariants a Prometheus
+// scraper relies on: valid names, one TYPE per family, outcome labels,
+// and per-series cumulative bucket counts that rise monotonically with le
+// and end at _count.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("query.deep_total").Add(7)
+	reg.Counter("query.errors").Add(2)
+	reg.Gauge("server.ready").Set(1)
+	for _, outcome := range []string{"hit", "miss", "shared-wait"} {
+		h := reg.Histogram("query.deep_total_ns." + outcome)
+		for i := int64(1); i <= 100; i++ {
+			h.Observe(i * i * 17)
+		}
+	}
+	lk := reg.Histogram("query.lookup_ns")
+	lk.Observe(5)
+	lk.Observe(5000)
+
+	var b strings.Builder
+	WritePrometheus(&b, reg.Snapshot(), "zoom")
+	text := b.String()
+	types, samples := parseExposition(t, text)
+
+	// Expected families, all namespaced, outcome folded out of the name.
+	want := map[string]string{
+		"zoom_query_deep_total":    "counter",
+		"zoom_query_errors":        "counter",
+		"zoom_server_ready":        "gauge",
+		"zoom_query_deep_total_ns": "histogram",
+		"zoom_query_lookup_ns":     "histogram",
+	}
+	for fam, typ := range want {
+		if types[fam] != typ {
+			t.Fatalf("family %s: TYPE %q, want %q\n%s", fam, types[fam], typ, text)
+		}
+	}
+	for fam := range types {
+		if _, ok := want[fam]; !ok {
+			t.Fatalf("unexpected family %s", fam)
+		}
+	}
+
+	// Every sample must belong to a declared family of the right shape.
+	outcomes := map[string]bool{}
+	for _, s := range samples {
+		fam := family(s.name)
+		typ, ok := types[fam]
+		if !ok {
+			t.Fatalf("sample %s has no TYPE declaration", s.name)
+		}
+		if (fam != s.name) != (typ == "histogram") {
+			t.Fatalf("sample %s under %s family %s", s.name, typ, fam)
+		}
+		if fam == "zoom_query_deep_total_ns" {
+			outcomes[s.labels["outcome"]] = true
+		}
+	}
+	for _, o := range []string{"hit", "miss", "shared-wait"} {
+		if !outcomes[o] {
+			t.Fatalf("no series with outcome=%q:\n%s", o, text)
+		}
+	}
+
+	// Histogram invariants, per (family, non-le label set) series.
+	type histSeries struct {
+		les        []float64
+		cums       []float64
+		sum, count float64
+		hasCount   bool
+	}
+	series := map[string]*histSeries{}
+	key := func(fam string, labels map[string]string) string {
+		var parts []string
+		for k, v := range labels {
+			if k != "le" {
+				parts = append(parts, k+"="+v)
+			}
+		}
+		sort.Strings(parts)
+		return fam + "|" + strings.Join(parts, ",")
+	}
+	for _, s := range samples {
+		fam := family(s.name)
+		if types[fam] != "histogram" {
+			continue
+		}
+		hs := series[key(fam, s.labels)]
+		if hs == nil {
+			hs = &histSeries{}
+			series[key(fam, s.labels)] = hs
+		}
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			le, ok := s.labels["le"]
+			if !ok {
+				t.Fatalf("bucket sample without le: %+v", s)
+			}
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				var err error
+				if bound, err = strconv.ParseFloat(le, 64); err != nil {
+					t.Fatalf("bad le %q", le)
+				}
+			}
+			hs.les = append(hs.les, bound)
+			hs.cums = append(hs.cums, s.value)
+		case strings.HasSuffix(s.name, "_sum"):
+			hs.sum = s.value
+		case strings.HasSuffix(s.name, "_count"):
+			hs.count, hs.hasCount = s.value, true
+		}
+	}
+	if len(series) != 4 { // 3 outcomes + lookup
+		t.Fatalf("parsed %d histogram series, want 4", len(series))
+	}
+	for k, hs := range series {
+		if !hs.hasCount {
+			t.Fatalf("series %s missing _count", k)
+		}
+		if len(hs.les) < 2 || !math.IsInf(hs.les[len(hs.les)-1], 1) {
+			t.Fatalf("series %s: buckets %v must end at +Inf", k, hs.les)
+		}
+		for i := 1; i < len(hs.les); i++ {
+			if hs.les[i] <= hs.les[i-1] {
+				t.Fatalf("series %s: le not increasing: %v", k, hs.les)
+			}
+			if hs.cums[i] < hs.cums[i-1] {
+				t.Fatalf("series %s: cumulative counts decrease: %v", k, hs.cums)
+			}
+		}
+		if last := hs.cums[len(hs.cums)-1]; last != hs.count {
+			t.Fatalf("series %s: +Inf bucket %v != _count %v", k, last, hs.count)
+		}
+		if hs.count > 0 && hs.sum <= 0 {
+			t.Fatalf("series %s: _sum %v with _count %v", k, hs.sum, hs.count)
+		}
+	}
+}
+
+// TestBucketCumSnapshot pins the satellite change directly: the snapshot's
+// Cum fields are the running total over ALL buckets (including skipped
+// empty ones), i.e. exactly what a _bucket{le} series reports.
+func TestBucketCumSnapshot(t *testing.T) {
+	var h Histogram
+	vals := []int64{1, 1, 3, 900, 900, 900, 1 << 40}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	var running int64
+	for i, b := range s.Buckets {
+		running += b.Count
+		if b.Cum != running {
+			t.Fatalf("bucket %d (le=%d): cum=%d, want %d", i, b.UpperBound, b.Cum, running)
+		}
+	}
+	if running != s.Count {
+		t.Fatalf("bucket counts sum to %d, histogram count %d", running, s.Count)
+	}
+	if last := s.Buckets[len(s.Buckets)-1]; last.Cum != s.Count {
+		t.Fatalf("final cum %d != count %d", last.Cum, s.Count)
+	}
+}
+
+// TestPromSplit covers name sanitization and outcome folding edge cases.
+func TestPromSplit(t *testing.T) {
+	cases := []struct{ ns, in, metric, labels string }{
+		{"zoom", "query.deep_total_ns.hit", "zoom_query_deep_total_ns", `outcome="hit"`},
+		{"zoom", "query.deep_total_ns.shared-wait", "zoom_query_deep_total_ns", `outcome="shared-wait"`},
+		{"", "cache.hits", "cache_hits", ""},
+		{"zoom", "batch.count", "zoom_batch_count", ""},
+		{"", "9lives", "_lives", ""}, // leading digit is not a valid name start
+	}
+	for _, c := range cases {
+		m, l := promSplit(c.ns, c.in)
+		if m != c.metric || l != c.labels {
+			t.Errorf("promSplit(%q,%q) = (%q,%q), want (%q,%q)", c.ns, c.in, m, l, c.metric, c.labels)
+		}
+		if !promMetricName.MatchString(m) {
+			t.Errorf("promSplit produced invalid name %q", m)
+		}
+	}
+}

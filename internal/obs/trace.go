@@ -1,0 +1,214 @@
+// Request-scoped tracing: a lightweight span tree carried through a
+// context.Context. Where the Registry aggregates (histograms answer "how
+// slow are queries lately?"), a Trace explains one request ("why was THIS
+// query slow?"): every stage the request passed through — engine lookup and
+// projection, closure compute or singleflight wait, each batch worker's
+// query — records a span, and the finished tree is returned inline
+// (?trace=1), referenced by the X-Zoom-Trace-Id response header, and kept
+// in the server's slow-query log.
+//
+// The design constraint matches the rest of the package: code that is not
+// being traced must pay next to nothing. A context without a trace yields a
+// nil *Span from SpanFromContext/StartSpan, and every Span method is safe
+// (and a no-op) on a nil receiver, so instrumented paths hold plain
+// possibly-nil span values and never branch on "is tracing on" beyond the
+// one context lookup at the request boundary.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is the span tree of one request. Create one per request at the
+// boundary (the HTTP handler), derive a context with Context, and hand that
+// context down; instrumented stages add child spans via StartSpan. A Trace
+// is safe for concurrent use: batch workers may start sibling spans of the
+// same parent at once.
+type Trace struct {
+	id   string
+	t0   time.Time
+	root *Span
+}
+
+// traceSeq de-duplicates fallback trace ids if crypto/rand ever fails.
+var traceSeq atomic.Uint64
+
+// newTraceID returns a 16-hex-digit random id.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// No entropy (essentially impossible): fall back to a process-unique
+		// counter so ids stay distinct, if predictable.
+		n := traceSeq.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewTrace starts a trace whose root span has the given name (conventionally
+// the request route, e.g. "POST /v1/query"). The root span is already
+// started; Finish ends it.
+func NewTrace(name string) *Trace {
+	t := &Trace{id: newTraceID(), t0: time.Now()}
+	t.root = &Span{tr: t, name: name}
+	return t
+}
+
+// ID returns the trace id (16 hex digits) — the value of X-Zoom-Trace-Id.
+func (t *Trace) ID() string { return t.id }
+
+// Root returns the root span.
+func (t *Trace) Root() *Span { return t.root }
+
+// Context returns a context carrying the trace's root span (and the trace
+// itself, for TraceFromContext). StartSpan on the returned context creates
+// children of the root.
+func (t *Trace) Context(ctx context.Context) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, t.root)
+}
+
+// Finish ends the root span and returns the completed tree. Call it after
+// every stage has ended (all workers joined).
+func (t *Trace) Finish() SpanNode {
+	t.root.End()
+	return t.Snapshot()
+}
+
+// Snapshot returns the current tree without ending anything; spans still
+// running report their duration as of now. This is what serves inline
+// ?trace=1 responses, where the response encoding itself is necessarily
+// outside the snapshot.
+func (t *Trace) Snapshot() SpanNode {
+	if t == nil {
+		return SpanNode{}
+	}
+	return t.root.snapshot()
+}
+
+// Span is one timed stage of a trace. All methods are safe (and no-ops) on
+// a nil receiver — the untraced case.
+type Span struct {
+	tr      *Trace
+	name    string
+	startNs int64 // since the trace's t0; the root starts at 0
+
+	mu       sync.Mutex
+	endNs    int64 // 0 while running
+	children []*Span
+}
+
+// Trace returns the trace the span belongs to (nil on a nil span).
+func (s *Span) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}
+
+// StartChild starts a named child span. Safe for concurrent use by sibling
+// workers; returns nil on a nil receiver.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, startNs: time.Since(s.tr.t0).Nanoseconds()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End marks the span finished. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Since(s.tr.t0).Nanoseconds()
+	s.mu.Lock()
+	if s.endNs == 0 {
+		s.endNs = now
+	}
+	s.mu.Unlock()
+}
+
+// snapshot copies the subtree rooted at s.
+func (s *Span) snapshot() SpanNode {
+	s.mu.Lock()
+	end := s.endNs
+	kids := make([]*Span, len(s.children))
+	copy(kids, s.children)
+	s.mu.Unlock()
+	if end == 0 {
+		end = time.Since(s.tr.t0).Nanoseconds()
+	}
+	n := SpanNode{Name: s.name, StartNs: s.startNs, DurNs: end - s.startNs}
+	if n.DurNs < 0 {
+		n.DurNs = 0
+	}
+	for _, c := range kids {
+		n.Children = append(n.Children, c.snapshot())
+	}
+	return n
+}
+
+// SpanNode is one span in a snapshotted trace tree, shaped for JSON.
+// StartNs is relative to the trace start, so a rendering can lay spans out
+// on one shared timeline.
+type SpanNode struct {
+	Name     string     `json:"name"`
+	StartNs  int64      `json:"start_ns"`
+	DurNs    int64      `json:"dur_ns"`
+	Children []SpanNode `json:"children,omitempty"`
+}
+
+// Find returns the first node with the given name in a depth-first walk of
+// the subtree (including n itself), or nil.
+func (n *SpanNode) Find(name string) *SpanNode {
+	if n.Name == name {
+		return n
+	}
+	for i := range n.Children {
+		if f := n.Children[i].Find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// spanCtxKey carries the current span through a context.
+type spanCtxKey struct{}
+
+// SpanFromContext returns the context's current span, or nil when the
+// request is not being traced.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// TraceFromContext returns the trace the context's span belongs to, or nil.
+func TraceFromContext(ctx context.Context) *Trace {
+	return SpanFromContext(ctx).Trace()
+}
+
+// StartSpan starts a child of the context's current span and returns a
+// context carrying the child. On an untraced context it returns the context
+// unchanged and a nil span — one interface lookup, no allocation — which is
+// what keeps disabled tracing off the hot path.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	c := parent.StartChild(name)
+	return context.WithValue(ctx, spanCtxKey{}, c), c
+}

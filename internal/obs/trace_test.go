@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceSpanTree builds a small two-level tree and checks the snapshot
+// has the right shape, plausible timings, and a well-formed id.
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace("POST /v1/query")
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(tr.ID()) {
+		t.Fatalf("trace id %q is not 16 hex digits", tr.ID())
+	}
+	ctx := tr.Context(context.Background())
+
+	lctx, lookup := StartSpan(ctx, "query.lookup")
+	if lookup == nil {
+		t.Fatal("StartSpan on a traced context returned nil")
+	}
+	_, compute := StartSpan(lctx, "closure.compute")
+	time.Sleep(time.Millisecond)
+	compute.End()
+	lookup.End()
+	_, project := StartSpan(ctx, "query.project")
+	project.End()
+
+	root := tr.Finish()
+	if root.Name != "POST /v1/query" {
+		t.Fatalf("root name %q", root.Name)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("root has %d children, want 2: %+v", len(root.Children), root.Children)
+	}
+	l := root.Find("query.lookup")
+	if l == nil || len(l.Children) != 1 || l.Children[0].Name != "closure.compute" {
+		t.Fatalf("lookup subtree wrong: %+v", l)
+	}
+	c := root.Find("closure.compute")
+	if c.DurNs < int64(time.Millisecond) {
+		t.Fatalf("compute span %dns, slept 1ms", c.DurNs)
+	}
+	// Containment: a child starts no earlier and lasts no longer than the
+	// span that contains it.
+	if c.StartNs < l.StartNs || c.StartNs+c.DurNs > l.StartNs+l.DurNs {
+		t.Fatalf("compute [%d,+%d] escapes lookup [%d,+%d]", c.StartNs, c.DurNs, l.StartNs, l.DurNs)
+	}
+	if l.DurNs > root.DurNs {
+		t.Fatalf("lookup (%dns) outlasts root (%dns)", l.DurNs, root.DurNs)
+	}
+	if root.Find("no.such.span") != nil {
+		t.Fatal("Find invented a span")
+	}
+
+	// The tree must be JSON-shaped for ?trace=1 responses.
+	b, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SpanNode
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Find("closure.compute") == nil {
+		t.Fatalf("tree did not survive JSON round-trip: %s", b)
+	}
+}
+
+// TestTraceNilSafety: every operation on the untraced path — nil spans,
+// nil traces, contexts without a trace — must be a safe no-op, because
+// instrumented code calls them unconditionally.
+func TestTraceNilSafety(t *testing.T) {
+	ctx := context.Background()
+	if s := SpanFromContext(ctx); s != nil {
+		t.Fatalf("untraced context yielded span %v", s)
+	}
+	if tr := TraceFromContext(ctx); tr != nil {
+		t.Fatalf("untraced context yielded trace %v", tr)
+	}
+	ctx2, sp := StartSpan(ctx, "stage")
+	if sp != nil {
+		t.Fatal("StartSpan on untraced context returned a span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("StartSpan on untraced context replaced the context")
+	}
+	// All nil-receiver methods.
+	sp.End()
+	if c := sp.StartChild("x"); c != nil {
+		t.Fatal("nil span spawned a child")
+	}
+	if sp.Trace() != nil {
+		t.Fatal("nil span has a trace")
+	}
+	var tr *Trace
+	if got := tr.Snapshot(); got.Name != "" || len(got.Children) != 0 {
+		t.Fatalf("nil trace snapshot %+v", got)
+	}
+	if got := tr.Context(ctx); got != ctx {
+		t.Fatal("nil trace changed the context")
+	}
+}
+
+// TestTraceConcurrentChildren mirrors the batch worker pattern: many
+// goroutines starting and ending sibling spans of the same parent (run
+// under -race in CI).
+func TestTraceConcurrentChildren(t *testing.T) {
+	tr := NewTrace("POST /v1/batch")
+	ctx := tr.Context(context.Background())
+	const workers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				qctx, sp := StartSpan(ctx, "batch.query")
+				_, inner := StartSpan(qctx, "query.lookup")
+				inner.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root := tr.Finish()
+	if got := len(root.Children); got != workers*50 {
+		t.Fatalf("%d children recorded, want %d", got, workers*50)
+	}
+	for _, c := range root.Children {
+		if len(c.Children) != 1 || c.Children[0].Name != "query.lookup" {
+			t.Fatalf("worker span lost its child: %+v", c)
+		}
+	}
+}
+
+// TestTraceSnapshotWhileRunning: Snapshot on a live trace reports running
+// spans with their duration so far, without ending them.
+func TestTraceSnapshotWhileRunning(t *testing.T) {
+	tr := NewTrace("r")
+	ctx := tr.Context(context.Background())
+	_, sp := StartSpan(ctx, "slow")
+	time.Sleep(time.Millisecond)
+	snap := tr.Snapshot()
+	n := snap.Find("slow")
+	if n == nil || n.DurNs < int64(time.Millisecond) {
+		t.Fatalf("running span reported %+v", n)
+	}
+	sp.End()
+	final := tr.Finish()
+	done := final.Find("slow")
+	if done.DurNs < n.DurNs {
+		t.Fatalf("final duration %d shrank below snapshot %d", done.DurNs, n.DurNs)
+	}
+}
+
+// TestSpanEndTwice: a double End keeps the first end time.
+func TestSpanEndTwice(t *testing.T) {
+	tr := NewTrace("r")
+	sp := tr.Root().StartChild("s")
+	sp.End()
+	snap1 := tr.Snapshot()
+	d1 := snap1.Find("s").DurNs
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	snap2 := tr.Snapshot()
+	if d2 := snap2.Find("s").DurNs; d2 != d1 {
+		t.Fatalf("second End moved duration %d -> %d", d1, d2)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Query is one deep-provenance request: (run, view, data).
@@ -78,7 +79,13 @@ func (e *Engine) serve(ctx context.Context, queries []Query, workers int, onErro
 					out[idx] = QueryResult{Index: idx, Query: q, Err: err}
 					continue
 				}
-				res, err := e.DeepProvenance(q.RunID, q.View, q.Data)
+				// Under a traced context each worker query gets its own
+				// span (a sibling under the batch's root), so a traced
+				// batch response shows per-query concurrency and which
+				// member query was the slow one.
+				qctx, qsp := obs.StartSpan(ctx, "batch.query "+q.Data)
+				res, err := e.deepProvenance(qctx, q.RunID, q.View, q.Data, nil)
+				qsp.End()
 				out[idx] = QueryResult{Index: idx, Query: q, Result: res, Err: err}
 				if err != nil && onError != nil {
 					onError(err)

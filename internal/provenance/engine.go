@@ -11,6 +11,7 @@
 package provenance
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/composite"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/run"
 	"repro/internal/spec"
 	"repro/internal/warehouse"
@@ -135,18 +137,31 @@ func (r *Result) Tuples() int { return len(r.Executions) + len(r.Data) }
 // data objects / sequence of steps which have been used to produce this
 // data object?" — with respect to a user view.
 func (e *Engine) DeepProvenance(runID string, v *core.UserView, d string) (*Result, error) {
-	return e.deepProvenance(runID, v, d, nil)
+	return e.deepProvenance(context.Background(), runID, v, d, nil)
+}
+
+// DeepProvenanceCtx is DeepProvenance with a context. When the context
+// carries a trace span (obs.StartSpan / Trace.Context) the query records
+// "query.lookup" and "query.project" child spans — with the closure cache
+// adding "closure.compute" or "closure.shared-wait" beneath the lookup —
+// so a served request's response can explain where its time went. An
+// untraced context costs one nil span check and behaves exactly like
+// DeepProvenance.
+func (e *Engine) DeepProvenanceCtx(ctx context.Context, runID string, v *core.UserView, d string) (*Result, error) {
+	return e.deepProvenance(ctx, runID, v, d, nil)
 }
 
 // deepProvenance is the shared query path behind DeepProvenance and
-// DeepProvenanceTraced. When a metrics registry is attached or a trace is
-// requested it times each stage (closure-cache lookup including compute or
-// wait, then view projection including the memoized mapping's first build);
-// otherwise it never reads the clock, which is what keeps the detached
-// overhead to a few nil checks (BenchmarkObsOverhead pins this).
-func (e *Engine) deepProvenance(runID string, v *core.UserView, d string, tr *QueryTrace) (*Result, error) {
+// DeepProvenanceTraced. When a metrics registry is attached, a trace is
+// requested, or the context carries a span, it times each stage
+// (closure-cache lookup including compute or wait, then view projection
+// including the memoized mapping's first build); otherwise it never reads
+// the clock, which is what keeps the detached overhead to a few nil checks
+// (BenchmarkObsOverhead pins this).
+func (e *Engine) deepProvenance(ctx context.Context, runID string, v *core.UserView, d string, tr *QueryTrace) (*Result, error) {
 	m := e.obs.Load()
-	timed := m != nil || tr != nil
+	sp := obs.SpanFromContext(ctx)
+	timed := m != nil || tr != nil || sp != nil
 	var start time.Time
 	if timed {
 		start = time.Now()
@@ -161,7 +176,9 @@ func (e *Engine) deepProvenance(runID string, v *core.UserView, d string, tr *Qu
 		return nil, fmt.Errorf("%w: run %q executes %q, view is over %q",
 			ErrForeignView, runID, r.SpecName(), v.Spec().Name())
 	}
-	closure, o, err := e.w.DeepProvenanceObserved(runID, d, timed)
+	lctx, lsp := obs.StartSpan(ctx, "query.lookup")
+	closure, o, err := e.w.DeepProvenanceObservedCtx(lctx, runID, d, timed)
+	lsp.End()
 	if err != nil {
 		m.queryError()
 		return nil, err
@@ -175,12 +192,15 @@ func (e *Engine) deepProvenance(runID string, v *core.UserView, d string, tr *Qu
 		projectStart = time.Now()
 		lookupNs = projectStart.Sub(start).Nanoseconds()
 	}
+	psp := sp.StartChild("query.project")
 	mp, err := e.mapping(r, v)
 	if err != nil {
+		psp.End()
 		m.queryError()
 		return nil, err
 	}
 	res := project(mp, closure)
+	psp.End()
 	if timed {
 		end := time.Now()
 		projectNs := end.Sub(projectStart).Nanoseconds()
@@ -394,6 +414,15 @@ func (eb *edgeBuilder) build() []Edge {
 // seen by Joe would be S13 and its input, {d308,...,d408} ... whereas that
 // seen by Mary would be S12 and its input, {d411}".
 func (e *Engine) ImmediateProvenance(runID string, v *core.UserView, d string) (*composite.Execution, error) {
+	return e.ImmediateProvenanceCtx(context.Background(), runID, v, d)
+}
+
+// ImmediateProvenanceCtx is ImmediateProvenance with a context; a traced
+// context records the whole stage as one "query.immediate" span (the query
+// is a pair of map lookups — there are no interior stages worth splitting).
+func (e *Engine) ImmediateProvenanceCtx(ctx context.Context, runID string, v *core.UserView, d string) (*composite.Execution, error) {
+	_, sp := obs.StartSpan(ctx, "query.immediate")
+	defer sp.End()
 	r, err := e.w.Run(runID)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package provenance
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -110,8 +111,17 @@ func (tr *QueryTrace) String() string {
 // forces timing on even when no registry is attached, so it is the one
 // query path that always pays for clock reads.
 func (e *Engine) DeepProvenanceTraced(runID string, v *core.UserView, d string) (*Result, *QueryTrace, error) {
+	return e.DeepProvenanceTracedCtx(context.Background(), runID, v, d)
+}
+
+// DeepProvenanceTracedCtx is DeepProvenanceTraced with a context: the
+// QueryTrace carries the flat per-stage numbers (outcome, lookup, compute,
+// project), and a context holding a span tree (obs.StartSpan) additionally
+// records the same stages as structured spans. The server uses both — the
+// numbers go in the response body, the spans in ?trace=1 and the slow log.
+func (e *Engine) DeepProvenanceTracedCtx(ctx context.Context, runID string, v *core.UserView, d string) (*Result, *QueryTrace, error) {
 	tr := &QueryTrace{RunID: runID, Data: d}
-	res, err := e.deepProvenance(runID, v, d, tr)
+	res, err := e.deepProvenance(ctx, runID, v, d, tr)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,647 @@
+// Package server is the HTTP face of the provenance system: a JSON query
+// API over the engine (deep, immediate, derived, and batch provenance),
+// plus the operational surface a long-running service needs — Prometheus
+// metrics, expvar, pprof, health/readiness probes, a slow-query log, and
+// per-request trace ids.
+//
+// Every API request runs under an obs.Trace: the handler creates the trace
+// at the boundary, the engine and warehouse record their stages as spans
+// (query.lookup, closure.compute / closure.shared-wait, query.project,
+// batch.query <id>), and the finished tree is returned inline with
+// ?trace=1, referenced by the X-Zoom-Trace-Id response header, and kept in
+// the slow log for requests over the threshold. The server is usable
+// before its warehouse finishes loading: /healthz answers immediately,
+// /readyz and the API answer 503 until SetEngine installs a loaded engine.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/composite"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/provenance"
+	"repro/internal/warehouse"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// SlowThreshold is the request duration at or above which a request
+	// enters the slow log. Zero selects the 10ms default; negative logs
+	// every request (useful in tests).
+	SlowThreshold time.Duration
+	// SlowLogSize bounds the slow-log ring (default 128).
+	SlowLogSize int
+	// ExpvarName, when non-empty, publishes the registry under this name
+	// in the process-global expvar table (served at /debug/vars). New
+	// fails if the name is already taken — a second server in the same
+	// process must pick its own name or pass "".
+	ExpvarName string
+	// Workers bounds the per-batch worker pool (0 selects GOMAXPROCS).
+	Workers int
+}
+
+// DefaultSlowThreshold is the slow-log threshold when none is configured.
+const DefaultSlowThreshold = 10 * time.Millisecond
+
+// maxBodyBytes bounds request bodies; provenance requests are tiny.
+const maxBodyBytes = 1 << 20
+
+// maxCachedViews bounds the built-view memo; past it the memo resets.
+// Views are tiny, but the engine memoizes projection mappings by view
+// pointer, so serving a fresh view object per request would also leak
+// mappings — the cache is correctness-adjacent, not just speed.
+const maxCachedViews = 1024
+
+// Server serves provenance queries over HTTP. Construct with New, install
+// an engine with SetEngine (possibly after the handler is already
+// serving), and mount Handler.
+type Server struct {
+	reg  *obs.Registry
+	cfg  Config
+	slow *SlowLog
+
+	engine atomic.Pointer[provenance.Engine]
+
+	// Request metrics, resolved once at construction.
+	requests  *obs.Counter
+	errCount  *obs.Counter
+	requestNs *obs.Histogram
+	slowCount *obs.Counter
+	ready     *obs.Gauge
+
+	// views memoizes built user views per (spec, relevant) and per named
+	// view so repeated requests hit the engine's mapping memo (keyed by
+	// view pointer) instead of rebuilding both every time.
+	vmu   sync.Mutex
+	views map[string]*core.UserView
+}
+
+// New returns a server wired to the registry (one is created when nil).
+// It fails fast when cfg.ExpvarName is already published, so a
+// misconfigured second instance dies at startup, not at first scrape.
+func New(reg *obs.Registry, cfg Config) (*Server, error) {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if cfg.SlowThreshold == 0 {
+		cfg.SlowThreshold = DefaultSlowThreshold
+	}
+	if cfg.SlowLogSize <= 0 {
+		cfg.SlowLogSize = 128
+	}
+	if cfg.ExpvarName != "" {
+		if err := reg.Publish(cfg.ExpvarName); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
+	return &Server{
+		reg:       reg,
+		cfg:       cfg,
+		slow:      NewSlowLog(cfg.SlowLogSize),
+		requests:  reg.Counter("http.requests"),
+		errCount:  reg.Counter("http.errors"),
+		requestNs: reg.Histogram("http.request_ns"),
+		slowCount: reg.Counter("http.slow_requests"),
+		ready:     reg.Gauge("server.ready"),
+		views:     make(map[string]*core.UserView),
+	}, nil
+}
+
+// SetEngine installs the engine and flips the server ready. It may be
+// called while the handler is serving — the warehouse typically loads in
+// the background after the listener is already up.
+func (s *Server) SetEngine(e *provenance.Engine) {
+	s.engine.Store(e)
+	if e != nil {
+		s.ready.Set(1)
+	} else {
+		s.ready.Set(0)
+	}
+}
+
+// Ready reports whether an engine is installed.
+func (s *Server) Ready() bool { return s.engine.Load() != nil }
+
+// SlowLog returns the server's slow-query ring.
+func (s *Server) SlowLog() *SlowLog { return s.slow }
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Handler returns the full route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/query", s.traced("POST /v1/query", s.handleQuery))
+	mux.Handle("POST /v1/batch", s.traced("POST /v1/batch", s.handleBatch))
+	mux.Handle("GET /v1/runs", s.traced("GET /v1/runs", s.handleRuns))
+	mux.Handle("GET /v1/stats", s.traced("GET /v1/stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/slowlog", s.handleSlowlog)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.Ready() {
+			http.Error(w, "warehouse loading", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	return mux
+}
+
+// Serve runs the server on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests get up
+// to drain to finish. It returns nil after a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration) error {
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	if e := <-errc; e != nil && !errors.Is(e, http.ErrServerClosed) && err == nil {
+		err = e
+	}
+	return err
+}
+
+// statusWriter records the response status for metrics and the slow log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// apiHandler is an API endpoint body: it runs under the request's trace
+// (ctx carries the root span) and gets the trace itself for inline
+// snapshots.
+type apiHandler func(ctx context.Context, tr *obs.Trace, w http.ResponseWriter, r *http.Request)
+
+// traced wraps an API endpoint with the request boundary: a fresh trace
+// (id in X-Zoom-Trace-Id), request metrics, and slow-log capture when the
+// request runs at or over the threshold.
+func (s *Server) traced(route string, h apiHandler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace(route)
+		ctx := tr.Context(r.Context())
+		w.Header().Set("X-Zoom-Trace-Id", tr.ID())
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(ctx, tr, sw, r)
+		dur := time.Since(start)
+		node := tr.Finish()
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.requests.Inc()
+		s.requestNs.Observe(dur.Nanoseconds())
+		if sw.status >= 400 {
+			s.errCount.Inc()
+		}
+		if dur >= s.cfg.SlowThreshold {
+			s.slowCount.Inc()
+			s.slow.Add(SlowEntry{
+				Time:    time.Now(),
+				TraceID: tr.ID(),
+				Route:   route,
+				Request: r.URL.RequestURI(),
+				Status:  sw.status,
+				DurNs:   dur.Nanoseconds(),
+				Trace:   node,
+			})
+		}
+	})
+}
+
+// errorBody is the uniform JSON error shape.
+type errorBody struct {
+	Error   string `json:"error"`
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps engine/warehouse errors onto HTTP statuses: unknown
+// names are the client's 404s, malformed requests 400s, everything else a
+// 500.
+func writeError(w http.ResponseWriter, tr *obs.Trace, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, warehouse.ErrUnknownRun),
+		errors.Is(err, warehouse.ErrUnknownData),
+		errors.Is(err, warehouse.ErrUnknownSpec),
+		errors.Is(err, warehouse.ErrUnknownView):
+		status = http.StatusNotFound
+	case errors.Is(err, errBadRequest),
+		errors.Is(err, provenance.ErrForeignView),
+		errors.Is(err, composite.ErrViewMismatch):
+		status = http.StatusBadRequest
+	}
+	var id string
+	if tr != nil {
+		id = tr.ID()
+	}
+	writeJSON(w, status, errorBody{Error: err.Error(), TraceID: id})
+}
+
+// errBadRequest tags client errors produced by the server itself.
+var errBadRequest = errors.New("bad request")
+
+// errNotReady answers API calls before the warehouse has loaded.
+func (s *Server) engineOr503(w http.ResponseWriter, tr *obs.Trace) *provenance.Engine {
+	e := s.engine.Load()
+	if e == nil {
+		var id string
+		if tr != nil {
+			id = tr.ID()
+		}
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorBody{Error: "warehouse loading, not ready", TraceID: id})
+	}
+	return e
+}
+
+// queryRequest is the body of POST /v1/query. Exactly one data object; the
+// view is selected by name (a registered view of the run's specification),
+// by relevant-module set (built on demand and memoized), or defaults to
+// UAdmin (everything visible). Kind selects the query form.
+type queryRequest struct {
+	Run  string `json:"run"`
+	Data string `json:"data"`
+	// Kind is "deep" (default), "immediate", or "derived".
+	Kind     string   `json:"kind,omitempty"`
+	View     string   `json:"view,omitempty"`
+	Relevant []string `json:"relevant,omitempty"`
+}
+
+// batchRequest is the body of POST /v1/batch: many data objects of one
+// run under one view, answered in parallel.
+type batchRequest struct {
+	Run      string   `json:"run"`
+	Data     []string `json:"data"`
+	View     string   `json:"view,omitempty"`
+	Relevant []string `json:"relevant,omitempty"`
+	Workers  int      `json:"workers,omitempty"`
+}
+
+// executionDTO mirrors composite.Execution with JSON names.
+type executionDTO struct {
+	ID        string   `json:"id"`
+	Composite string   `json:"composite"`
+	Steps     []string `json:"steps"`
+	Inputs    []string `json:"inputs,omitempty"`
+	Outputs   []string `json:"outputs,omitempty"`
+}
+
+// edgeDTO mirrors provenance.Edge.
+type edgeDTO struct {
+	From string   `json:"from"`
+	To   string   `json:"to"`
+	Data []string `json:"data"`
+}
+
+// resultDTO is a provenance.Result shaped for JSON.
+type resultDTO struct {
+	Root       string            `json:"root"`
+	External   bool              `json:"external,omitempty"`
+	Metadata   map[string]string `json:"metadata,omitempty"`
+	Executions []executionDTO    `json:"executions"`
+	Data       []string          `json:"data"`
+	Edges      []edgeDTO         `json:"edges"`
+}
+
+func toExecutionDTO(x *composite.Execution) executionDTO {
+	return executionDTO{ID: x.ID, Composite: x.Composite, Steps: x.Steps,
+		Inputs: x.Inputs, Outputs: x.Outputs}
+}
+
+func toResultDTO(res *provenance.Result) *resultDTO {
+	if res == nil {
+		return nil
+	}
+	out := &resultDTO{
+		Root:       res.Root,
+		External:   res.External,
+		Metadata:   res.Metadata,
+		Executions: make([]executionDTO, 0, len(res.Executions)),
+		Data:       res.Data,
+		Edges:      make([]edgeDTO, 0, len(res.Edges)),
+	}
+	for _, x := range res.Executions {
+		out.Executions = append(out.Executions, toExecutionDTO(x))
+	}
+	for _, e := range res.Edges {
+		out.Edges = append(out.Edges, edgeDTO{From: e.From, To: e.To, Data: e.Data})
+	}
+	return out
+}
+
+// timingDTO carries the QueryTrace stage numbers.
+type timingDTO struct {
+	LookupNs  int64 `json:"lookup_ns"`
+	ComputeNs int64 `json:"compute_ns,omitempty"`
+	ProjectNs int64 `json:"project_ns"`
+	TotalNs   int64 `json:"total_ns"`
+}
+
+// queryResponse is the body of a POST /v1/query answer.
+type queryResponse struct {
+	TraceID   string        `json:"trace_id"`
+	Run       string        `json:"run"`
+	Data      string        `json:"data"`
+	Kind      string        `json:"kind"`
+	Outcome   string        `json:"outcome,omitempty"`
+	Timing    *timingDTO    `json:"timing,omitempty"`
+	Result    *resultDTO    `json:"result,omitempty"`
+	Execution *executionDTO `json:"execution,omitempty"`
+	Trace     *obs.SpanNode `json:"trace,omitempty"`
+}
+
+// batchResponse is the body of a POST /v1/batch answer.
+type batchResponse struct {
+	TraceID string        `json:"trace_id"`
+	Run     string        `json:"run"`
+	Count   int           `json:"count"`
+	Results []*resultDTO  `json:"results"`
+	Trace   *obs.SpanNode `json:"trace,omitempty"`
+}
+
+// decodeBody parses a bounded JSON request body, rejecting unknown fields
+// so typos fail loudly.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	return nil
+}
+
+// resolveView turns a request's view selector into a built view, memoized
+// so repeated requests reuse one view pointer (and therefore the engine's
+// memoized projection mapping).
+func (s *Server) resolveView(e *provenance.Engine, runID, viewName string, relevant []string) (*core.UserView, error) {
+	if viewName != "" && len(relevant) > 0 {
+		return nil, fmt.Errorf("%w: view and relevant are mutually exclusive", errBadRequest)
+	}
+	w := e.Warehouse()
+	r, err := w.Run(runID)
+	if err != nil {
+		return nil, err
+	}
+	specName := r.SpecName()
+	if viewName != "" {
+		return w.View(specName, viewName)
+	}
+	var key string
+	if len(relevant) > 0 {
+		sorted := append([]string(nil), relevant...)
+		sort.Strings(sorted)
+		key = "relevant\x00" + specName + "\x00" + strings.Join(sorted, "\x00")
+	} else {
+		key = "uadmin\x00" + specName
+	}
+	s.vmu.Lock()
+	v := s.views[key]
+	s.vmu.Unlock()
+	if v != nil {
+		return v, nil
+	}
+	sp, err := w.Spec(specName)
+	if err != nil {
+		return nil, err
+	}
+	if len(relevant) > 0 {
+		if v, err = core.BuildRelevant(sp, relevant); err != nil {
+			return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+		}
+	} else {
+		v = core.UAdmin(sp)
+	}
+	s.vmu.Lock()
+	if len(s.views) >= maxCachedViews {
+		s.views = make(map[string]*core.UserView)
+	}
+	// Keep the first winner so concurrent builders converge on one pointer.
+	if prev := s.views[key]; prev != nil {
+		v = prev
+	} else {
+		s.views[key] = v
+	}
+	s.vmu.Unlock()
+	return v, nil
+}
+
+// wantInlineTrace reports whether the response should embed the span tree.
+func wantInlineTrace(r *http.Request) bool {
+	switch r.URL.Query().Get("trace") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// handleQuery answers one provenance query.
+func (s *Server) handleQuery(ctx context.Context, tr *obs.Trace, w http.ResponseWriter, r *http.Request) {
+	e := s.engineOr503(w, tr)
+	if e == nil {
+		return
+	}
+	var req queryRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, tr, err)
+		return
+	}
+	if req.Run == "" || req.Data == "" {
+		writeError(w, tr, fmt.Errorf("%w: run and data are required", errBadRequest))
+		return
+	}
+	v, err := s.resolveView(e, req.Run, req.View, req.Relevant)
+	if err != nil {
+		writeError(w, tr, err)
+		return
+	}
+	resp := queryResponse{TraceID: tr.ID(), Run: req.Run, Data: req.Data}
+	switch req.Kind {
+	case "", "deep":
+		resp.Kind = "deep"
+		res, qt, err := e.DeepProvenanceTracedCtx(ctx, req.Run, v, req.Data)
+		if err != nil {
+			writeError(w, tr, err)
+			return
+		}
+		resp.Result = toResultDTO(res)
+		resp.Outcome = qt.Outcome
+		resp.Timing = &timingDTO{LookupNs: qt.LookupNs, ComputeNs: qt.ComputeNs,
+			ProjectNs: qt.ProjectNs, TotalNs: qt.TotalNs}
+	case "immediate":
+		resp.Kind = "immediate"
+		x, err := e.ImmediateProvenanceCtx(ctx, req.Run, v, req.Data)
+		if err != nil {
+			writeError(w, tr, err)
+			return
+		}
+		if x != nil {
+			dto := toExecutionDTO(x)
+			resp.Execution = &dto
+		}
+	case "derived":
+		resp.Kind = "derived"
+		_, sp := obs.StartSpan(ctx, "query.derived")
+		res, err := e.DeepDerivation(req.Run, v, req.Data)
+		sp.End()
+		if err != nil {
+			writeError(w, tr, err)
+			return
+		}
+		resp.Result = toResultDTO(res)
+	default:
+		writeError(w, tr, fmt.Errorf("%w: unknown kind %q (deep, immediate, derived)", errBadRequest, req.Kind))
+		return
+	}
+	if wantInlineTrace(r) {
+		node := tr.Snapshot()
+		resp.Trace = &node
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatch answers many queries of one run/view in parallel. The batch
+// workers record sibling spans under this request's root, so a traced
+// batch shows its internal concurrency.
+func (s *Server) handleBatch(ctx context.Context, tr *obs.Trace, w http.ResponseWriter, r *http.Request) {
+	e := s.engineOr503(w, tr)
+	if e == nil {
+		return
+	}
+	var req batchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, tr, err)
+		return
+	}
+	if req.Run == "" || len(req.Data) == 0 {
+		writeError(w, tr, fmt.Errorf("%w: run and a non-empty data list are required", errBadRequest))
+		return
+	}
+	v, err := s.resolveView(e, req.Run, req.View, req.Relevant)
+	if err != nil {
+		writeError(w, tr, err)
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	results, err := e.DeepProvenanceBatch(ctx, req.Run, v, req.Data, workers)
+	if err != nil {
+		writeError(w, tr, err)
+		return
+	}
+	resp := batchResponse{TraceID: tr.ID(), Run: req.Run, Count: len(results)}
+	resp.Results = make([]*resultDTO, len(results))
+	for i, res := range results {
+		resp.Results[i] = toResultDTO(res)
+	}
+	if wantInlineTrace(r) {
+		node := tr.Snapshot()
+		resp.Trace = &node
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runInfo is one row of GET /v1/runs.
+type runInfo struct {
+	ID    string `json:"id"`
+	Spec  string `json:"spec"`
+	Steps int    `json:"steps"`
+	Edges int    `json:"edges"`
+}
+
+// handleRuns lists the loaded runs.
+func (s *Server) handleRuns(_ context.Context, tr *obs.Trace, w http.ResponseWriter, _ *http.Request) {
+	e := s.engineOr503(w, tr)
+	if e == nil {
+		return
+	}
+	wh := e.Warehouse()
+	ids := wh.RunIDs()
+	out := make([]runInfo, 0, len(ids))
+	for _, id := range ids {
+		r, err := wh.Run(id)
+		if err != nil {
+			continue // dropped between listing and lookup
+		}
+		out = append(out, runInfo{ID: id, Spec: r.SpecName(), Steps: r.NumSteps(), Edges: r.NumEdges()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"trace_id": tr.ID(), "runs": out})
+}
+
+// handleStats returns the warehouse statistics (catalog row counts, cache
+// counters, and — when attached — the metrics snapshot).
+func (s *Server) handleStats(_ context.Context, tr *obs.Trace, w http.ResponseWriter, _ *http.Request) {
+	e := s.engineOr503(w, tr)
+	if e == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"trace_id": tr.ID(), "stats": e.Warehouse().Stats()})
+}
+
+// handleMetrics serves the Prometheus text exposition of the registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePrometheus(w, s.reg.Snapshot(), "zoom")
+}
+
+// handleSlowlog serves the slow-query ring, newest first.
+func (s *Server) handleSlowlog(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"threshold_ns": s.cfg.SlowThreshold.Nanoseconds(),
+		"entries":      s.slow.Entries(),
+	})
+}

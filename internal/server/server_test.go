@@ -1,0 +1,534 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/provenance"
+	"repro/internal/run"
+	"repro/internal/spec"
+	"repro/internal/warehouse"
+)
+
+// newTestEngine loads the paper's running example (Figure 1 spec, Figure 2
+// run) plus a registered "joe" view into a fresh warehouse.
+func newTestEngine(t *testing.T) *provenance.Engine {
+	t.Helper()
+	w := warehouse.New(0)
+	sp := spec.Phylogenomics()
+	if err := w.RegisterSpec(sp); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LoadRun(run.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	joe, err := core.BuildRelevant(sp, spec.PhyloRelevantJoe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RegisterView("joe", joe); err != nil {
+		t.Fatal(err)
+	}
+	return provenance.NewEngine(w)
+}
+
+// newTestServer returns a ready server and its registry. cfg.ExpvarName
+// stays empty (expvar names are process-global and tests run repeatedly).
+func newTestServer(t *testing.T, cfg Config) (*Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	s, err := New(reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newTestEngine(t)
+	e.AttachMetrics(reg)
+	s.SetEngine(e)
+	return s, reg
+}
+
+// doJSON posts a JSON body and decodes the JSON response.
+func doJSON(t *testing.T, h http.Handler, method, url string, body, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req := httptest.NewRequest(method, url, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil && rec.Code < 500 && strings.HasPrefix(rec.Header().Get("Content-Type"), "application/json") {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: bad JSON response %q: %v", method, url, rec.Body.String(), err)
+		}
+	}
+	return rec
+}
+
+func TestServerHealthAndReadiness(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := New(reg, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	// Health answers before the warehouse loads; readiness and the API do
+	// not.
+	rec := doJSON(t, h, "GET", "/healthz", nil, nil)
+	if rec.Code != 200 {
+		t.Fatalf("/healthz before load: %d", rec.Code)
+	}
+	rec = doJSON(t, h, "GET", "/readyz", nil, nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before load: %d, want 503", rec.Code)
+	}
+	for _, u := range []string{"/v1/runs", "/v1/stats"} {
+		if rec = doJSON(t, h, "GET", u, nil, nil); rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("GET %s before load: %d, want 503", u, rec.Code)
+		}
+		if rec.Header().Get("X-Zoom-Trace-Id") == "" {
+			t.Fatalf("GET %s: 503 without a trace id", u)
+		}
+	}
+	rec = doJSON(t, h, "POST", "/v1/query", queryRequest{Run: "fig2", Data: "d447"}, nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("query before load: %d, want 503", rec.Code)
+	}
+	if snap := reg.Snapshot(); snap.Gauges["server.ready"] != 0 {
+		t.Fatalf("server.ready = %d before load", snap.Gauges["server.ready"])
+	}
+
+	s.SetEngine(newTestEngine(t))
+	if rec = doJSON(t, h, "GET", "/readyz", nil, nil); rec.Code != 200 {
+		t.Fatalf("/readyz after load: %d", rec.Code)
+	}
+	if snap := reg.Snapshot(); snap.Gauges["server.ready"] != 1 {
+		t.Fatalf("server.ready = %d after load", snap.Gauges["server.ready"])
+	}
+}
+
+func TestServerQueryDeep(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+
+	req := queryRequest{Run: "fig2", Data: "d447", Relevant: spec.PhyloRelevantJoe()}
+	var resp queryResponse
+	rec := doJSON(t, h, "POST", "/v1/query", req, &resp)
+	if rec.Code != 200 {
+		t.Fatalf("query: %d: %s", rec.Code, rec.Body.String())
+	}
+	if hdr := rec.Header().Get("X-Zoom-Trace-Id"); hdr == "" || hdr != resp.TraceID {
+		t.Fatalf("trace id header %q vs body %q", hdr, resp.TraceID)
+	}
+	if resp.Kind != "deep" || resp.Outcome != "miss" {
+		t.Fatalf("kind=%q outcome=%q, want deep/miss on a cold cache", resp.Kind, resp.Outcome)
+	}
+	if resp.Result == nil || len(resp.Result.Data) == 0 || len(resp.Result.Executions) == 0 {
+		t.Fatalf("empty result: %+v", resp.Result)
+	}
+	if resp.Timing == nil || resp.Timing.TotalNs <= 0 || resp.Timing.LookupNs <= 0 {
+		t.Fatalf("timing not populated: %+v", resp.Timing)
+	}
+	if resp.Trace != nil {
+		t.Fatal("trace embedded without ?trace=1")
+	}
+
+	// Same query again: the closure cache serves it, and a fresh trace id
+	// is minted.
+	var warm queryResponse
+	doJSON(t, h, "POST", "/v1/query", req, &warm)
+	if warm.Outcome != "hit" {
+		t.Fatalf("second query outcome %q, want hit", warm.Outcome)
+	}
+	if warm.TraceID == resp.TraceID {
+		t.Fatal("trace id reused across requests")
+	}
+	if len(warm.Result.Data) != len(resp.Result.Data) {
+		t.Fatalf("warm result differs: %d vs %d data objects", len(warm.Result.Data), len(resp.Result.Data))
+	}
+}
+
+func TestServerQueryInlineTrace(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+
+	req := queryRequest{Run: "fig2", Data: "d447"}
+	var cold queryResponse
+	if rec := doJSON(t, h, "POST", "/v1/query?trace=1", req, &cold); rec.Code != 200 {
+		t.Fatalf("cold query: %d", rec.Code)
+	}
+	if cold.Trace == nil {
+		t.Fatal("?trace=1 returned no span tree")
+	}
+	// The cold span tree shows the PR-4 engine stages: the cache lookup
+	// with the closure computation nested inside it, then the projection.
+	lookup := cold.Trace.Find("query.lookup")
+	if lookup == nil {
+		t.Fatalf("no query.lookup span: %+v", cold.Trace)
+	}
+	if lookup.Find("closure.compute") == nil {
+		t.Fatalf("cold lookup has no closure.compute child: %+v", lookup)
+	}
+	project := cold.Trace.Find("query.project")
+	if project == nil {
+		t.Fatalf("no query.project span: %+v", cold.Trace)
+	}
+	if lookup.DurNs <= 0 || project.DurNs < 0 {
+		t.Fatalf("span durations lookup=%d project=%d", lookup.DurNs, project.DurNs)
+	}
+	if cold.Trace.DurNs < lookup.DurNs {
+		t.Fatalf("root (%dns) shorter than lookup (%dns)", cold.Trace.DurNs, lookup.DurNs)
+	}
+
+	// Warm: the lookup span remains but nothing is computed.
+	var warm queryResponse
+	doJSON(t, h, "POST", "/v1/query?trace=1", req, &warm)
+	if warm.Trace.Find("query.lookup") == nil {
+		t.Fatal("warm trace lost query.lookup")
+	}
+	if warm.Trace.Find("closure.compute") != nil {
+		t.Fatal("warm trace recorded closure.compute on a cache hit")
+	}
+}
+
+func TestServerQueryKinds(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+
+	var imm queryResponse
+	rec := doJSON(t, h, "POST", "/v1/query", queryRequest{Run: "fig2", Data: "d447", Kind: "immediate"}, &imm)
+	if rec.Code != 200 || imm.Execution == nil {
+		t.Fatalf("immediate: %d %+v", rec.Code, imm.Execution)
+	}
+	if imm.Execution.ID != "S10" {
+		t.Fatalf("immediate provenance of d447 under UAdmin = %q, want S10", imm.Execution.ID)
+	}
+
+	// External input: immediate provenance is nil, not an error.
+	var ext queryResponse
+	rec = doJSON(t, h, "POST", "/v1/query", queryRequest{Run: "fig2", Data: "d1", Kind: "immediate"}, &ext)
+	if rec.Code != 200 || ext.Execution != nil {
+		t.Fatalf("immediate of input: %d %+v", rec.Code, ext.Execution)
+	}
+
+	var der queryResponse
+	rec = doJSON(t, h, "POST", "/v1/query?trace=1", queryRequest{Run: "fig2", Data: "d1", Kind: "derived"}, &der)
+	if rec.Code != 200 || der.Result == nil || len(der.Result.Data) == 0 {
+		t.Fatalf("derived: %d %+v", rec.Code, der.Result)
+	}
+	if der.Trace == nil || der.Trace.Find("query.derived") == nil {
+		t.Fatal("derived query recorded no query.derived span")
+	}
+
+	if rec = doJSON(t, h, "POST", "/v1/query", queryRequest{Run: "fig2", Data: "d447", Kind: "sideways"}, nil); rec.Code != 400 {
+		t.Fatalf("unknown kind: %d, want 400", rec.Code)
+	}
+}
+
+func TestServerQueryErrors(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+
+	cases := []struct {
+		name string
+		body any
+		raw  string
+		want int
+	}{
+		{name: "bad json", raw: "{not json", want: 400},
+		{name: "unknown field", raw: `{"run":"fig2","data":"d447","vew":"joe"}`, want: 400},
+		{name: "missing run", body: queryRequest{Data: "d447"}, want: 400},
+		{name: "missing data", body: queryRequest{Run: "fig2"}, want: 400},
+		{name: "unknown run", body: queryRequest{Run: "ghost", Data: "d447"}, want: 404},
+		{name: "unknown data", body: queryRequest{Run: "fig2", Data: "d99999"}, want: 404},
+		{name: "unknown view", body: queryRequest{Run: "fig2", Data: "d447", View: "nobody"}, want: 404},
+		{name: "view and relevant", body: queryRequest{Run: "fig2", Data: "d447", View: "joe", Relevant: []string{"M2"}}, want: 400},
+		{name: "bad relevant", body: queryRequest{Run: "fig2", Data: "d447", Relevant: []string{"M99"}}, want: 400},
+	}
+	for _, c := range cases {
+		var rec *httptest.ResponseRecorder
+		if c.raw != "" {
+			req := httptest.NewRequest("POST", "/v1/query", strings.NewReader(c.raw))
+			rec = httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+		} else {
+			rec = doJSON(t, h, "POST", "/v1/query", c.body, nil)
+		}
+		if rec.Code != c.want {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, rec.Code, c.want, rec.Body.String())
+		}
+		if rec.Header().Get("X-Zoom-Trace-Id") == "" {
+			t.Errorf("%s: error response without trace id", c.name)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s: error body %q", c.name, rec.Body.String())
+		}
+	}
+}
+
+func TestServerBatch(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+
+	data := []string{"d447", "d413", "d414", "d446", "d409"}
+	var resp batchResponse
+	rec := doJSON(t, h, "POST", "/v1/batch?trace=1",
+		batchRequest{Run: "fig2", Data: data, View: "joe", Workers: 3}, &resp)
+	if rec.Code != 200 {
+		t.Fatalf("batch: %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Count != len(data) || len(resp.Results) != len(data) {
+		t.Fatalf("batch answered %d/%d", resp.Count, len(data))
+	}
+	for i, r := range resp.Results {
+		if r == nil || r.Root != data[i] {
+			t.Fatalf("result %d: %+v, want root %s", i, r, data[i])
+		}
+	}
+	if resp.Trace == nil {
+		t.Fatal("?trace=1 returned no batch trace")
+	}
+	// Each member query records its own span under the root.
+	for _, d := range data {
+		if resp.Trace.Find("batch.query "+d) == nil {
+			t.Fatalf("no span for batch member %s: %+v", d, resp.Trace)
+		}
+	}
+
+	// A bad id fails the whole batch with a 404.
+	rec = doJSON(t, h, "POST", "/v1/batch", batchRequest{Run: "fig2", Data: []string{"d447", "dYYY"}}, nil)
+	if rec.Code != 404 {
+		t.Fatalf("batch with bad id: %d, want 404", rec.Code)
+	}
+	// An empty batch is a client error.
+	rec = doJSON(t, h, "POST", "/v1/batch", batchRequest{Run: "fig2"}, nil)
+	if rec.Code != 400 {
+		t.Fatalf("empty batch: %d, want 400", rec.Code)
+	}
+}
+
+func TestServerRunsAndStats(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+
+	var runsResp struct {
+		TraceID string    `json:"trace_id"`
+		Runs    []runInfo `json:"runs"`
+	}
+	if rec := doJSON(t, h, "GET", "/v1/runs", nil, &runsResp); rec.Code != 200 {
+		t.Fatalf("/v1/runs: %d", rec.Code)
+	}
+	if len(runsResp.Runs) != 1 || runsResp.Runs[0].ID != "fig2" ||
+		runsResp.Runs[0].Spec != "phylogenomics" || runsResp.Runs[0].Steps != 10 {
+		t.Fatalf("runs: %+v", runsResp.Runs)
+	}
+
+	var statsResp struct {
+		Stats map[string]any `json:"stats"`
+	}
+	if rec := doJSON(t, h, "GET", "/v1/stats", nil, &statsResp); rec.Code != 200 {
+		t.Fatalf("/v1/stats: %d", rec.Code)
+	}
+	if len(statsResp.Stats) == 0 {
+		t.Fatal("empty stats")
+	}
+}
+
+func TestServerMetricsExposition(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+
+	// Generate traffic first so the histograms have observations.
+	doJSON(t, h, "POST", "/v1/query", queryRequest{Run: "fig2", Data: "d447"}, nil)
+	doJSON(t, h, "POST", "/v1/query", queryRequest{Run: "fig2", Data: "d447"}, nil)
+	doJSON(t, h, "POST", "/v1/query", queryRequest{Run: "ghost", Data: "dX"}, nil)
+
+	rec := doJSON(t, h, "GET", "/metrics", nil, nil)
+	if rec.Code != 200 {
+		t.Fatalf("/metrics: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	text := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE zoom_http_requests counter",
+		"# TYPE zoom_http_request_ns histogram",
+		"# TYPE zoom_server_ready gauge",
+		"zoom_server_ready 1",
+		`zoom_query_deep_total_ns_count{outcome="hit"}`,
+		`zoom_query_deep_total_ns_count{outcome="miss"}`,
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, "zoom_http_errors 1") {
+		t.Fatalf("error counter not exported:\n%s", text)
+	}
+}
+
+func TestServerSlowlog(t *testing.T) {
+	// A negative threshold logs every request.
+	s, _ := newTestServer(t, Config{SlowThreshold: -1, SlowLogSize: 4})
+	h := s.Handler()
+
+	for i := 0; i < 6; i++ {
+		doJSON(t, h, "POST", "/v1/query?trace=1", queryRequest{Run: "fig2", Data: "d447"}, nil)
+	}
+	var resp struct {
+		ThresholdNs int64       `json:"threshold_ns"`
+		Entries     []SlowEntry `json:"entries"`
+	}
+	if rec := doJSON(t, h, "GET", "/debug/slowlog", nil, &resp); rec.Code != 200 {
+		t.Fatalf("/debug/slowlog: %d", rec.Code)
+	}
+	if len(resp.Entries) != 4 {
+		t.Fatalf("slow log holds %d entries, want ring size 4", len(resp.Entries))
+	}
+	for i, e := range resp.Entries {
+		if e.TraceID == "" || e.Route != "POST /v1/query" || e.Status != 200 || e.DurNs < 0 {
+			t.Fatalf("entry %d malformed: %+v", i, e)
+		}
+		if e.Trace.Find("query.lookup") == nil {
+			t.Fatalf("entry %d span tree lost the engine stages: %+v", i, e.Trace)
+		}
+		if i > 0 && e.Time.After(resp.Entries[i-1].Time) {
+			t.Fatalf("entries not newest-first at %d", i)
+		}
+	}
+}
+
+func TestSlowLogRing(t *testing.T) {
+	l := NewSlowLog(4)
+	if l.Len() != 0 {
+		t.Fatalf("fresh ring Len = %d", l.Len())
+	}
+	for i := 0; i < 10; i++ {
+		l.Add(SlowEntry{DurNs: int64(i)})
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l.Len())
+	}
+	got := l.Entries()
+	for i, want := range []int64{9, 8, 7, 6} {
+		if got[i].DurNs != want {
+			t.Fatalf("entry %d = %d, want %d (newest first)", i, got[i].DurNs, want)
+		}
+	}
+}
+
+func TestServerExpvarConflict(t *testing.T) {
+	reg := obs.NewRegistry()
+	name := fmt.Sprintf("zoom-test-conflict-%d", time.Now().UnixNano())
+	if _, err := New(reg, Config{ExpvarName: name}); err != nil {
+		t.Fatalf("first publish: %v", err)
+	}
+	if _, err := New(obs.NewRegistry(), Config{ExpvarName: name}); err == nil {
+		t.Fatal("second server published the same expvar name without error")
+	} else if !strings.Contains(err.Error(), name) {
+		t.Fatalf("conflict error does not name the variable: %v", err)
+	}
+}
+
+func TestServerDebugEndpoints(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+	for _, u := range []string{"/debug/vars", "/debug/pprof/"} {
+		if rec := doJSON(t, h, "GET", u, nil, nil); rec.Code != 200 {
+			t.Fatalf("GET %s: %d", u, rec.Code)
+		}
+	}
+}
+
+// TestServerConcurrentBatchTrace hammers the API from many goroutines —
+// traced batches, traced and untraced single queries, metric scrapes, and
+// slow-log reads all at once — so -race can see the span tree, ring
+// buffer, view memo, and registry interact. (`make race` runs every test
+// matching Concurrent|Stress.)
+func TestServerConcurrentBatchTrace(t *testing.T) {
+	s, _ := newTestServer(t, Config{SlowThreshold: -1, SlowLogSize: 32})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	data := []string{"d447", "d413", "d414", "d446", "d409", "d201"}
+	const workers = 8
+	iters := 30
+	if testing.Short() {
+		iters = 5
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (w + i) % 4 {
+				case 0:
+					body, _ := json.Marshal(batchRequest{Run: "fig2", Data: data, Relevant: spec.PhyloRelevantJoe()})
+					resp, err := http.Post(ts.URL+"/v1/batch?trace=1", "application/json", bytes.NewReader(body))
+					if err != nil {
+						errs <- err
+						return
+					}
+					var br batchResponse
+					err = json.NewDecoder(resp.Body).Decode(&br)
+					resp.Body.Close()
+					if err != nil || resp.StatusCode != 200 || br.Count != len(data) {
+						errs <- fmt.Errorf("batch: status=%d count=%d err=%v", resp.StatusCode, br.Count, err)
+						return
+					}
+				case 1, 2:
+					body, _ := json.Marshal(queryRequest{Run: "fig2", Data: data[i%len(data)]})
+					resp, err := http.Post(ts.URL+"/v1/query?trace=1", "application/json", bytes.NewReader(body))
+					if err != nil {
+						errs <- err
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						errs <- fmt.Errorf("query status %d", resp.StatusCode)
+						return
+					}
+				case 3:
+					for _, u := range []string{"/metrics", "/debug/slowlog"} {
+						resp, err := http.Get(ts.URL + u)
+						if err != nil {
+							errs <- err
+							return
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := s.SlowLog().Len(); n == 0 {
+		t.Fatal("no slow-log entries after a hammered run with threshold -1")
+	}
+}

@@ -2,6 +2,7 @@ package warehouse
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -311,8 +312,11 @@ func (sh *cacheShard) insertLocked(key cacheKey, c *Closure, cc *closureCache, m
 //
 // The Observation reports how the lookup was served; when timed is true
 // (or a metrics registry is attached) a miss also reports the closure
-// compute's wall time.
-func (cc *closureCache) getOrCompute(runID, d string, timed bool, compute func() (*Closure, error)) (*Closure, Observation, error) {
+// compute's wall time. A traced context (obs.StartSpan) additionally gets
+// "closure.compute" / "closure.shared-wait" child spans; hits record no
+// span of their own — the engine's enclosing "query.lookup" span IS the
+// hit's cost — and an untraced context pays only the one nil span check.
+func (cc *closureCache) getOrCompute(ctx context.Context, runID, d string, timed bool, compute func() (*Closure, error)) (*Closure, Observation, error) {
 	key := cacheKey{runID, d}
 	sh := cc.shard(key)
 	m := cc.obs.Load()
@@ -333,7 +337,9 @@ func (cc *closureCache) getOrCompute(runID, d string, timed bool, compute func()
 		if m != nil {
 			m.sharedWaits.Inc()
 		}
+		wsp := obs.SpanFromContext(ctx).StartChild("closure.shared-wait")
 		<-fl.done
+		wsp.End()
 		if fl.err != nil {
 			return nil, Observation{Outcome: OutcomeSharedWait}, fl.err
 		}
@@ -355,7 +361,9 @@ func (cc *closureCache) getOrCompute(runID, d string, timed bool, compute func()
 	if timed {
 		start = time.Now()
 	}
+	csp := obs.SpanFromContext(ctx).StartChild("closure.compute")
 	c, err := compute()
+	csp.End()
 	var computeNs int64
 	if timed {
 		computeNs = time.Since(start).Nanoseconds()

@@ -1,6 +1,7 @@
 package warehouse
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -46,7 +47,7 @@ func TestConcurrentSingleflightComputesOnce(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], _, errs[i] = cc.getOrCompute("r1", "d1", false, compute)
+			results[i], _, errs[i] = cc.getOrCompute(context.Background(), "r1", "d1", false, compute)
 		}(i)
 	}
 	waitForSharedWaits(t, cc, goroutines-1)
@@ -75,7 +76,7 @@ func TestConcurrentSingleflightComputesOnce(t *testing.T) {
 		}
 	}
 	// The key is now cached: one more lookup is a hit without a compute.
-	if _, o, err := cc.getOrCompute("r1", "d1", false, compute); err != nil || o.Outcome != OutcomeHit {
+	if _, o, err := cc.getOrCompute(context.Background(), "r1", "d1", false, compute); err != nil || o.Outcome != OutcomeHit {
 		t.Fatalf("warm lookup: outcome=%v err=%v, want hit", o.Outcome, err)
 	}
 	c = cc.counters()
@@ -103,7 +104,7 @@ func TestConcurrentSingleflightErrorShared(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, _, errs[i] = cc.getOrCompute("r1", "d1", false, failing)
+			_, _, errs[i] = cc.getOrCompute(context.Background(), "r1", "d1", false, failing)
 		}(i)
 	}
 	waitForSharedWaits(t, cc, goroutines-1)
@@ -122,7 +123,7 @@ func TestConcurrentSingleflightErrorShared(t *testing.T) {
 	ok := func() (*Closure, error) {
 		return NewClosure("d1", nil, map[string]bool{"d1": true}), nil
 	}
-	if _, _, err := cc.getOrCompute("r1", "d1", false, ok); err != nil {
+	if _, _, err := cc.getOrCompute(context.Background(), "r1", "d1", false, ok); err != nil {
 		t.Fatal(err)
 	}
 	if c := cc.counters(); c.Computes != 2 {

@@ -1,6 +1,7 @@
 package warehouse
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -205,7 +206,16 @@ func (w *Warehouse) DeepProvenance(runID, d string) (*Closure, error) {
 // closure compute took. The provenance engine uses it to split its query
 // latency histograms by outcome and to fill per-query traces.
 func (w *Warehouse) DeepProvenanceObserved(runID, d string, timed bool) (*Closure, Observation, error) {
-	return w.cache.getOrCompute(runID, d, timed, func() (*Closure, error) {
+	return w.DeepProvenanceObservedCtx(context.Background(), runID, d, timed)
+}
+
+// DeepProvenanceObservedCtx is DeepProvenanceObserved with a context. When
+// the context carries a trace span (obs.StartSpan), the cache records
+// "closure.compute" and "closure.shared-wait" child spans, giving a traced
+// request per-stage causality down to the singleflight; an untraced
+// context behaves exactly like DeepProvenanceObserved.
+func (w *Warehouse) DeepProvenanceObservedCtx(ctx context.Context, runID, d string, timed bool) (*Closure, Observation, error) {
+	return w.cache.getOrCompute(ctx, runID, d, timed, func() (*Closure, error) {
 		return w.computeUAdminClosure(runID, d)
 	})
 }

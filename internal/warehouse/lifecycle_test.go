@@ -1,6 +1,7 @@
 package warehouse
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -112,7 +113,7 @@ func TestConcurrentDropFencing(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		c, o, err := cc.getOrCompute("r1", "d1", false, stale)
+		c, o, err := cc.getOrCompute(context.Background(), "r1", "d1", false, stale)
 		if err != nil || o.Outcome != OutcomeMiss {
 			t.Errorf("stale leader: outcome=%v err=%v", o.Outcome, err)
 			return
@@ -159,7 +160,7 @@ func TestConcurrentDropReloadFencing(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if _, _, err := cc.getOrCompute("r1", "d1", false, stale); err != nil {
+		if _, _, err := cc.getOrCompute(context.Background(), "r1", "d1", false, stale); err != nil {
 			t.Errorf("stale leader: %v", err)
 		}
 	}()
@@ -171,7 +172,7 @@ func TestConcurrentDropReloadFencing(t *testing.T) {
 	fresh := func() (*Closure, error) {
 		return NewClosure("d2", map[string]bool{"NEW": true}, map[string]bool{"d2": true}), nil
 	}
-	if _, _, err := cc.getOrCompute("r1", "d2", false, fresh); err != nil {
+	if _, _, err := cc.getOrCompute(context.Background(), "r1", "d2", false, fresh); err != nil {
 		t.Fatal(err)
 	}
 	close(release)
@@ -182,11 +183,11 @@ func TestConcurrentDropReloadFencing(t *testing.T) {
 	if n := cc.len(); n != 1 {
 		t.Fatalf("cache holds %d entries, want exactly the fresh one", n)
 	}
-	c, o, err := cc.getOrCompute("r1", "d2", false, fresh)
+	c, o, err := cc.getOrCompute(context.Background(), "r1", "d2", false, fresh)
 	if err != nil || o.Outcome != OutcomeHit || !c.HasStep("NEW") {
 		t.Fatalf("fresh closure lost: outcome=%v err=%v", o.Outcome, err)
 	}
-	if _, o, _ := cc.getOrCompute("r1", "d1", false, fresh); o.Outcome != OutcomeMiss {
+	if _, o, _ := cc.getOrCompute(context.Background(), "r1", "d1", false, fresh); o.Outcome != OutcomeMiss {
 		t.Fatalf("stale key served from cache (outcome=%v), want miss", o.Outcome)
 	}
 }

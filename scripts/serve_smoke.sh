@@ -1,0 +1,87 @@
+#!/usr/bin/env sh
+# End-to-end smoke test for `zoom serve`: build the CLI, create the example
+# warehouse, boot the server on a free port, and poke every surface a
+# deployment relies on — /healthz, /readyz, /metrics, a real query with its
+# X-Zoom-Trace-Id header and inline span tree, and the slow-query log.
+# Exits non-zero on the first failed check.
+set -eu
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    [ -n "$server_pid" ] && wait "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    echo "--- server log ---" >&2
+    cat "$workdir/serve.log" >&2 || true
+    exit 1
+}
+
+echo "serve-smoke: building zoom"
+go build -o "$workdir/zoom" ./cmd/zoom
+
+echo "serve-smoke: creating example warehouse"
+"$workdir/zoom" example -warehouse "$workdir/wh.json" >/dev/null
+
+# -addr :0 binds a free port; the server prints the bound address on stderr.
+"$workdir/zoom" serve -warehouse "$workdir/wh.json" -addr 127.0.0.1:0 \
+    -slow -1ns -expvar "" >"$workdir/serve.log" 2>&1 &
+server_pid=$!
+
+base=""
+for _ in $(seq 1 50); do
+    base=$(sed -n 's!.*listening on \(http://[0-9.:]*\).*!\1!p' "$workdir/serve.log" | head -1)
+    [ -n "$base" ] && break
+    kill -0 "$server_pid" 2>/dev/null || fail "server exited during startup"
+    sleep 0.1
+done
+[ -n "$base" ] && echo "serve-smoke: server at $base" || fail "no listening line in server log"
+
+# Health answers immediately; readiness may lag the warehouse load.
+curl -fsS "$base/healthz" | grep -q ok || fail "/healthz"
+for _ in $(seq 1 50); do
+    if curl -fsS "$base/readyz" 2>/dev/null | grep -q ready; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+[ "${ready:-}" = 1 ] || fail "/readyz never became ready"
+echo "serve-smoke: healthy and ready"
+
+# One deep query through the registered joe view, traced inline.
+curl -fsS -D "$workdir/headers" -o "$workdir/query.json" \
+    -X POST -H 'Content-Type: application/json' \
+    -d '{"run":"fig2","data":"d447","view":"joe"}' \
+    "$base/v1/query?trace=1" || fail "POST /v1/query"
+grep -qi '^x-zoom-trace-id: [0-9a-f]\{16\}' "$workdir/headers" || fail "no X-Zoom-Trace-Id header"
+grep -q '"outcome": "miss"' "$workdir/query.json" || fail "first query was not a cache miss"
+grep -q '"name": "query.lookup"' "$workdir/query.json" || fail "trace has no query.lookup span"
+grep -q '"name": "closure.compute"' "$workdir/query.json" || fail "cold trace has no closure.compute span"
+echo "serve-smoke: traced query ok ($(sed -n 's/.*"trace_id": "\([0-9a-f]*\)".*/\1/p' "$workdir/query.json" | head -1))"
+
+# The trace id in the body matches the header.
+hdr_id=$(sed -n 's/^[Xx]-[Zz]oom-[Tt]race-[Ii]d: \([0-9a-f]*\).*/\1/p' "$workdir/headers" | head -1)
+grep -q "\"trace_id\": \"$hdr_id\"" "$workdir/query.json" || fail "header/body trace id mismatch"
+
+# Metrics exposition carries the query that just ran.
+curl -fsS "$base/metrics" >"$workdir/metrics.txt" || fail "GET /metrics"
+grep -q '^# TYPE zoom_http_requests counter' "$workdir/metrics.txt" || fail "no request counter in /metrics"
+grep -q '^zoom_server_ready 1' "$workdir/metrics.txt" || fail "server not ready in /metrics"
+grep -q 'zoom_query_deep_total_ns_count{outcome="miss"} 1' "$workdir/metrics.txt" || fail "query miss not in /metrics"
+
+# With -slow -1ns every request is slow; the log must hold the query.
+curl -fsS "$base/debug/slowlog" >"$workdir/slowlog.json" || fail "GET /debug/slowlog"
+grep -q '"route": "POST /v1/query"' "$workdir/slowlog.json" || fail "query missing from slow log"
+grep -q "\"trace_id\": \"$hdr_id\"" "$workdir/slowlog.json" || fail "slow log lost the trace id"
+
+# Graceful shutdown: SIGTERM must end the process cleanly.
+kill -TERM "$server_pid"
+wait "$server_pid" || fail "server exited non-zero on SIGTERM"
+server_pid=""
+echo "serve-smoke: PASS"

@@ -29,6 +29,7 @@ import (
 	"repro/internal/provenance"
 	"repro/internal/query"
 	"repro/internal/run"
+	"repro/internal/server"
 	"repro/internal/spec"
 	"repro/internal/warehouse"
 	"repro/internal/wflog"
@@ -71,6 +72,19 @@ type (
 	MetricsSnapshot = obs.Snapshot
 	// QueryTrace is the per-stage timing breakdown of one traced query.
 	QueryTrace = provenance.QueryTrace
+	// Trace is a request-scoped span tree; SpanNode one snapshotted span.
+	Trace = obs.Trace
+	// Span is one running stage of a Trace.
+	Span = obs.Span
+	// SpanNode is one span of a finished (or snapshotted) trace tree.
+	SpanNode = obs.SpanNode
+	// Server is the HTTP provenance service behind `zoom serve`.
+	Server = server.Server
+	// ServerConfig tunes a Server (slow-query threshold and log size,
+	// expvar name, batch worker bound).
+	ServerConfig = server.Config
+	// SlowEntry is one slow-query log record.
+	SlowEntry = server.SlowEntry
 	// Generator produces synthetic workloads (Section V.A).
 	Generator = gen.Generator
 	// WorkflowClass is a Table I workflow profile.
@@ -261,6 +275,48 @@ func (s *System) DeepProvenance(runID string, v *UserView, d string) (*Result, e
 // `zoom query -trace`.
 func (s *System) DeepProvenanceTraced(runID string, v *UserView, d string) (*Result, *QueryTrace, error) {
 	return s.e.DeepProvenanceTraced(runID, v, d)
+}
+
+// DeepProvenanceCtx is DeepProvenance with a context: cancellation is
+// honored at stage boundaries, and when the context carries a trace
+// (NewTrace / StartSpan) the engine records its stages as spans.
+func (s *System) DeepProvenanceCtx(ctx context.Context, runID string, v *UserView, d string) (*Result, error) {
+	return s.e.DeepProvenanceCtx(ctx, runID, v, d)
+}
+
+// DeepProvenanceTracedCtx combines both tracing forms: the returned
+// QueryTrace has the flat stage numbers, and a span-carrying context
+// additionally gets the structured span tree.
+func (s *System) DeepProvenanceTracedCtx(ctx context.Context, runID string, v *UserView, d string) (*Result, *QueryTrace, error) {
+	return s.e.DeepProvenanceTracedCtx(ctx, runID, v, d)
+}
+
+// NewTrace starts a request-scoped span tree; derive a context with
+// (*Trace).Context and pass it through Ctx-suffixed query methods.
+func NewTrace(name string) *Trace { return obs.NewTrace(name) }
+
+// StartSpan opens a child span on a traced context (no-op and free on an
+// untraced one).
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return obs.StartSpan(ctx, name)
+}
+
+// NewServer returns an HTTP provenance server wired to the registry (one
+// is created when nil). It fails when cfg.ExpvarName is already published.
+// The server answers /healthz immediately and 503s API requests until
+// ConnectServer installs a loaded system.
+func NewServer(reg *Metrics, cfg ServerConfig) (*Server, error) {
+	return server.New(reg, cfg)
+}
+
+// ConnectServer installs this system's query engine into the server,
+// flipping it ready — typically called after a background warehouse load.
+func (s *System) ConnectServer(srv *Server) { srv.SetEngine(s.e) }
+
+// WriteMetricsPrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (what the server's /metrics serves).
+func WriteMetricsPrometheus(w io.Writer, snap MetricsSnapshot, namespace string) {
+	obs.WritePrometheus(w, snap, namespace)
 }
 
 // DeepProvenanceBatch answers the deep provenance of many data objects of
