@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke bench bench-smoke bench-ingest-smoke bench-obs-smoke serve-smoke ci
+.PHONY: all build vet test race fuzz-smoke bench bench-smoke bench-ingest-smoke bench-labels-smoke bench-obs-smoke serve-smoke ci
 
 all: ci
 
@@ -27,6 +27,7 @@ race:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzConnectBy -fuzztime=10s ./internal/warehouse/
 	$(GO) test -run='^$$' -fuzz=FuzzRelevUserViewBuilder -fuzztime=10s ./internal/core/
+	$(GO) test -run='^$$' -fuzz=FuzzReachLabels -fuzztime=10s ./internal/run/
 
 bench:
 	$(GO) run ./cmd/zoombench
@@ -42,6 +43,12 @@ bench-smoke:
 bench-ingest-smoke:
 	$(GO) test -run '^$$' -bench 'Ingest' -benchtime=1x -benchmem .
 
+# One-iteration pass over the reachability-label benchmarks (P2): cold
+# query / derivation per strategy plus the label build itself. Full
+# numbers: `go test -bench Labels -benchmem .`
+bench-labels-smoke:
+	$(GO) test -run '^$$' -bench 'Labels' -benchtime=1x -benchmem .
+
 # Observability overhead (O1/O2): the warm-query benchmark with metrics
 # detached vs. attached vs. fully traced. The attached side must stay
 # within ~2% of detached; full numbers:
@@ -55,4 +62,4 @@ bench-obs-smoke:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-ci: vet build test race fuzz-smoke bench-smoke bench-ingest-smoke bench-obs-smoke serve-smoke
+ci: vet build test race fuzz-smoke bench-smoke bench-ingest-smoke bench-labels-smoke bench-obs-smoke serve-smoke

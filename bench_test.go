@@ -366,6 +366,133 @@ func BenchmarkCompactDerivation(b *testing.B) {
 	}
 }
 
+// newLabelSite is newFig10Site with the warehouse's reachability label
+// index switched on or off before the run is loaded — the two sides of
+// the P2 comparison. The same seed yields the identical workflow and run.
+func newLabelSite(b *testing.B, class gen.WorkflowClass, rc gen.RunClass, seed int64, labels bool) *fig10Site {
+	b.Helper()
+	g := gen.NewGenerator(seed)
+	site := &fig10Site{}
+	site.s = g.Workflow(class, "p2")
+	var err error
+	site.r, _, err = g.Run(site.s, rc, "p2-run")
+	if err != nil {
+		b.Fatal(err)
+	}
+	site.w = warehouse.New(0)
+	site.w.SetLabelIndex(labels)
+	if err := site.w.RegisterSpec(site.s); err != nil {
+		b.Fatal(err)
+	}
+	if err := site.w.LoadRun(site.r); err != nil {
+		b.Fatal(err)
+	}
+	if labels && site.w.RunLabels(site.r.ID()) == nil {
+		b.Fatalf("label builder declined the %s run", rc.Name)
+	}
+	site.e = provenance.NewEngine(site.w)
+	finals := site.r.FinalOutputs()
+	site.root = finals[len(finals)-1]
+	site.admin = core.UAdmin(site.s)
+	if site.bio, err = core.BuildRelevant(site.s, gen.UBioRelevant(site.s)); err != nil {
+		b.Fatal(err)
+	}
+	return site
+}
+
+// labelModes are the two sides of the P2 experiment.
+var labelModes = []struct {
+	name   string
+	labels bool
+}{{"bfs", false}, {"labels", true}}
+
+// BenchmarkLabelsColdQuery (P2) compares the cold deep-provenance query
+// (UAdmin closure compute + projection, cache reset each iteration) on the
+// bitset BFS path versus the reachability-label path, per Table II run
+// class on the loop profile (Class4 — the largest runs).
+func BenchmarkLabelsColdQuery(b *testing.B) {
+	kinds := gen.RunClasses()
+	kinds[2].MaxNodes = 3000
+	for _, rc := range kinds {
+		for _, mode := range labelModes {
+			b.Run(rc.Name+"/"+mode.name, func(b *testing.B) {
+				site := newLabelSite(b, gen.Class4(), rc, 51, mode.labels)
+				strat := warehouse.StrategyBFS
+				if mode.labels {
+					strat = warehouse.StrategyLabels
+				}
+				if _, err := site.e.DeepProvenanceStrategy(site.r.ID(), site.bio, site.root, strat); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					site.w.ResetCache()
+					if _, err := site.e.DeepProvenanceStrategy(site.r.ID(), site.bio, site.root, strat); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLabelsDerivation (P2) covers the forward direction: cold deep
+// derivation of an external input (suffix scans vs forward BFS).
+func BenchmarkLabelsDerivation(b *testing.B) {
+	rc := gen.Medium()
+	for _, mode := range labelModes {
+		b.Run(mode.name, func(b *testing.B) {
+			site := newLabelSite(b, gen.Class4(), rc, 52, mode.labels)
+			ins := site.r.ExternalInputs()
+			if len(ins) == 0 {
+				b.Skip("run has no external inputs")
+			}
+			d := ins[0]
+			strat := warehouse.StrategyBFS
+			if mode.labels {
+				strat = warehouse.StrategyLabels
+			}
+			if _, err := site.e.DeepDerivationStrategy(site.r.ID(), site.bio, d, strat); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				site.w.ResetCache()
+				if _, err := site.e.DeepDerivationStrategy(site.r.ID(), site.bio, d, strat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLabelsBuild (P2) prices the one-time label build the load path
+// pays per run — the cost SetLabelIndex amortizes over every later query.
+func BenchmarkLabelsBuild(b *testing.B) {
+	kinds := gen.RunClasses()
+	kinds[2].MaxNodes = 3000
+	for _, rc := range kinds {
+		b.Run(rc.Name, func(b *testing.B) {
+			g := gen.NewGenerator(53)
+			s := g.Workflow(gen.Class4(), "p2b")
+			r, _, err := g.Run(s, rc, "p2b-run")
+			if err != nil {
+				b.Fatal(err)
+			}
+			ix := r.Index()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if ix.BuildLabels() == nil {
+					b.Fatal("label builder declined the run")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationNRPath (A1) compares the memoized nr-path fronts the
 // Analysis precomputes against answering each rpred/rsucc membership with
 // a fresh filtered BFS — the naive alternative the O(|N|²+|E|) bound of
@@ -457,7 +584,7 @@ func BenchmarkHarnessEndToEnd(b *testing.B) {
 	o.MaxSpecNodes = 200
 	o.LargeRunCap = 500
 	for i := 0; i < b.N; i++ {
-		if got := bench.RunAll(o); len(got) != 13 {
+		if got := bench.RunAll(o); len(got) != 14 {
 			b.Fatal("missing reports")
 		}
 	}

@@ -6,11 +6,11 @@
 // Subcommands:
 //
 //	zoom example [-warehouse wh.json]     walk through the paper's Figures 1-3
-//	zoom serve   -warehouse wh.json [-addr :8080] [-slow 10ms] [-slowlog 128] [-drain 5s] [-expvar zoom]
+//	zoom serve   -warehouse wh.json [-addr :8080] [-labels] [-slow 10ms] [-slowlog 128] [-drain 5s] [-expvar zoom]
 //	zoom spec    -file spec.json [-dot]   validate / render a specification
 //	zoom view    -file spec.json -relevant M2,M3,M7 [-dot]
 //	zoom load    -warehouse wh.json -file spec.json [-log run.jsonl -run id] [-parallel N] [-format json|binary|keep]
-//	zoom query   -warehouse wh.json -run id -data d447[,d448,...] [-parallel N] [-relevant ...] [-mode deep|immediate|derived] [-dot] [-trace]
+//	zoom query   -warehouse wh.json -run id -data d447[,d448,...] [-parallel N] [-relevant ...] [-mode deep|immediate|derived] [-labels] [-dot] [-trace]
 //	zoom runs    -warehouse wh.json       list warehouse contents
 //	zoom stats   -warehouse wh.json [-json]  warehouse statistics and metrics
 //	zoom ask     -warehouse wh.json -run id -q "deep(d447)" [-relevant ...]
@@ -217,6 +217,7 @@ func cmdServe(args []string) error {
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	expvarName := fs.String("expvar", "zoom", `expvar name for the live metrics snapshot ("" skips /debug/vars publishing)`)
 	workers := fs.Int("workers", 0, "default worker pool per batch request (0 = GOMAXPROCS)")
+	labels := fs.Bool("labels", false, "build reachability label indexes at load time (deep queries become interval scans; per-request \"labels\" overrides still apply)")
 	_ = fs.Parse(args)
 	if *whPath == "" {
 		return fmt.Errorf("serve: -warehouse is required")
@@ -247,15 +248,20 @@ func cmdServe(args []string) error {
 	defer stop()
 	loadErr := make(chan error, 1)
 	go func() {
-		sys, err := loadSystemWith(*whPath, *parallel, reg)
+		sys, err := loadSystemOpts(*whPath, zoom.LoadOptions{Workers: *parallel, Metrics: reg, Labels: *labels})
 		if err != nil {
 			loadErr <- err
 			stop() // shut the server down; the error is reported below
 			return
 		}
 		sys.ConnectServer(srv)
-		fmt.Fprintf(os.Stderr, "zoom serve: warehouse %s loaded (%d runs), ready\n",
-			*whPath, len(sys.RunIDs()))
+		extra := ""
+		if *labels {
+			lc := sys.LabelCounters()
+			extra = fmt.Sprintf(", %d label indexes", lc.Builds)
+		}
+		fmt.Fprintf(os.Stderr, "zoom serve: warehouse %s loaded (%d runs%s), ready\n",
+			*whPath, len(sys.RunIDs()), extra)
 	}()
 	err = srv.Serve(ctx, ln, *drain)
 	select {
@@ -344,19 +350,29 @@ func loadSystem(path string) (*zoom.System, error) {
 // optional metrics registry to attach (the snapshot load is then recorded
 // there too).
 func loadSystemWith(path string, workers int, reg *zoom.Metrics) (*zoom.System, error) {
+	return loadSystemOpts(path, zoom.LoadOptions{Workers: workers, Metrics: reg})
+}
+
+// loadSystemOpts is loadSystemWith with the full load options (label
+// indexing in particular). A missing snapshot file yields an empty system
+// with the options still applied.
+func loadSystemOpts(path string, opts zoom.LoadOptions) (*zoom.System, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			sys := zoom.NewSystem()
-			if reg != nil {
-				sys.AttachMetrics(reg)
+			if opts.Metrics != nil {
+				sys.AttachMetrics(opts.Metrics)
+			}
+			if opts.Labels {
+				sys.SetLabelIndex(true)
 			}
 			return sys, nil
 		}
 		return nil, err
 	}
 	defer f.Close()
-	return zoom.LoadSystemWith(f, zoom.LoadOptions{Workers: workers, Metrics: reg})
+	return zoom.LoadSystemWith(f, opts)
 }
 
 // snapshotIsBinary reports whether an existing snapshot file is in the v2
@@ -459,8 +475,9 @@ func cmdQuery(args []string) error {
 	parallel := fs.Int("parallel", 1, "worker goroutines for a multi-data deep batch (0 = GOMAXPROCS)")
 	asDot := fs.Bool("dot", false, "emit Graphviz DOT of the provenance graph")
 	asProv := fs.Bool("prov", false, "emit W3C PROV-JSON (deep mode only)")
-	stats := fs.Bool("stats", false, "print warehouse statistics (catalog, cache, compact index) after answering")
+	stats := fs.Bool("stats", false, "print warehouse statistics (catalog, cache, compact index, labels) after answering")
 	trace := fs.Bool("trace", false, "print a per-stage timing breakdown (cold query, then warm re-query; deep mode, single -data)")
+	labels := fs.Bool("labels", false, "build reachability label indexes at load time and answer via interval scans")
 	_ = fs.Parse(args)
 	if *whPath == "" || *runID == "" || *data == "" {
 		return fmt.Errorf("query: -warehouse, -run and -data are required")
@@ -469,7 +486,7 @@ func cmdQuery(args []string) error {
 	if *trace {
 		reg = zoom.NewMetrics()
 	}
-	sys, err := loadSystemWith(*whPath, 0, reg)
+	sys, err := loadSystemOpts(*whPath, zoom.LoadOptions{Metrics: reg, Labels: *labels})
 	if err != nil {
 		return err
 	}
@@ -595,6 +612,11 @@ func printStats(sys *zoom.System) {
 	fmt.Printf("index: runs=%d interned-steps=%d interned-data=%d csr=%dB closure-words=%d\n",
 		st.Index.IndexedRuns, st.Index.InternedSteps, st.Index.InternedData,
 		st.Index.CSRBytes, st.Index.ClosureWords)
+	if st.Labels.Enabled || st.Labels.LabeledRuns > 0 || st.Labels.Fallbacks > 0 {
+		fmt.Printf("labels: runs=%d chains=%d bytes=%d builds=%d hits=%d fallbacks=%d\n",
+			st.Labels.LabeledRuns, st.Labels.Chains, st.Labels.LabelBytes,
+			st.Labels.Builds, st.Labels.Hits, st.Labels.Fallbacks)
+	}
 }
 
 // cmdStats prints warehouse statistics on their own; -json emits the whole

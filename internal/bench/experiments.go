@@ -479,6 +479,7 @@ func RunAll(o Options) []*Report {
 		ExpAblation(o),
 		ExpConcurrent(o),
 		ExpCompact(o),
+		ExpLabels(o),
 		ExpIngest(o),
 	}
 }

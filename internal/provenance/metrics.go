@@ -80,7 +80,11 @@ type QueryTrace struct {
 	Data  string `json:"data"`
 	// Outcome is how the closure lookup was served: "hit", "miss", or
 	// "shared-wait".
-	Outcome   string `json:"outcome"`
+	Outcome string `json:"outcome"`
+	// Strategy is the closure computation a miss actually ran ("labels",
+	// "bfs", or "legacy"); empty for hits and shared waits, which reuse a
+	// closure somebody else computed.
+	Strategy  string `json:"strategy,omitempty"`
 	LookupNs  int64  `json:"lookup_ns"`
 	ComputeNs int64  `json:"compute_ns,omitempty"`
 	ProjectNs int64  `json:"project_ns"`
@@ -95,7 +99,11 @@ type QueryTrace struct {
 // prints.
 func (tr *QueryTrace) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "trace: run=%s data=%s outcome=%s\n", tr.RunID, tr.Data, tr.Outcome)
+	fmt.Fprintf(&b, "trace: run=%s data=%s outcome=%s", tr.RunID, tr.Data, tr.Outcome)
+	if tr.Strategy != "" {
+		fmt.Fprintf(&b, " strategy=%s", tr.Strategy)
+	}
+	b.WriteByte('\n')
 	fmt.Fprintf(&b, "  closure lookup  %12s", time.Duration(tr.LookupNs))
 	if tr.Outcome == warehouse.OutcomeMiss.String() {
 		fmt.Fprintf(&b, "  (compute %s)", time.Duration(tr.ComputeNs))
@@ -120,8 +128,16 @@ func (e *Engine) DeepProvenanceTraced(runID string, v *core.UserView, d string) 
 // records the same stages as structured spans. The server uses both — the
 // numbers go in the response body, the spans in ?trace=1 and the slow log.
 func (e *Engine) DeepProvenanceTracedCtx(ctx context.Context, runID string, v *core.UserView, d string) (*Result, *QueryTrace, error) {
+	return e.DeepProvenanceTracedStrategyCtx(ctx, runID, v, d, warehouse.StrategyAuto)
+}
+
+// DeepProvenanceTracedStrategyCtx is DeepProvenanceTracedCtx with an
+// explicit closure strategy — the server's per-request `labels` override
+// lands here. On a miss the trace's Strategy field reports which
+// computation actually ran.
+func (e *Engine) DeepProvenanceTracedStrategyCtx(ctx context.Context, runID string, v *core.UserView, d string, strat warehouse.ClosureStrategy) (*Result, *QueryTrace, error) {
 	tr := &QueryTrace{RunID: runID, Data: d}
-	res, err := e.deepProvenance(ctx, runID, v, d, tr)
+	res, err := e.deepProvenance(ctx, runID, v, d, tr, strat)
 	if err != nil {
 		return nil, nil, err
 	}

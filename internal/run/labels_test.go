@@ -1,0 +1,424 @@
+package run
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/spec"
+)
+
+func newTestBitset(n int) bitset.Set { return bitset.New(n) }
+
+// bitsetKey renders a step/data member pair canonically for comparison.
+func bitsetKey(steps, data bitset.Set) string {
+	var b strings.Builder
+	b.WriteString("s{")
+	steps.Each(func(i int32) { b.WriteString(itoa(int(i)) + ",") })
+	b.WriteString("} d{")
+	data.Each(func(i int32) { b.WriteString(itoa(int(i)) + ",") })
+	b.WriteString("}")
+	return b.String()
+}
+
+func bitsetKeyMaps(steps, data map[int32]bool) string {
+	render := func(m map[int32]bool) string {
+		ids := make([]int, 0, len(m))
+		for id := range m {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		var b strings.Builder
+		for _, id := range ids {
+			b.WriteString(itoa(id) + ",")
+		}
+		return b.String()
+	}
+	return "s{" + render(steps) + "} d{" + render(data) + "}"
+}
+
+// randomDAGRun decodes a byte string into a small layered DAG run: step Si
+// may only read data produced by steps Sj with j < i (plus external
+// inputs), so the run is acyclic by construction. The run is not required
+// to pass Validate — labels only need the compact index — which lets the
+// fuzzer explore shapes (disconnected steps, sink-less branches) that full
+// run validation would reject.
+func randomDAGRun(t testing.TB, raw []byte) *Run {
+	t.Helper()
+	n := 2 + int(byteAt(raw, 0))%14 // 2..15 steps
+	r := NewRun("fuzz", "none")
+	for i := 0; i < n; i++ {
+		if err := r.AddStep("S"+itoa(i), "M"+itoa(i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pos := 1
+	for j := 1; j < n; j++ {
+		// Each step gets 0..2 producing predecessors and maybe an external
+		// input, each edge carrying one fresh data object.
+		preds := int(byteAt(raw, pos)) % 3
+		pos++
+		for e := 0; e < preds; e++ {
+			i := int(byteAt(raw, pos)) % j
+			pos++
+			if err := r.AddFlow("S"+itoa(i), "S"+itoa(j), []string{"d" + itoa(i) + "_" + itoa(j) + "_" + itoa(e)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if byteAt(raw, pos)%2 == 0 {
+			if err := r.AddFlow(spec.Input, "S"+itoa(j), []string{"x" + itoa(j)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pos++
+	}
+	if err := r.AddFlow(spec.Input, "S0", []string{"x0"}); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func byteAt(raw []byte, i int) byte {
+	if len(raw) == 0 {
+		return 0
+	}
+	return raw[i%len(raw)]
+}
+
+// bipartiteClosure rebuilds the combined provenance DAG as a string graph
+// and computes its transitive closure — the independent oracle every label
+// answer is compared against.
+func bipartiteClosure(ix *Index) *graph.Closure {
+	g := graph.New()
+	for s := 0; s < ix.NumSteps(); s++ {
+		g.AddNode("s:" + ix.StepName(int32(s)))
+	}
+	for d := 0; d < ix.NumData(); d++ {
+		name := "d:" + ix.DataName(int32(d))
+		g.AddNode(name)
+		if p := ix.Producer(int32(d)); p >= 0 {
+			g.AddEdge("s:"+ix.StepName(p), name)
+		}
+		for _, s := range ix.ConsumersOf(int32(d)) {
+			g.AddEdge(name, "s:"+ix.StepName(s))
+		}
+	}
+	return g.TransitiveClosure()
+}
+
+// nodeName maps a combined label node id to its oracle graph id.
+func nodeName(ix *Index, v int32) string {
+	if int(v) < ix.NumSteps() {
+		return "s:" + ix.StepName(v)
+	}
+	return "d:" + ix.DataName(v-int32(ix.NumSteps()))
+}
+
+// checkLabelsAgainstOracle cross-checks Reach for every node pair against
+// the graph transitive closure (which counts paths of length >= 1, so the
+// diagonal is special-cased: Reach is reflexive), and the materialized
+// Provenance/Derivation sets against a direct BFS over the index.
+func checkLabelsAgainstOracle(t testing.TB, ix *Index, l *Labels) {
+	t.Helper()
+	cl := bipartiteClosure(ix)
+	n := int32(l.NumNodes())
+	for u := int32(0); u < n; u++ {
+		for v := int32(0); v < n; v++ {
+			want := u == v || cl.Reachable(nodeName(ix, u), nodeName(ix, v))
+			if got := l.Reach(u, v); got != want {
+				t.Fatalf("Reach(%s, %s) = %v, oracle %v",
+					nodeName(ix, u), nodeName(ix, v), got, want)
+			}
+		}
+	}
+	// Provenance of every data object: the ancestors-or-self of its node.
+	for d := int32(0); d < int32(ix.NumData()); d++ {
+		stepBits := newTestBitset(ix.NumSteps())
+		dataBits := newTestBitset(ix.NumData())
+		l.ProvenanceInto(d, stepBits, dataBits)
+		wantSteps, wantData := bfsProvenance(ix, d)
+		if got := bitsetKey(stepBits, dataBits); got != bitsetKeyMaps(wantSteps, wantData) {
+			t.Fatalf("ProvenanceInto(%s): %s, BFS %s",
+				ix.DataName(d), got, bitsetKeyMaps(wantSteps, wantData))
+		}
+		stepBits.Reset()
+		dataBits.Reset()
+		l.DerivationInto(d, stepBits, dataBits)
+		wantSteps, wantData = bfsDerivation(ix, d)
+		if got := bitsetKey(stepBits, dataBits); got != bitsetKeyMaps(wantSteps, wantData) {
+			t.Fatalf("DerivationInto(%s): %s, BFS %s",
+				ix.DataName(d), got, bitsetKeyMaps(wantSteps, wantData))
+		}
+	}
+}
+
+// bfsProvenance is the reference backward traversal, mirroring the
+// warehouse's indexedProvenanceClosure without importing it.
+func bfsProvenance(ix *Index, root int32) (steps, data map[int32]bool) {
+	steps, data = map[int32]bool{}, map[int32]bool{root: true}
+	stack := []int32{root}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		p := ix.Producer(cur)
+		if p < 0 || steps[p] {
+			continue
+		}
+		steps[p] = true
+		for _, in := range ix.InputsOf(p) {
+			if !data[in] {
+				data[in] = true
+				stack = append(stack, in)
+			}
+		}
+	}
+	return steps, data
+}
+
+// bfsDerivation is the reference forward traversal.
+func bfsDerivation(ix *Index, root int32) (steps, data map[int32]bool) {
+	steps, data = map[int32]bool{}, map[int32]bool{root: true}
+	stack := []int32{root}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range ix.ConsumersOf(cur) {
+			if steps[s] {
+				continue
+			}
+			steps[s] = true
+			for _, out := range ix.OutputsOf(s) {
+				if !data[out] {
+					data[out] = true
+					stack = append(stack, out)
+				}
+			}
+		}
+	}
+	return steps, data
+}
+
+// TestLabelsFigure2 pins the labels on the paper's running example.
+func TestLabelsFigure2(t *testing.T) {
+	ix := Figure2().Index()
+	l := ix.BuildLabels()
+	if l == nil {
+		t.Fatal("BuildLabels declined Figure 2")
+	}
+	st := l.Stats()
+	if st.Nodes != ix.NumSteps()+ix.NumData() {
+		t.Fatalf("Nodes = %d, want %d", st.Nodes, ix.NumSteps()+ix.NumData())
+	}
+	if st.Chains < 1 || st.Chains > st.Nodes {
+		t.Fatalf("implausible chain count %d for %d nodes", st.Chains, st.Nodes)
+	}
+	checkLabelsAgainstOracle(t, ix, l)
+}
+
+// TestLabelsProperties checks the quickcheck-style label laws on random
+// DAGs: reflexivity on self, antisymmetry between distinct nodes, and
+// exact agreement with the transitive-closure oracle.
+func TestLabelsProperties(t *testing.T) {
+	f := func(raw []byte) bool {
+		ix := randomDAGRun(t, raw).Index()
+		l := ix.BuildLabels()
+		if l == nil {
+			return false // these runs are far below the label budget
+		}
+		n := int32(l.NumNodes())
+		for u := int32(0); u < n; u++ {
+			if !l.Reach(u, u) {
+				return false
+			}
+			for v := u + 1; v < n; v++ {
+				if l.Reach(u, v) && l.Reach(v, u) {
+					return false
+				}
+			}
+		}
+		checkLabelsAgainstOracle(t, ix, l)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLabelsRelabelingAgreement builds the same DAG twice — once with the
+// generated names and once under a renaming that reverses the interning
+// (and hence topological tie-breaking) order — and checks that Reach
+// agrees across the two label indexes on every corresponding pair. The
+// decompositions may differ; the relation may not.
+func TestLabelsRelabelingAgreement(t *testing.T) {
+	f := func(raw []byte) bool {
+		r1 := randomDAGRun(t, raw)
+		ix1 := r1.Index()
+		// Rebuild with renamed ids: step Si -> Zk where k reverses the
+		// index, data names prefixed so natural order flips relative
+		// positions. The structure (who produces/consumes what) is copied
+		// through the rename map.
+		ren := func(id string) string { return "zz" + id }
+		r2 := NewRun("fuzz2", "none")
+		for s := 0; s < ix1.NumSteps(); s++ {
+			name := ix1.StepName(int32(s))
+			st, _ := r1.Step(name)
+			if err := r2.AddStep(ren(name), st.Module); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for d := 0; d < ix1.NumData(); d++ {
+			name := ix1.DataName(int32(d))
+			from := spec.Input
+			if p := ix1.Producer(int32(d)); p >= 0 {
+				from = ren(ix1.StepName(p))
+			}
+			consumers := ix1.ConsumersOf(int32(d))
+			if len(consumers) == 0 {
+				continue // run construction only records data on edges
+			}
+			for _, s := range consumers {
+				if err := r2.AddFlow(from, ren(ix1.StepName(s)), []string{ren(name)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		ix2 := r2.Index()
+		l1, l2 := ix1.BuildLabels(), ix2.BuildLabels()
+		if l1 == nil || l2 == nil {
+			return false
+		}
+		// Compare on pairs that exist in both runs (unconsumed data is
+		// absent from the rebuilt run).
+		node2 := func(v int32) (int32, bool) {
+			if int(v) < ix1.NumSteps() {
+				s, ok := ix2.StepID(ren(ix1.StepName(v)))
+				return l2.StepNode(s), ok
+			}
+			d, ok := ix2.DataID(ren(ix1.DataName(v - int32(ix1.NumSteps()))))
+			return l2.DataNode(d), ok
+		}
+		n := int32(l1.NumNodes())
+		for u := int32(0); u < n; u++ {
+			u2, okU := node2(u)
+			if !okU {
+				continue
+			}
+			for v := int32(0); v < n; v++ {
+				v2, okV := node2(v)
+				if !okV {
+					continue
+				}
+				if l1.Reach(u, v) != l2.Reach(u2, v2) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLabelsDeclineWideRun pins the fallback contract: a run whose step
+// graph is wider than the chain budget — here maxLabelChains+1 mutually
+// independent steps, each its own chain — gets no labels (and the
+// warehouse then counts a BFS fallback instead of consulting a half-built
+// index). Note data fan-out alone no longer declines: only steps are
+// labeled, so width is measured on the step graph.
+func TestLabelsDeclineWideRun(t *testing.T) {
+	r := NewRun("wide", "none")
+	for i := 0; i < maxLabelChains+1; i++ {
+		if err := r.AddStep("S"+itoa(i), "M"); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.AddFlow(spec.Input, "S"+itoa(i), []string{"w" + itoa(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l := r.Index().BuildLabels(); l != nil {
+		t.Fatalf("BuildLabels accepted %d-parallel-step run (chains=%d), want decline",
+			maxLabelChains+1, l.NumChains())
+	}
+}
+
+// TestLabelsWideDataFanOut pins the flip side: a run with heavy data
+// fan-out but a narrow step graph must still get labels. One producing
+// step with maxLabelChains+1 outputs all feeding one consumer is two
+// steps and one chain — under bipartite labeling it would have declined.
+func TestLabelsWideDataFanOut(t *testing.T) {
+	r := NewRun("fanout", "none")
+	if err := r.AddStep("P", "M"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddStep("C", "M"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddFlow(spec.Input, "P", []string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	wide := make([]string, maxLabelChains+1)
+	for i := range wide {
+		wide[i] = "w" + itoa(i)
+	}
+	if err := r.AddFlow("P", "C", wide); err != nil {
+		t.Fatal(err)
+	}
+	ix := r.Index()
+	l := ix.BuildLabels()
+	if l == nil {
+		t.Fatal("BuildLabels declined a 2-step run over data fan-out")
+	}
+	if got := l.NumChains(); got != 1 {
+		t.Fatalf("NumChains = %d, want 1 (P→C is one path)", got)
+	}
+	// Spot-check the relation across the fan-out (the full oracle sweep is
+	// quadratic in 4k nodes; the shape is pinned well enough by a sample).
+	p, _ := ix.StepID("P")
+	c, _ := ix.StepID("C")
+	w0, _ := ix.DataID("w0")
+	x, _ := ix.DataID("x")
+	if !l.Reach(l.StepNode(p), l.StepNode(c)) {
+		t.Fatal("P should reach C")
+	}
+	if l.Reach(l.StepNode(c), l.StepNode(p)) {
+		t.Fatal("C should not reach P")
+	}
+	if !l.Reach(l.DataNode(x), l.DataNode(w0)) {
+		t.Fatal("x should reach w0")
+	}
+	stepBits := newTestBitset(ix.NumSteps())
+	dataBits := newTestBitset(ix.NumData())
+	l.ProvenanceInto(w0, stepBits, dataBits)
+	wantSteps, wantData := bfsProvenance(ix, w0)
+	if got := bitsetKey(stepBits, dataBits); got != bitsetKeyMaps(wantSteps, wantData) {
+		t.Fatalf("ProvenanceInto(w0): %s, BFS %s", got, bitsetKeyMaps(wantSteps, wantData))
+	}
+	stepBits.Reset()
+	dataBits.Reset()
+	l.DerivationInto(x, stepBits, dataBits)
+	wantSteps, wantData = bfsDerivation(ix, x)
+	if got := bitsetKey(stepBits, dataBits); got != bitsetKeyMaps(wantSteps, wantData) {
+		t.Fatalf("DerivationInto(x): %s, BFS %s", got, bitsetKeyMaps(wantSteps, wantData))
+	}
+}
+
+// FuzzReachLabels cross-checks every Reach answer and every materialized
+// closure on fuzzer-shaped DAGs against the transitive-closure oracle.
+func FuzzReachLabels(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{7, 1, 0, 2, 1, 1, 0, 2, 2, 0, 1})
+	f.Add([]byte{15, 2, 0, 1, 1, 2, 3, 0, 2, 4, 1, 5, 0, 2, 6, 3, 1})
+	f.Add([]byte{3, 2, 0, 0, 0, 2, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ix := randomDAGRun(t, raw).Index()
+		l := ix.BuildLabels()
+		if l == nil {
+			t.Fatalf("BuildLabels declined a %d-node fuzz run", ix.NumSteps()+ix.NumData())
+		}
+		checkLabelsAgainstOracle(t, ix, l)
+	})
+}

@@ -318,6 +318,23 @@ type queryRequest struct {
 	Kind     string   `json:"kind,omitempty"`
 	View     string   `json:"view,omitempty"`
 	Relevant []string `json:"relevant,omitempty"`
+	// Labels overrides the closure strategy for this request: true forces
+	// the reachability-label path (falling back, counted, when the run has
+	// no labels), false forces the BFS, absent follows the warehouse's
+	// SetLabelIndex toggle.
+	Labels *bool `json:"labels,omitempty"`
+}
+
+// strategyOf maps a request's Labels override onto the closure strategy.
+func (q *queryRequest) strategyOf() warehouse.ClosureStrategy {
+	switch {
+	case q.Labels == nil:
+		return warehouse.StrategyAuto
+	case *q.Labels:
+		return warehouse.StrategyLabels
+	default:
+		return warehouse.StrategyBFS
+	}
 }
 
 // batchRequest is the body of POST /v1/batch: many data objects of one
@@ -395,8 +412,11 @@ type queryResponse struct {
 	TraceID   string        `json:"trace_id"`
 	Run       string        `json:"run"`
 	Data      string        `json:"data"`
-	Kind      string        `json:"kind"`
-	Outcome   string        `json:"outcome,omitempty"`
+	Kind    string `json:"kind"`
+	Outcome string `json:"outcome,omitempty"`
+	// Strategy reports the closure computation a deep-query miss actually
+	// ran ("labels", "bfs", or "legacy"); empty on cache hits.
+	Strategy  string        `json:"strategy,omitempty"`
 	Timing    *timingDTO    `json:"timing,omitempty"`
 	Result    *resultDTO    `json:"result,omitempty"`
 	Execution *executionDTO `json:"execution,omitempty"`
@@ -511,13 +531,14 @@ func (s *Server) handleQuery(ctx context.Context, tr *obs.Trace, w http.Response
 	switch req.Kind {
 	case "", "deep":
 		resp.Kind = "deep"
-		res, qt, err := e.DeepProvenanceTracedCtx(ctx, req.Run, v, req.Data)
+		res, qt, err := e.DeepProvenanceTracedStrategyCtx(ctx, req.Run, v, req.Data, req.strategyOf())
 		if err != nil {
 			writeError(w, tr, err)
 			return
 		}
 		resp.Result = toResultDTO(res)
 		resp.Outcome = qt.Outcome
+		resp.Strategy = qt.Strategy
 		resp.Timing = &timingDTO{LookupNs: qt.LookupNs, ComputeNs: qt.ComputeNs,
 			ProjectNs: qt.ProjectNs, TotalNs: qt.TotalNs}
 	case "immediate":
@@ -534,7 +555,7 @@ func (s *Server) handleQuery(ctx context.Context, tr *obs.Trace, w http.Response
 	case "derived":
 		resp.Kind = "derived"
 		_, sp := obs.StartSpan(ctx, "query.derived")
-		res, err := e.DeepDerivation(req.Run, v, req.Data)
+		res, err := e.DeepDerivationStrategy(req.Run, v, req.Data, req.strategyOf())
 		sp.End()
 		if err != nil {
 			writeError(w, tr, err)

@@ -532,3 +532,79 @@ func TestServerConcurrentBatchTrace(t *testing.T) {
 		t.Fatal("no slow-log entries after a hammered run with threshold -1")
 	}
 }
+
+// TestServerQueryLabels exercises the per-request labels override: true
+// routes a miss through the reachability-label path, false forces the BFS,
+// and a label-less warehouse falls back (counted) while still answering.
+func TestServerQueryLabels(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := New(reg, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := warehouse.New(0)
+	w.SetLabelIndex(true)
+	sp := spec.Phylogenomics()
+	if err := w.RegisterSpec(sp); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LoadRun(run.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	s.SetEngine(provenance.NewEngine(w))
+	h := s.Handler()
+
+	yes, no := true, false
+	var resp queryResponse
+	rec := doJSON(t, h, "POST", "/v1/query", queryRequest{Run: "fig2", Data: "d447", Labels: &yes}, &resp)
+	if rec.Code != 200 {
+		t.Fatalf("labels query: %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Outcome != "miss" || resp.Strategy != "labels" {
+		t.Fatalf("outcome=%q strategy=%q, want miss/labels", resp.Outcome, resp.Strategy)
+	}
+	// A different data object with labels=false must run the BFS.
+	rec = doJSON(t, h, "POST", "/v1/query", queryRequest{Run: "fig2", Data: "d410", Labels: &no}, &resp)
+	if rec.Code != 200 {
+		t.Fatalf("bfs query: %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Outcome != "miss" || resp.Strategy != "bfs" {
+		t.Fatalf("outcome=%q strategy=%q, want miss/bfs", resp.Outcome, resp.Strategy)
+	}
+	// Warm re-query: a hit reports no strategy (nothing was computed). A
+	// fresh response struct matters — strategy is omitempty, so decoding
+	// into a reused struct would keep the previous value.
+	var warm queryResponse
+	rec = doJSON(t, h, "POST", "/v1/query", queryRequest{Run: "fig2", Data: "d447", Labels: &yes}, &warm)
+	if rec.Code != 200 || warm.Outcome != "hit" || warm.Strategy != "" {
+		t.Fatalf("warm: code=%d outcome=%q strategy=%q, want 200/hit/empty", rec.Code, warm.Outcome, warm.Strategy)
+	}
+	// Derived queries honor the override too (uncached, so every call
+	// dispatches).
+	rec = doJSON(t, h, "POST", "/v1/query", queryRequest{Run: "fig2", Data: "d410", Kind: "derived", Labels: &yes}, &resp)
+	if rec.Code != 200 || resp.Result == nil {
+		t.Fatalf("derived labels query: %d: %s", rec.Code, rec.Body.String())
+	}
+	if lc := w.LabelCounters(); lc.Hits < 2 || lc.Fallbacks != 0 {
+		t.Fatalf("label counters after labeled queries: %+v", lc)
+	}
+
+	// Against a label-less warehouse the override falls back, counted.
+	s2, err := New(obs.NewRegistry(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := newTestEngine(t)
+	s2.SetEngine(e2)
+	var fb queryResponse
+	rec = doJSON(t, s2.Handler(), "POST", "/v1/query", queryRequest{Run: "fig2", Data: "d447", Labels: &yes}, &fb)
+	if rec.Code != 200 {
+		t.Fatalf("fallback query: %d: %s", rec.Code, rec.Body.String())
+	}
+	if fb.Outcome != "miss" || fb.Strategy != "bfs" {
+		t.Fatalf("fallback outcome=%q strategy=%q, want miss/bfs", fb.Outcome, fb.Strategy)
+	}
+	if lc := e2.Warehouse().LabelCounters(); lc.Fallbacks != 1 {
+		t.Fatalf("fallback not counted: %+v", lc)
+	}
+}

@@ -34,7 +34,7 @@ func waitForSharedWaits(t *testing.T, cc *closureCache, n int64) {
 func TestConcurrentSingleflightComputesOnce(t *testing.T) {
 	cc := newClosureCache(1024)
 	release := make(chan struct{})
-	compute := func() (*Closure, error) {
+	compute := func(context.Context) (*Closure, error) {
 		<-release
 		return NewClosure("d1", map[string]bool{"S1": true}, map[string]bool{"d1": true}), nil
 	}
@@ -92,7 +92,7 @@ func TestConcurrentSingleflightErrorShared(t *testing.T) {
 	cc := newClosureCache(1024)
 	release := make(chan struct{})
 	boom := errors.New("boom")
-	failing := func() (*Closure, error) {
+	failing := func(context.Context) (*Closure, error) {
 		<-release
 		return nil, boom
 	}
@@ -120,7 +120,7 @@ func TestConcurrentSingleflightErrorShared(t *testing.T) {
 		}
 	}
 	// Errors must not poison the cache: the next miss computes again.
-	ok := func() (*Closure, error) {
+	ok := func(context.Context) (*Closure, error) {
 		return NewClosure("d1", nil, map[string]bool{"d1": true}), nil
 	}
 	if _, _, err := cc.getOrCompute(context.Background(), "r1", "d1", false, ok); err != nil {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/bitset"
+	"repro/internal/obs"
 	"repro/internal/run"
 )
 
@@ -215,28 +216,58 @@ func (w *Warehouse) DeepProvenanceObserved(runID, d string, timed bool) (*Closur
 // request per-stage causality down to the singleflight; an untraced
 // context behaves exactly like DeepProvenanceObserved.
 func (w *Warehouse) DeepProvenanceObservedCtx(ctx context.Context, runID, d string, timed bool) (*Closure, Observation, error) {
-	return w.cache.getOrCompute(ctx, runID, d, timed, func() (*Closure, error) {
-		return w.computeUAdminClosure(runID, d)
+	return w.DeepProvenanceStrategyCtx(ctx, runID, d, timed, StrategyAuto)
+}
+
+// DeepProvenanceStrategyCtx is DeepProvenanceObservedCtx with an explicit
+// closure strategy for a miss's computation (per-request label selection).
+// The cache is shared across strategies — label-backed and BFS-backed
+// closures are element-for-element identical, which the differential
+// equivalence suite pins — so a hit serves whatever strategy computed the
+// entry; Observation.Strategy reports the computation that actually ran
+// (empty for hits and shared waits).
+func (w *Warehouse) DeepProvenanceStrategyCtx(ctx context.Context, runID, d string, timed bool, strat ClosureStrategy) (*Closure, Observation, error) {
+	var used string
+	c, o, err := w.cache.getOrCompute(ctx, runID, d, timed, func(cctx context.Context) (*Closure, error) {
+		cl, u, err := w.computeUAdminClosure(cctx, runID, d, strat)
+		used = u
+		return cl, err
 	})
+	if o.Outcome == OutcomeMiss {
+		// used was written by this goroutine: a miss means this call led
+		// the singleflight and ran the compute callback itself.
+		o.Strategy = used
+	}
+	return c, o, err
 }
 
 // computeUAdminClosure is the uncached closure computation (the recursive
 // CONNECT BY query). It holds the warehouse read lock for the traversal,
-// never any cache shard lock, and dispatches to the integer BFS over the
-// run's compact index when one was built at load time.
-func (w *Warehouse) computeUAdminClosure(runID, d string) (*Closure, error) {
+// never any cache shard lock, and dispatches on the run's representation
+// and the requested strategy: reachability labels when the run carries a
+// fresh label set and the strategy wants them, the integer BFS over the
+// compact index otherwise, and the legacy string/map traversal for runs
+// loaded without an index. It reports which computation ran.
+func (w *Warehouse) computeUAdminClosure(ctx context.Context, runID, d string, strat ClosureStrategy) (*Closure, string, error) {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	rt, ok := w.runs[runID]
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownRun, runID)
+		return nil, "", fmt.Errorf("%w: %q", ErrUnknownRun, runID)
 	}
 	r := rt.run
 	if !r.HasData(d) {
-		return nil, fmt.Errorf("%w: %q in run %q", ErrUnknownData, d, runID)
+		return nil, "", fmt.Errorf("%w: %q in run %q", ErrUnknownData, d, runID)
+	}
+	if l := w.labelsFor(rt, strat); l != nil {
+		_, sp := obs.StartSpan(ctx, "closure.label")
+		c := labelProvenanceClosure(l, d)
+		sp.End()
+		w.observeLabelHit()
+		return c, strategyLabels, nil
 	}
 	if rt.index != nil {
-		return indexedProvenanceClosure(rt.index, d), nil
+		return indexedProvenanceClosure(rt.index, d), strategyBFS, nil
 	}
 	steps, data := make(map[string]bool), map[string]bool{d: true}
 	// Bipartite keys: "d:" prefixes data, "s:" prefixes steps.
@@ -257,7 +288,7 @@ func (w *Warehouse) computeUAdminClosure(runID, d string) (*Closure, error) {
 		}
 		return out
 	})
-	return NewClosure(d, steps, data), nil
+	return NewClosure(d, steps, data), strategyLegacy, nil
 }
 
 // DeepDerivation is the inverse canned query the prototype section
@@ -265,6 +296,14 @@ func (w *Warehouse) computeUAdminClosure(runID, d string) (*Closure, error) {
 // their data provenance"): all steps and data objects transitively derived
 // from d.
 func (w *Warehouse) DeepDerivation(runID, d string) (*Closure, error) {
+	return w.DeepDerivationStrategy(runID, d, StrategyAuto)
+}
+
+// DeepDerivationStrategy is DeepDerivation with an explicit closure
+// strategy. Derivation closures are not cached (the canned query is rare),
+// so the strategy dispatch happens on every call, with the same fallback
+// accounting as the provenance path.
+func (w *Warehouse) DeepDerivationStrategy(runID, d string, strat ClosureStrategy) (*Closure, error) {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	rt, ok := w.runs[runID]
@@ -274,6 +313,11 @@ func (w *Warehouse) DeepDerivation(runID, d string) (*Closure, error) {
 	r := rt.run
 	if !r.HasData(d) {
 		return nil, fmt.Errorf("%w: %q in run %q", ErrUnknownData, d, runID)
+	}
+	if l := w.labelsFor(rt, strat); l != nil {
+		c := labelDerivationClosure(l, d)
+		w.observeLabelHit()
+		return c, nil
 	}
 	if rt.index != nil {
 		return indexedDerivationClosure(rt.index, d), nil

@@ -103,7 +103,7 @@ func TestConcurrentDropFencing(t *testing.T) {
 	cc := newClosureCache(1024)
 	computeStarted := make(chan struct{})
 	release := make(chan struct{})
-	stale := func() (*Closure, error) {
+	stale := func(context.Context) (*Closure, error) {
 		close(computeStarted)
 		<-release
 		return NewClosure("d1", map[string]bool{"OLD": true}, map[string]bool{"d1": true}), nil
@@ -150,7 +150,7 @@ func TestConcurrentDropReloadFencing(t *testing.T) {
 	cc := newClosureCache(1024)
 	computeStarted := make(chan struct{})
 	release := make(chan struct{})
-	stale := func() (*Closure, error) {
+	stale := func(context.Context) (*Closure, error) {
 		close(computeStarted)
 		<-release
 		return NewClosure("d1", map[string]bool{"OLD": true}, map[string]bool{"d1": true}), nil
@@ -169,7 +169,7 @@ func TestConcurrentDropReloadFencing(t *testing.T) {
 	// Re-register the run under a different key, so the fresh query is a
 	// new singleflight (the stale leader still owns the "d1" flight slot)
 	// and the run's generation entry is re-created.
-	fresh := func() (*Closure, error) {
+	fresh := func(context.Context) (*Closure, error) {
 		return NewClosure("d2", map[string]bool{"NEW": true}, map[string]bool{"d2": true}), nil
 	}
 	if _, _, err := cc.getOrCompute(context.Background(), "r1", "d2", false, fresh); err != nil {

@@ -200,6 +200,9 @@ func loadBinary(br *bufio.Reader, cacheSize int, opts LoadOptions) (*Warehouse, 
 	}
 	dec := &binReader{r: br}
 	w := New(cacheSize)
+	if opts.Labels {
+		w.labelIndex = true
+	}
 
 	nSpecs := dec.uvarint()
 	for i := uint64(0); i < nSpecs && dec.err == nil; i++ {

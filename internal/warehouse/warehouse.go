@@ -62,6 +62,19 @@ type Warehouse struct {
 	// loaded runs (SetCompactIndex) — the legacy string/map query path.
 	noIndex bool
 
+	// labelIndex enables building reachability labels (run.Labels) on top
+	// of the compact index for subsequently loaded runs, and selects the
+	// label-backed closure path for StrategyAuto queries (SetLabelIndex).
+	labelIndex bool
+
+	// Label lifecycle counters (see LabelCounters): successful builds,
+	// closure computations served by labels, and label-requested
+	// computations that fell back to the BFS because labels were absent,
+	// declined, or stale.
+	labelBuilds    atomic.Int64
+	labelHits      atomic.Int64
+	labelFallbacks atomic.Int64
+
 	cache *closureCache
 
 	// metricsReg/obs are the attached observability registry and the
@@ -76,11 +89,16 @@ type Warehouse struct {
 // Produced and Consumed relations plus the hash indexes the queries use.
 // index is the immutable compact representation (interned ids + CSR
 // adjacency) built at load time; it is dropped with the run, so DropRun
-// invalidates it together with the run's cached closures.
+// invalidates it together with the run's cached closures. labels is the
+// optional reachability label index over that same index (nil when label
+// indexing is off or the build declined the run); the label query path
+// checks labels.Index() == index before consulting it, so a label set can
+// never outlive the index it was built over.
 type runTables struct {
 	specName string
 	run      *run.Run
 	index    *run.Index
+	labels   *run.Labels
 }
 
 // New returns an empty warehouse. cacheSize bounds the number of cached
@@ -193,6 +211,7 @@ func (w *Warehouse) LoadRun(r *run.Run) error {
 	s, ok := w.specs[r.SpecName()]
 	_, dup := w.runs[r.ID()]
 	noIndex := w.noIndex
+	buildLabels := w.labelIndex
 	w.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownSpec, r.SpecName())
@@ -209,6 +228,11 @@ func (w *Warehouse) LoadRun(r *run.Run) error {
 	rt := &runTables{specName: r.SpecName(), run: r}
 	if !noIndex {
 		rt.index = r.Index()
+		if buildLabels {
+			if rt.labels = rt.index.BuildLabels(); rt.labels != nil {
+				w.observeLabelBuild()
+			}
+		}
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()

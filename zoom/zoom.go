@@ -65,6 +65,15 @@ type (
 	// CacheCounters are the closure cache's hit/miss/singleflight/eviction
 	// counters.
 	CacheCounters = warehouse.CacheCounters
+	// LabelCounters are the reachability-label lifecycle counters (builds,
+	// hits, counted fallbacks).
+	LabelCounters = warehouse.LabelCounters
+	// LabelsStats summarizes the label indexes (labeled runs, chains, label
+	// bytes) plus the lifecycle counters — the Labels section of Stats.
+	LabelsStats = warehouse.LabelsStats
+	// ClosureStrategy selects how a deep-provenance closure is computed
+	// (StrategyAuto / StrategyLabels / StrategyBFS).
+	ClosureStrategy = warehouse.ClosureStrategy
 	// Metrics is the observability registry (counters, gauges, latency
 	// histograms) a System can be attached to.
 	Metrics = obs.Registry
@@ -104,6 +113,17 @@ const (
 	KindScientific  = spec.KindScientific
 	KindFormatting  = spec.KindFormatting
 	KindInteraction = spec.KindInteraction
+)
+
+// Closure strategies for per-query label selection.
+const (
+	// StrategyAuto follows the system's SetLabelIndex toggle.
+	StrategyAuto = warehouse.StrategyAuto
+	// StrategyLabels prefers the reachability-label path (counted fallback
+	// when a run has no labels).
+	StrategyLabels = warehouse.StrategyLabels
+	// StrategyBFS forces the bitset-BFS traversal.
+	StrategyBFS = warehouse.StrategyBFS
 )
 
 // NewSpec returns an empty specification.
@@ -422,6 +442,27 @@ func (s *System) CacheCounters() CacheCounters { return s.w.CacheCounters() }
 // Invalidate evicts one cached (run, data) closure and fences out any
 // in-flight computation for that run from re-populating the cache.
 func (s *System) Invalidate(runID, d string) { s.w.Invalidate(runID, d) }
+
+// SetLabelIndex enables or disables the reachability label index: with it
+// on, every loaded run carries a chain-decomposition label set and deep
+// closures become per-chain interval scans instead of BFS traversals,
+// falling back (counted) to the BFS for runs past the label budget.
+// Enabling backfills labels for already-loaded runs.
+func (s *System) SetLabelIndex(enabled bool) { s.w.SetLabelIndex(enabled) }
+
+// LabelIndexEnabled reports whether SetLabelIndex(true) is in effect.
+func (s *System) LabelIndexEnabled() bool { return s.w.LabelIndexEnabled() }
+
+// LabelCounters snapshots the label lifecycle counters.
+func (s *System) LabelCounters() LabelCounters { return s.w.LabelCounters() }
+
+// DeepProvenanceStrategy is DeepProvenance with an explicit closure
+// strategy for the UAdmin phase — per-query label selection overriding the
+// SetLabelIndex toggle. Results are identical across strategies; only the
+// closure computation differs.
+func (s *System) DeepProvenanceStrategy(runID string, v *UserView, d string, strat ClosureStrategy) (*Result, error) {
+	return s.e.DeepProvenanceStrategy(runID, v, d, strat)
+}
 
 // Stats summarizes the warehouse contents (catalog row counts).
 func (s *System) Stats() warehouse.Stats { return s.w.Stats() }
