@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke bench bench-smoke bench-ingest-smoke bench-labels-smoke bench-obs-smoke serve-smoke ci
+.PHONY: all build vet test race fuzz-smoke bench bench-smoke bench-ingest-smoke bench-labels-smoke bench-mmap-smoke bench-obs-smoke serve-smoke ci
 
 all: ci
 
@@ -28,6 +28,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzConnectBy -fuzztime=10s ./internal/warehouse/
 	$(GO) test -run='^$$' -fuzz=FuzzRelevUserViewBuilder -fuzztime=10s ./internal/core/
 	$(GO) test -run='^$$' -fuzz=FuzzReachLabels -fuzztime=10s ./internal/run/
+	$(GO) test -run='^$$' -fuzz=FuzzSnapshotV3 -fuzztime=10s ./internal/warehouse/
 
 bench:
 	$(GO) run ./cmd/zoombench
@@ -49,6 +50,12 @@ bench-ingest-smoke:
 bench-labels-smoke:
 	$(GO) test -run '^$$' -bench 'Labels' -benchtime=1x -benchmem .
 
+# One-iteration pass over the mmap-serving benchmarks (L2): v3 open vs v2
+# full load, plus the lazy first-touch query. Full numbers:
+# `go test -bench Mmap -benchmem .`
+bench-mmap-smoke:
+	$(GO) test -run '^$$' -bench 'Mmap' -benchtime=1x -benchmem .
+
 # Observability overhead (O1/O2): the warm-query benchmark with metrics
 # detached vs. attached vs. fully traced. The attached side must stay
 # within ~2% of detached; full numbers:
@@ -62,4 +69,4 @@ bench-obs-smoke:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-ci: vet build test race fuzz-smoke bench-smoke bench-ingest-smoke bench-labels-smoke bench-obs-smoke serve-smoke
+ci: vet build test race fuzz-smoke bench-smoke bench-ingest-smoke bench-labels-smoke bench-mmap-smoke bench-obs-smoke serve-smoke

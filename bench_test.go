@@ -10,6 +10,8 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/bench"
@@ -781,6 +783,94 @@ func BenchmarkObsOverhead(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := query(views[i%2]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// mmapImage saves a multi-run warehouse as a v3 snapshot file and returns
+// the path plus the id of one run and a final data object of it to query.
+func mmapImage(b *testing.B, rc gen.RunClass, seed int64) (path, runID, data string, v2 []byte) {
+	b.Helper()
+	g := gen.NewGenerator(seed)
+	s := g.Workflow(gen.Class4(), "mmap-"+rc.Name)
+	w := warehouse.New(0)
+	if err := w.RegisterSpec(s); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		r, _, err := g.Run(s, rc, fmt.Sprintf("mmap-%s-r%d", rc.Name, i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.LoadRun(r); err != nil {
+			b.Fatal(err)
+		}
+		if finals := r.FinalOutputs(); len(finals) > 0 {
+			runID, data = r.ID(), finals[len(finals)-1]
+		}
+	}
+	var v2buf bytes.Buffer
+	if err := w.SaveBinary(&v2buf); err != nil {
+		b.Fatal(err)
+	}
+	path = filepath.Join(b.TempDir(), rc.Name+".v3")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.SaveV3(f); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return path, runID, data, v2buf.Bytes()
+}
+
+// BenchmarkMmapOpen (L2) is the v3 tentpole comparison: time-to-ready of
+// the mmap open against the v2 full load, plus the per-run lazy
+// materialization plus cache-cold query the first request pays. The open
+// rows must stay flat as run sizes grow — the open reads the catalog only.
+func BenchmarkMmapOpen(b *testing.B) {
+	kinds := gen.RunClasses()
+	kinds[2].MaxNodes = 3000
+	for _, rc := range kinds {
+		path, runID, data, v2 := mmapImage(b, rc, 41)
+		b.Run(rc.Name+"/v2-load", func(b *testing.B) {
+			b.SetBytes(int64(len(v2)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := warehouse.LoadWith(bytes.NewReader(v2), 0, warehouse.LoadOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(rc.Name+"/v3-open", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w, err := warehouse.OpenV3(path, 0, warehouse.LoadOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(rc.Name+"/v3-first-query", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w, err := warehouse.OpenV3(path, 0, warehouse.LoadOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := w.DeepProvenance(runID, data); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Close(); err != nil {
 					b.Fatal(err)
 				}
 			}

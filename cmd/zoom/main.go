@@ -6,10 +6,12 @@
 // Subcommands:
 //
 //	zoom example [-warehouse wh.json]     walk through the paper's Figures 1-3
-//	zoom serve   -warehouse wh.json [-addr :8080] [-labels] [-slow 10ms] [-slowlog 128] [-drain 5s] [-expvar zoom]
+//	zoom serve   -warehouse wh.json [-addr :8080] [-mmap] [-labels] [-slow 10ms] [-slowlog 128] [-drain 5s] [-expvar zoom]
 //	zoom spec    -file spec.json [-dot]   validate / render a specification
 //	zoom view    -file spec.json -relevant M2,M3,M7 [-dot]
-//	zoom load    -warehouse wh.json -file spec.json [-log run.jsonl -run id] [-parallel N] [-format json|binary|keep]
+//	zoom load    -warehouse wh.json -file spec.json [-log run.jsonl -run id] [-parallel N] [-format json|binary|v3|keep]
+//	zoom save    -warehouse wh.json [-out wh.v3] [-format v3]   re-save in an explicit format
+//	zoom snapshot convert -in old.snap -out new.snap [-format v3]
 //	zoom query   -warehouse wh.json -run id -data d447[,d448,...] [-parallel N] [-relevant ...] [-mode deep|immediate|derived] [-labels] [-dot] [-trace]
 //	zoom runs    -warehouse wh.json       list warehouse contents
 //	zoom stats   -warehouse wh.json [-json]  warehouse statistics and metrics
@@ -23,12 +25,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -52,6 +57,10 @@ func main() {
 		err = cmdView(os.Args[2:])
 	case "load":
 		err = cmdLoad(os.Args[2:])
+	case "save":
+		err = cmdSave(os.Args[2:])
+	case "snapshot":
+		err = cmdSnapshot(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
 	case "runs":
@@ -76,9 +85,78 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: zoom <example|spec|view|load|query|ask|compare|runs|stats|serve> [flags]
+	fmt.Fprintln(os.Stderr, `usage: zoom <example|spec|view|load|save|snapshot|query|ask|compare|runs|stats|serve> [flags]
 run "zoom <subcommand> -h" for per-command flags
 canned query forms for "ask": `+strings.Join(zoom.QueryForms(), ", "))
+}
+
+// cmdSave re-saves a warehouse snapshot in an explicit format — the way to
+// upgrade an existing warehouse to the v3 mmap-servable layout in place.
+func cmdSave(args []string) error {
+	fs := flag.NewFlagSet("save", flag.ExitOnError)
+	whPath := fs.String("warehouse", "", "warehouse snapshot file (required)")
+	out := fs.String("out", "", "output file (default: overwrite -warehouse)")
+	format := fs.String("format", "v3", "snapshot format to write: json, binary, or v3")
+	parallel := fs.Int("parallel", 0, "workers for parallel snapshot loading (0 = GOMAXPROCS)")
+	_ = fs.Parse(args)
+	if *whPath == "" {
+		return fmt.Errorf("save: -warehouse is required")
+	}
+	switch *format {
+	case "json", "binary", "v3":
+	default:
+		return fmt.Errorf("save: unknown -format %q (want json, binary or v3)", *format)
+	}
+	if *out == "" {
+		*out = *whPath
+	}
+	if _, err := os.Stat(*whPath); err != nil {
+		return fmt.Errorf("save: warehouse snapshot: %w", err)
+	}
+	sys, err := loadSystemWith(*whPath, *parallel, nil)
+	if err != nil {
+		return err
+	}
+	if err := saveSystemFormat(sys, *out, *format); err != nil {
+		return err
+	}
+	fmt.Printf("saved %s as %s (%s, %d runs)\n", *whPath, *out, *format, len(sys.RunIDs()))
+	return nil
+}
+
+// cmdSnapshot manages snapshot files; its only verb so far is convert,
+// which rewrites a v1/v2/v3 snapshot into another format.
+func cmdSnapshot(args []string) error {
+	if len(args) < 1 || args[0] != "convert" {
+		return fmt.Errorf(`snapshot: usage: zoom snapshot convert -in old.snap -out new.snap [-format v3]`)
+	}
+	fs := flag.NewFlagSet("snapshot convert", flag.ExitOnError)
+	in := fs.String("in", "", "snapshot file to read (any format, required)")
+	out := fs.String("out", "", "snapshot file to write (required)")
+	format := fs.String("format", "v3", "output format: json, binary, or v3")
+	parallel := fs.Int("parallel", 0, "workers for parallel snapshot loading (0 = GOMAXPROCS)")
+	_ = fs.Parse(args[1:])
+	if *in == "" || *out == "" {
+		return fmt.Errorf("snapshot convert: -in and -out are required")
+	}
+	switch *format {
+	case "json", "binary", "v3":
+	default:
+		return fmt.Errorf("snapshot convert: unknown -format %q (want json, binary or v3)", *format)
+	}
+	if _, err := os.Stat(*in); err != nil {
+		return fmt.Errorf("snapshot convert: %w", err)
+	}
+	sys, err := loadSystemWith(*in, *parallel, nil)
+	if err != nil {
+		return err
+	}
+	if err := saveSystemFormat(sys, *out, *format); err != nil {
+		return err
+	}
+	fmt.Printf("converted %s (%s) to %s (%s, %d runs)\n",
+		*in, snapshotFormat(*in), *out, *format, len(sys.RunIDs()))
+	return nil
 }
 
 // cmdCompare diffs two runs structurally (reproducibility check).
@@ -218,6 +296,7 @@ func cmdServe(args []string) error {
 	expvarName := fs.String("expvar", "zoom", `expvar name for the live metrics snapshot ("" skips /debug/vars publishing)`)
 	workers := fs.Int("workers", 0, "default worker pool per batch request (0 = GOMAXPROCS)")
 	labels := fs.Bool("labels", false, "build reachability label indexes at load time (deep queries become interval scans; per-request \"labels\" overrides still apply)")
+	mmap := fs.Bool("mmap", false, "serve a v3 snapshot straight from a memory map: no load phase, runs materialize lazily on first query")
 	_ = fs.Parse(args)
 	if *whPath == "" {
 		return fmt.Errorf("serve: -warehouse is required")
@@ -246,24 +325,68 @@ func cmdServe(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Load progress feeds /readyz (JSON run counts) and the serve log — one
+	// line per quartile so a long cold start is visibly advancing.
+	var pmu sync.Mutex
+	loggedQuartile := 0
+	progress := func(loaded, total int) {
+		srv.SetLoadProgress(loaded, total)
+		if total == 0 || loaded >= total {
+			return
+		}
+		q := loaded * 4 / total
+		pmu.Lock()
+		defer pmu.Unlock()
+		if q > loggedQuartile {
+			loggedQuartile = q
+			fmt.Fprintf(os.Stderr, "zoom serve: loading %s: %d/%d runs (%d%%)\n",
+				*whPath, loaded, total, q*25)
+		}
+	}
+
 	loadErr := make(chan error, 1)
+	sysc := make(chan *zoom.System, 1)
 	go func() {
-		sys, err := loadSystemOpts(*whPath, zoom.LoadOptions{Workers: *parallel, Metrics: reg, Labels: *labels})
+		opts := zoom.LoadOptions{Workers: *parallel, Metrics: reg, Labels: *labels, Progress: progress}
+		var (
+			sys *zoom.System
+			err error
+		)
+		if *mmap {
+			sys, err = zoom.OpenSnapshot(*whPath, opts)
+		} else {
+			sys, err = loadSystemOpts(*whPath, opts)
+		}
 		if err != nil {
 			loadErr <- err
 			stop() // shut the server down; the error is reported below
 			return
 		}
+		sysc <- sys
 		sys.ConnectServer(srv)
 		extra := ""
 		if *labels {
 			lc := sys.LabelCounters()
 			extra = fmt.Sprintf(", %d label indexes", lc.Builds)
 		}
+		if snap := sys.Stats().Snapshot; snap.Mapped {
+			fmt.Fprintf(os.Stderr, "zoom serve: warehouse %s mapped (v%d snapshot, %d runs, %d bytes%s), ready\n",
+				*whPath, snap.Version, snap.RunsTotal, snap.MappedBytes, extra)
+			return
+		}
 		fmt.Fprintf(os.Stderr, "zoom serve: warehouse %s loaded (%d runs%s), ready\n",
 			*whPath, len(sys.RunIDs()), extra)
 	}()
 	err = srv.Serve(ctx, ln, *drain)
+	select {
+	case sys := <-sysc:
+		// Requests have drained; release the snapshot mapping.
+		if cerr := sys.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	default:
+	}
 	select {
 	case lerr := <-loadErr:
 		return fmt.Errorf("serve: loading %s: %w", *whPath, lerr)
@@ -375,35 +498,65 @@ func loadSystemOpts(path string, opts zoom.LoadOptions) (*zoom.System, error) {
 	return zoom.LoadSystemWith(f, opts)
 }
 
-// snapshotIsBinary reports whether an existing snapshot file is in the v2
-// binary format (so re-saving can keep the format it found).
-func snapshotIsBinary(path string) bool {
+// snapshotFormat sniffs an existing snapshot file's format ("json",
+// "binary" for v2, "v3") so re-saving can keep the format it found. A
+// missing or unreadable file defaults to "json".
+func snapshotFormat(path string) string {
 	f, err := os.Open(path)
 	if err != nil {
-		return false
+		return "json"
 	}
 	defer f.Close()
-	var head [1]byte
-	if _, err := f.Read(head[:]); err != nil {
-		return false
+	var head [5]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil || head[0] != 'Z' {
+		return "json"
 	}
-	return head[0] == 'Z'
+	if head[4] == 3 {
+		return "v3"
+	}
+	return "binary"
 }
 
 func saveSystem(sys *zoom.System, path string) error {
 	return saveSystemFormat(sys, path, "json")
 }
 
-func saveSystemFormat(sys *zoom.System, path, format string) error {
-	f, err := os.Create(path)
+// saveSystemFormat writes a snapshot atomically: the bytes go to a
+// temporary file in the destination directory, which is fsynced and then
+// renamed over the target. A failed save — encoding error, full disk,
+// closed system — leaves an existing snapshot untouched and no temp file
+// behind.
+func saveSystemFormat(sys *zoom.System, path, format string) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if format == "binary" {
-		return sys.SaveBinary(f)
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	switch format {
+	case "binary":
+		err = sys.SaveBinary(f)
+	case "v3":
+		err = sys.SaveV3(f)
+	default:
+		err = sys.Save(f)
 	}
-	return sys.Save(f)
+	if err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func cmdLoad(args []string) error {
@@ -420,15 +573,11 @@ func cmdLoad(args []string) error {
 		return fmt.Errorf("load: -warehouse is required")
 	}
 	switch *format {
-	case "json", "binary":
+	case "json", "binary", "v3":
 	case "keep":
-		if snapshotIsBinary(*whPath) {
-			*format = "binary"
-		} else {
-			*format = "json"
-		}
+		*format = snapshotFormat(*whPath)
 	default:
-		return fmt.Errorf("load: unknown -format %q (want json, binary or keep)", *format)
+		return fmt.Errorf("load: unknown -format %q (want json, binary, v3 or keep)", *format)
 	}
 	sys, err := loadSystemWith(*whPath, *parallel, nil)
 	if err != nil {

@@ -583,3 +583,154 @@ func TestCmdServeValidation(t *testing.T) {
 		t.Fatalf("serve with absent warehouse: %v", err)
 	}
 }
+
+// TestSaveSystemAtomic: saves are temp-file + rename, so a failed save —
+// here, a closed system — leaves the existing snapshot byte-identical and
+// no temp file behind.
+func TestSaveSystemAtomic(t *testing.T) {
+	dir := t.TempDir()
+	wh := filepath.Join(dir, "wh.json")
+	if _, err := capture(t, func() error { return cmdExample([]string{"-warehouse", wh}) }); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(wh)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys, err := loadSystem(wh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"json", "binary", "v3"} {
+		if err := saveSystemFormat(sys, wh, format); err == nil {
+			t.Fatalf("save format %s on a closed system succeeded", format)
+		}
+	}
+
+	after, err := os.ReadFile(wh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed save altered the existing snapshot")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "wh.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("failed save left files behind: %v", names)
+	}
+
+	// A successful save into a missing directory still fails cleanly.
+	if err := saveSystemFormat(sys, filepath.Join(dir, "no", "such", "dir", "x.json"), "json"); err == nil {
+		t.Fatal("save into a missing directory succeeded")
+	}
+}
+
+// TestCmdSaveAndSnapshotConvert: `zoom snapshot convert` and `zoom save`
+// rewrite a warehouse into the v3 layout, format sniffing recognizes it,
+// `-format keep` preserves it, and queries over the converted snapshot
+// answer identically.
+func TestCmdSaveAndSnapshotConvert(t *testing.T) {
+	dir := t.TempDir()
+	wh := filepath.Join(dir, "wh.json")
+	whV3 := filepath.Join(dir, "wh.v3")
+	if _, err := capture(t, func() error { return cmdExample([]string{"-warehouse", wh}) }); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := capture(t, func() error {
+		return cmdSnapshot([]string{"convert", "-in", wh, "-out", whV3, "-format", "v3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "converted") || !strings.Contains(out, "v3") {
+		t.Fatalf("convert output wrong:\n%s", out)
+	}
+	if got := snapshotFormat(whV3); got != "v3" {
+		t.Fatalf("snapshotFormat(converted) = %q, want v3", got)
+	}
+	if got := snapshotFormat(wh); got != "json" {
+		t.Fatalf("snapshotFormat(original) = %q, want json", got)
+	}
+
+	// The converted snapshot answers like the original (generic load path).
+	queryOut, err := capture(t, func() error {
+		return cmdQuery([]string{"-warehouse", whV3, "-run", "fig2", "-data", "d447",
+			"-relevant", "M2,M3,M7"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(queryOut, "deep provenance of d447") {
+		t.Fatalf("query over v3 snapshot wrong:\n%s", queryOut)
+	}
+
+	// And the mmap open path agrees too.
+	sys, err := zoom.OpenSnapshot(whV3, zoom.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if snap := sys.Stats().Snapshot; snap.Version != 3 || snap.RunsTotal != 1 {
+		t.Fatalf("OpenSnapshot stats: %+v", snap)
+	}
+	v, err := sys.View("phylogenomics", "joe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.DeepProvenance("fig2", v, "d447")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumSteps() != 4 {
+		t.Fatalf("deep provenance over mmap snapshot: %d steps, want 4", res.NumSteps())
+	}
+
+	// `zoom load -format keep` re-saves in v3 without being told.
+	logPath := writeLogFile(t, dir)
+	if _, err := capture(t, func() error {
+		return cmdLoad([]string{"-warehouse", whV3, "-spec", "phylogenomics",
+			"-log", logPath, "-run", "fig2b"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := snapshotFormat(whV3); got != "v3" {
+		t.Fatalf("load -format keep rewrote v3 as %q", got)
+	}
+
+	// `zoom save` upgrades in place.
+	if _, err := capture(t, func() error {
+		return cmdSave([]string{"-warehouse", wh, "-format", "v3"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := snapshotFormat(wh); got != "v3" {
+		t.Fatalf("zoom save -format v3: format %q", got)
+	}
+
+	// Bad inputs fail loudly.
+	if _, err := capture(t, func() error { return cmdSnapshot(nil) }); err == nil {
+		t.Fatal("snapshot without a verb accepted")
+	}
+	if _, err := capture(t, func() error {
+		return cmdSnapshot([]string{"convert", "-in", wh, "-out", whV3, "-format", "bogus"})
+	}); err == nil {
+		t.Fatal("bad convert format accepted")
+	}
+	if _, err := capture(t, func() error {
+		return cmdSave([]string{"-warehouse", filepath.Join(dir, "ghost.json")})
+	}); err == nil {
+		t.Fatal("save of a missing warehouse accepted")
+	}
+}

@@ -481,5 +481,6 @@ func RunAll(o Options) []*Report {
 		ExpCompact(o),
 		ExpLabels(o),
 		ExpIngest(o),
+		ExpMmap(o),
 	}
 }

@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+// TestMmapShape pins the L2 experiment's shape: one row per Table II run
+// class, the v3 open clearly faster than the v2 full load on the larger
+// classes (the committed BENCH_L2.json asserts the full >=20x headline at
+// bench scale; the test floor is looser so CI noise cannot flake it), and
+// the cold query over the mmap-backed run within shouting distance of the
+// heap-backed one.
+func TestMmapShape(t *testing.T) {
+	rep := ExpMmap(testOptions())
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d\n%s", len(rep.Rows), rep)
+	}
+	for _, kind := range []string{"medium", "large"} {
+		v2load := cellF(t, rep, kind, "v2 load ms")
+		v3open := cellF(t, rep, kind, "v3 open ms")
+		if v3open*3 >= v2load {
+			t.Fatalf("%s: v3 open (%v ms) not clearly faster than v2 load (%v ms)\n%s",
+				kind, v3open, v2load, rep)
+		}
+	}
+	for _, kind := range []string{"small", "medium", "large"} {
+		v2cold := cellF(t, rep, kind, "v2 cold ms")
+		v3cold := cellF(t, rep, kind, "v3 cold ms")
+		// Sub-millisecond timings are too noisy for a ratio bound.
+		if v2cold >= 0.05 && v3cold > v2cold*3 {
+			t.Fatalf("%s: mmap cold query (%v ms) far off heap cold query (%v ms)\n%s",
+				kind, v3cold, v2cold, rep)
+		}
+	}
+}

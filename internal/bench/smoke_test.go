@@ -11,8 +11,8 @@ func TestSmokeAll(t *testing.T) {
 	o.MaxSpecNodes = 200
 	o.LargeRunCap = 500
 	reports := RunAll(o)
-	if len(reports) != 14 {
-		t.Fatalf("expected 14 reports, got %d", len(reports))
+	if len(reports) != 15 {
+		t.Fatalf("expected 15 reports, got %d", len(reports))
 	}
 	for _, r := range reports {
 		t.Log("\n" + r.String())

@@ -1,0 +1,20 @@
+//go:build !linux && !darwin
+
+package mmapfile
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without the mmap path reads the file onto the heap.
+// Same accessors, no zero-copy — Mapped reports false so callers can tell.
+func mapFile(f *os.File, size int) (data []byte, mapped bool, err error) {
+	data = make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+func unmapFile([]byte) error { return nil }

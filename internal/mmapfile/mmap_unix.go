@@ -1,0 +1,23 @@
+//go:build linux || darwin
+
+package mmapfile
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps fd read-only and shared: the kernel serves the bytes from
+// the page cache, and concurrent opens of the same snapshot share physical
+// memory.
+func mapFile(f *os.File, size int) (data []byte, mapped bool, err error) {
+	data, err = syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func unmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,82 @@
+// Package mmapfile memory-maps whole files read-only. On linux and darwin
+// Open maps the file with mmap(2) (PROT_READ, MAP_SHARED), so the returned
+// bytes are served straight from the page cache — opening a multi-gigabyte
+// snapshot costs a few page faults, not a copy. On every other platform (and
+// for zero-length files, which mmap rejects) Open falls back to reading the
+// file onto the heap; callers see the same API either way and can check
+// Mapped to report which path they got.
+//
+// The returned bytes MUST be treated as read-only: the mapping is shared,
+// so a write would hit the file (or fault). Close unmaps; any access to the
+// byte slice after Close faults, which is why the warehouse gates every
+// query on its closed flag before touching mapped memory.
+package mmapfile
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// File is an open read-only file image: either an mmap region or a heap
+// copy.
+type File struct {
+	mu     sync.Mutex
+	data   []byte
+	mapped bool
+	closed bool
+}
+
+// Open returns the file's contents as a read-only byte slice, memory-mapped
+// where the platform supports it.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return &File{data: []byte{}}, nil
+	}
+	if int64(int(size)) != size || size < 0 {
+		return nil, fmt.Errorf("mmapfile: %s: size %d out of range", path, size)
+	}
+	data, mapped, err := mapFile(f, int(size))
+	if err != nil {
+		return nil, fmt.Errorf("mmapfile: %s: %w", path, err)
+	}
+	return &File{data: data, mapped: mapped}, nil
+}
+
+// Bytes returns the file contents. The slice aliases the mapping (or the
+// heap copy) and is invalidated by Close.
+func (f *File) Bytes() []byte { return f.data }
+
+// Len returns the file size in bytes.
+func (f *File) Len() int { return len(f.data) }
+
+// Mapped reports whether the contents are an mmap region (false on the
+// heap-read fallback).
+func (f *File) Mapped() bool { return f.mapped }
+
+// Close releases the mapping (or the heap copy). It is idempotent; the
+// bytes returned by Bytes must not be touched afterwards.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	data, mapped := f.data, f.mapped
+	f.data, f.mapped = nil, false
+	if mapped {
+		return unmapFile(data)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package mmapfile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func TestOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	want := bytes.Repeat([]byte("zoom-v3 "), 1000)
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.Bytes(), want) {
+		t.Fatalf("contents mismatch: got %d bytes", f.Len())
+	}
+	if runtime.GOOS == "linux" || runtime.GOOS == "darwin" {
+		if !f.Mapped() {
+			t.Error("expected an mmap region on this platform")
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if f.Bytes() != nil {
+		t.Error("Bytes must be nil after Close")
+	}
+}
+
+func TestOpenEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 0 || f.Mapped() {
+		t.Errorf("empty file: len=%d mapped=%v, want 0 and false", f.Len(), f.Mapped())
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("expected an error for a missing file")
+	}
+}

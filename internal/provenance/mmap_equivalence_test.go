@@ -1,0 +1,139 @@
+package provenance
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/run"
+	"repro/internal/spec"
+	"repro/internal/warehouse"
+)
+
+// mmapTwinEngines returns two engines over identical contents: one on the
+// original heap-resident warehouse, one on a v3 snapshot of it opened
+// through the mmap path (runs materialize lazily as the queries touch
+// them). Any divergence is the snapshot round-trip's fault.
+func mmapTwinEngines(t *testing.T, build func(w *warehouse.Warehouse)) (heap, mapped *Engine, closeMapped func()) {
+	t.Helper()
+	wh := warehouse.New(0)
+	build(wh)
+	path := filepath.Join(t.TempDir(), "wh.v3")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wh.SaveV3(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wm, err := warehouse.OpenV3(path, 0, warehouse.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(wh), NewEngine(wm), func() {
+		if err := wm.Close(); err != nil {
+			t.Errorf("close mapped warehouse: %v", err)
+		}
+	}
+}
+
+// TestConcurrentMmapServeEquivalence pushes the same mixed query burst
+// through ServeConcurrently on a heap engine and on its v3-mmap twin and
+// compares every answer. The concurrent burst is the interesting part for
+// the mapped side: many goroutines race to materialize the same runs while
+// others are already mid-query. Runs under -race in CI (name matches the
+// Concurrent pattern).
+func TestConcurrentMmapServeEquivalence(t *testing.T) {
+	s := spec.Phylogenomics()
+	fig2 := run.Figure2()
+	g := gen.NewGenerator(424242)
+	gs := g.Workflow(gen.Classes()[0], "genwf")
+	var genRuns []*run.Run
+	for i := 0; i < 3; i++ {
+		r, _, err := g.Run(gs, gen.RunClasses()[0], fmt.Sprintf("gen%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		genRuns = append(genRuns, r)
+	}
+
+	build := func(w *warehouse.Warehouse) {
+		if err := w.RegisterSpec(s); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.RegisterSpec(gs); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.LoadRun(fig2); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range genRuns {
+			if err := w.LoadRun(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	eh, em, closeMapped := mmapTwinEngines(t, build)
+	defer closeMapped()
+
+	joe, err := core.BuildRelevant(s, spec.PhyloRelevantJoe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := map[string]map[string]*core.UserView{
+		fig2.ID(): {"admin": core.UAdmin(s), "joe": joe},
+	}
+	genViews := map[string]*core.UserView{"admin": core.UAdmin(gs)}
+	if ubio, err := core.BuildRelevant(gs, gen.UBioRelevant(gs)); err == nil {
+		genViews["ubio"] = ubio
+	}
+	for _, r := range genRuns {
+		views[r.ID()] = genViews
+	}
+
+	rng := rand.New(rand.NewSource(424243))
+	var queries []Query
+	for _, r := range append([]*run.Run{fig2}, genRuns...) {
+		data := sampleData(rng, r.AllData(), 12)
+		if finals := r.FinalOutputs(); len(finals) > 0 {
+			data = append(data, finals[len(finals)-1])
+		}
+		for _, v := range views[r.ID()] {
+			for _, d := range data {
+				queries = append(queries, Query{RunID: r.ID(), View: v, Data: d})
+			}
+		}
+	}
+	rng.Shuffle(len(queries), func(i, j int) { queries[i], queries[j] = queries[j], queries[i] })
+
+	want := eh.ServeConcurrently(context.Background(), queries, 8)
+	got := em.ServeConcurrently(context.Background(), queries, 8)
+	if len(want) != len(got) {
+		t.Fatalf("result counts differ: heap %d, mmap %d", len(want), len(got))
+	}
+	for i := range want {
+		if (want[i].Err == nil) != (got[i].Err == nil) {
+			t.Fatalf("query %d (%s/%s): heap err %v, mmap err %v",
+				i, queries[i].RunID, queries[i].Data, want[i].Err, got[i].Err)
+		}
+		if want[i].Err != nil {
+			continue
+		}
+		sameResult(t, fmt.Sprintf("mmap %s/%s", queries[i].RunID, queries[i].Data),
+			want[i].Result, got[i].Result)
+	}
+
+	// Every run must have materialized on the mapped side by now.
+	snap := em.Warehouse().Stats().Snapshot
+	if snap.Version != 3 || snap.RunsMaterialized != snap.RunsTotal || snap.RunsTotal != 1+len(genRuns) {
+		t.Fatalf("mapped snapshot stats after burst: %+v", snap)
+	}
+}

@@ -75,6 +75,11 @@ type Server struct {
 
 	engine atomic.Pointer[provenance.Engine]
 
+	// Load progress, reported by /readyz while the warehouse is loading.
+	// SetLoadProgress is the warehouse loader's LoadOptions.Progress hook.
+	runsLoaded atomic.Int64
+	runsTotal  atomic.Int64
+
 	// Request metrics, resolved once at construction.
 	requests  *obs.Counter
 	errCount  *obs.Counter
@@ -135,6 +140,28 @@ func (s *Server) SetEngine(e *provenance.Engine) {
 // Ready reports whether an engine is installed.
 func (s *Server) Ready() bool { return s.engine.Load() != nil }
 
+// SetLoadProgress records warehouse load progress for /readyz. Wire it as
+// the loader's LoadOptions.Progress callback: it is safe to call
+// concurrently and before the listener is up.
+func (s *Server) SetLoadProgress(loaded, total int) {
+	s.runsLoaded.Store(int64(loaded))
+	s.runsTotal.Store(int64(total))
+}
+
+// LoadProgress returns the last recorded (loaded, total) run counts.
+func (s *Server) LoadProgress() (loaded, total int) {
+	return int(s.runsLoaded.Load()), int(s.runsTotal.Load())
+}
+
+// readyzBody is the JSON shape of GET /readyz — ready flag plus load
+// progress, so an orchestrator (or a human with curl) can see how far
+// along a cold start is instead of a bare 503.
+type readyzBody struct {
+	Ready      bool `json:"ready"`
+	RunsLoaded int  `json:"runs_loaded"`
+	RunsTotal  int  `json:"runs_total"`
+}
+
 // SlowLog returns the server's slow-query ring.
 func (s *Server) SlowLog() *SlowLog { return s.slow }
 
@@ -161,12 +188,13 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if !s.Ready() {
-			http.Error(w, "warehouse loading", http.StatusServiceUnavailable)
-			return
+		loaded, total := s.LoadProgress()
+		body := readyzBody{Ready: s.Ready(), RunsLoaded: loaded, RunsTotal: total}
+		status := http.StatusOK
+		if !body.Ready {
+			status = http.StatusServiceUnavailable
 		}
-		fmt.Fprintln(w, "ready")
+		writeJSON(w, status, body)
 	})
 	return mux
 }

@@ -608,3 +608,55 @@ func TestServerQueryLabels(t *testing.T) {
 		t.Fatalf("fallback not counted: %+v", lc)
 	}
 }
+
+func TestReadyzReportsLoadProgress(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := New(reg, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	get := func() (int, readyzBody) {
+		t.Helper()
+		req := httptest.NewRequest("GET", "/readyz", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		var body readyzBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("/readyz: bad JSON %q: %v", rec.Body.String(), err)
+		}
+		return rec.Code, body
+	}
+
+	// Before any load progress: not ready, zero counts.
+	code, body := get()
+	if code != http.StatusServiceUnavailable || body.Ready {
+		t.Fatalf("/readyz before load: code=%d body=%+v", code, body)
+	}
+	if body.RunsLoaded != 0 || body.RunsTotal != 0 {
+		t.Fatalf("/readyz before load: %+v, want 0/0", body)
+	}
+
+	// Mid-load: still 503, progress visible.
+	s.SetLoadProgress(0, 8)
+	s.SetLoadProgress(3, 8)
+	code, body = get()
+	if code != http.StatusServiceUnavailable || body.Ready {
+		t.Fatalf("/readyz mid-load: code=%d body=%+v", code, body)
+	}
+	if body.RunsLoaded != 3 || body.RunsTotal != 8 {
+		t.Fatalf("/readyz mid-load: %+v, want 3/8", body)
+	}
+
+	// Loaded: 200 with final counts.
+	s.SetLoadProgress(8, 8)
+	s.SetEngine(newTestEngine(t))
+	code, body = get()
+	if code != http.StatusOK || !body.Ready {
+		t.Fatalf("/readyz after load: code=%d body=%+v", code, body)
+	}
+	if body.RunsLoaded != 8 || body.RunsTotal != 8 {
+		t.Fatalf("/readyz after load: %+v, want 8/8", body)
+	}
+}

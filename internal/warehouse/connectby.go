@@ -251,9 +251,15 @@ func (w *Warehouse) DeepProvenanceStrategyCtx(ctx context.Context, runID, d stri
 func (w *Warehouse) computeUAdminClosure(ctx context.Context, runID, d string, strat ClosureStrategy) (*Closure, string, error) {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
+	if w.closed {
+		return nil, "", ErrClosed
+	}
 	rt, ok := w.runs[runID]
 	if !ok {
 		return nil, "", fmt.Errorf("%w: %q", ErrUnknownRun, runID)
+	}
+	if err := w.resolveLocked(rt); err != nil {
+		return nil, "", err
 	}
 	r := rt.run
 	if !r.HasData(d) {
@@ -306,9 +312,15 @@ func (w *Warehouse) DeepDerivation(runID, d string) (*Closure, error) {
 func (w *Warehouse) DeepDerivationStrategy(runID, d string, strat ClosureStrategy) (*Closure, error) {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
+	if w.closed {
+		return nil, ErrClosed
+	}
 	rt, ok := w.runs[runID]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownRun, runID)
+	}
+	if err := w.resolveLocked(rt); err != nil {
+		return nil, err
 	}
 	r := rt.run
 	if !r.HasData(d) {
@@ -351,9 +363,15 @@ func (w *Warehouse) DeepDerivationStrategy(runID, d string, strat ClosureStrateg
 func (w *Warehouse) ImmediateProvenance(runID, d string) (string, []string, error) {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
+	if w.closed {
+		return "", nil, ErrClosed
+	}
 	rt, ok := w.runs[runID]
 	if !ok {
 		return "", nil, fmt.Errorf("%w: %q", ErrUnknownRun, runID)
+	}
+	if err := w.resolveLocked(rt); err != nil {
+		return "", nil, err
 	}
 	r := rt.run
 	p, ok := r.Producer(d)

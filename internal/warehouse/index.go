@@ -89,8 +89,14 @@ func indexedDerivationClosure(ix *run.Index, d string) *Closure {
 func (w *Warehouse) RunIndex(runID string) *run.Index {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
+	if w.closed {
+		return nil
+	}
 	rt, ok := w.runs[runID]
 	if !ok {
+		return nil
+	}
+	if err := w.resolveLocked(rt); err != nil {
 		return nil
 	}
 	return rt.index
@@ -113,6 +119,9 @@ type IndexStats struct {
 func (w *Warehouse) indexStatsLocked() IndexStats {
 	var st IndexStats
 	for _, rt := range w.runs {
+		if lz := rt.lazy; lz != nil && !lz.done.Load() {
+			continue // unmaterialized v3 run: no index resident yet
+		}
 		if rt.index == nil {
 			continue
 		}

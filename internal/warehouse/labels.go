@@ -61,6 +61,9 @@ func (w *Warehouse) SetLabelIndex(enabled bool) {
 		w.mu.Lock()
 		w.labelIndex = false
 		for _, rt := range w.runs {
+			if lz := rt.lazy; lz != nil {
+				lz.buildLabels.Store(false)
+			}
 			rt.labels = nil
 		}
 		w.mu.Unlock()
@@ -75,6 +78,12 @@ func (w *Warehouse) SetLabelIndex(enabled bool) {
 	}
 	var todo []pending
 	for id, rt := range w.runs {
+		if lz := rt.lazy; lz != nil && !lz.done.Load() {
+			// Not materialized yet (or failed): ask materialization to build
+			// labels when it happens instead of forcing every run resident.
+			lz.buildLabels.Store(true)
+			continue
+		}
 		if rt.index != nil && rt.labels == nil {
 			todo = append(todo, pending{id, rt, rt.index})
 		}
@@ -110,8 +119,14 @@ func (w *Warehouse) LabelIndexEnabled() bool {
 func (w *Warehouse) RunLabels(runID string) *run.Labels {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
+	if w.closed {
+		return nil
+	}
 	rt, ok := w.runs[runID]
 	if !ok {
+		return nil
+	}
+	if err := w.resolveLocked(rt); err != nil {
 		return nil
 	}
 	return rt.labels
@@ -204,6 +219,9 @@ func (w *Warehouse) labelStatsLocked() LabelsStats {
 		Fallbacks: w.labelFallbacks.Load(),
 	}
 	for _, rt := range w.runs {
+		if lz := rt.lazy; lz != nil && !lz.done.Load() {
+			continue // unmaterialized v3 run: no labels resident yet
+		}
 		if rt.labels == nil {
 			continue
 		}

@@ -59,6 +59,14 @@ type flowSnap struct {
 func (w *Warehouse) Save(out io.Writer) error {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
+	if w.closed {
+		return ErrClosed
+	}
+	for id, rt := range w.runs {
+		if err := w.resolveLocked(rt); err != nil {
+			return fmt.Errorf("warehouse: save run %q: %w", id, err)
+		}
+	}
 	var snap snapshot
 	specNames := make([]string, 0, len(w.specs))
 	for n := range w.specs {
@@ -123,6 +131,12 @@ type LoadOptions struct {
 	// every run as it loads (on the same worker pool) and the warehouse
 	// comes up with SetLabelIndex(true) in effect.
 	Labels bool
+	// Progress, when non-nil, is called as runs finish loading: first with
+	// (0, total), then with the running count after each run. Calls come
+	// from loader goroutines (serialized by an internal mutex); keep the
+	// callback fast. A v3 open calls it once with (total, total), since
+	// there is no load phase.
+	Progress func(loaded, total int)
 }
 
 // Load reads a snapshot produced by Save or SaveBinary into an empty
@@ -197,7 +211,7 @@ func loadJSON(in io.Reader, cacheSize int, opts LoadOptions) (*Warehouse, error)
 			return nil, err
 		}
 	}
-	err := w.loadRunsParallel(opts.Workers, len(snap.Runs), func(i int) (*run.Run, error) {
+	err := w.loadRunsParallel(opts.Workers, len(snap.Runs), opts.Progress, func(i int) (*run.Run, error) {
 		return reconstructSnapshotRun(&snap.Runs[i])
 	})
 	if err != nil {
@@ -227,9 +241,15 @@ func reconstructSnapshotRun(rs *runSnapshot) (*run.Run, error) {
 // indexes fail, the error of the *lowest* failing index is returned, no
 // matter how the pool interleaved. Indexes above a known failure are
 // skipped best-effort, never ones below it.
-func (w *Warehouse) loadRunsParallel(workers, n int, build func(i int) (*run.Run, error)) error {
+func (w *Warehouse) loadRunsParallel(workers, n int, progress func(loaded, total int), build func(i int) (*run.Run, error)) error {
 	if n == 0 {
+		if progress != nil {
+			progress(0, 0)
+		}
 		return nil
+	}
+	if progress != nil {
+		progress(0, n)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -241,7 +261,17 @@ func (w *Warehouse) loadRunsParallel(workers, n int, build func(i int) (*run.Run
 		mu       sync.Mutex
 		firstIdx = n
 		firstErr error
+		loaded   int
 	)
+	advance := func() {
+		if progress == nil {
+			return
+		}
+		mu.Lock()
+		loaded++
+		progress(loaded, n)
+		mu.Unlock()
+	}
 	record := func(i int, err error) {
 		mu.Lock()
 		if i < firstIdx {
@@ -276,6 +306,8 @@ func (w *Warehouse) loadRunsParallel(workers, n int, build func(i int) (*run.Run
 				}
 				if err != nil {
 					record(i, err)
+				} else {
+					advance()
 				}
 			}
 		}()

@@ -56,6 +56,14 @@ const (
 func (w *Warehouse) SaveBinary(out io.Writer) error {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
+	if w.closed {
+		return ErrClosed
+	}
+	for id, rt := range w.runs {
+		if err := w.resolveLocked(rt); err != nil {
+			return fmt.Errorf("warehouse: save run %q: %w", id, err)
+		}
+	}
 	bw := bufio.NewWriterSize(out, 1<<16)
 	enc := &binWriter{w: bw}
 	enc.raw(snapMagic[:])
@@ -195,7 +203,35 @@ func loadBinary(br *bufio.Reader, cacheSize int, opts LoadOptions) (*Warehouse, 
 	if [4]byte(hdr[:4]) != snapMagic {
 		return nil, fmt.Errorf("warehouse: bad snapshot magic %q", hdr[:4])
 	}
-	if hdr[4] != snapVersion2 {
+	switch hdr[4] {
+	case snapVersion2:
+		// fall through to the v2 frame decoder below
+	case snapVersion3:
+		// A v3 snapshot arriving through the generic reader path: slurp the
+		// image into an aligned heap buffer (the reader offers no mapping)
+		// and serve it through the same lazy open as OpenV3.
+		rest, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: decode snapshot: %w", err)
+		}
+		buf := alignedBytes(len(hdr) + len(rest))
+		copy(buf, hdr[:])
+		copy(buf[len(hdr):], rest)
+		w, err := openV3Bytes(buf, false, nil, cacheSize, opts)
+		if err != nil {
+			return nil, err
+		}
+		// The generic reader path keeps Load's contract — a snapshot either
+		// loads completely or errors — so materialize every run now (in id
+		// order, for deterministic error reporting). The lazy O(1) path is
+		// OpenV3.
+		for _, id := range w.RunIDs() {
+			if _, err := w.Run(id); err != nil {
+				return nil, err
+			}
+		}
+		return w, nil
+	default:
 		return nil, fmt.Errorf("warehouse: unsupported snapshot version %d", hdr[4])
 	}
 	dec := &binReader{r: br}
@@ -250,7 +286,7 @@ func loadBinary(br *bufio.Reader, cacheSize int, opts LoadOptions) (*Warehouse, 
 	if dec.err != nil {
 		return nil, fmt.Errorf("warehouse: decode snapshot: %w", dec.err)
 	}
-	err := w.loadRunsParallel(opts.Workers, len(frames), func(i int) (*run.Run, error) {
+	err := w.loadRunsParallel(opts.Workers, len(frames), opts.Progress, func(i int) (*run.Run, error) {
 		return decodeRunFrame(frames[i])
 	})
 	if err != nil {

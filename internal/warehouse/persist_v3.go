@@ -1,0 +1,920 @@
+package warehouse
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/mmapfile"
+	"repro/internal/run"
+	"repro/internal/spec"
+	"repro/internal/xxh"
+)
+
+// The v3 snapshot format: the warehouse in its in-memory form, page-aligned
+// and pointer-free, so a file can be memory-mapped and served without
+// copying. Where v2 is a *serialization* (uvarint frames that must be
+// decoded into the compact index), v3 *is* the compact index — the CSR
+// adjacency, interning tables and finals bitset are stored little-endian at
+// their natural alignment, and OpenV3 aliases them straight out of the
+// mapping with unsafe.Slice. Opening costs the header, the section
+// directory, the JSON spec/view islands and the run directory — O(catalog),
+// not O(warehouse); each run's tables materialize lazily on first query.
+//
+// File layout (all integers little-endian):
+//
+//	header     64 bytes
+//	  [0:4)    magic "ZOOM"           (same dispatch position as v2)
+//	  [4]      version byte 3
+//	  [5:8)    zero
+//	  [8:12)   u32 section count
+//	  [12:16)  zero
+//	  [16:24)  u64 directory offset (currently 64)
+//	  [24:32)  u64 file size (must equal the real size — truncation check)
+//	  [32:40)  u64 xxh64 of the directory bytes
+//	  [40:64)  zero (reserved)
+//	directory  count × 32-byte entries
+//	  u32 kind, u32 reserved, u64 offset, u64 length, u64 xxh64
+//	sections   each page-aligned (4096)
+//
+// Section kinds: 1 = specs (JSON array of spec documents), 2 = views (JSON
+// array of view snapshots), 3 = run directory, 4 = run data. The spec,
+// view and run-directory sections are checksummed eagerly at open; the run
+// data section's directory hash is zero and integrity is per run block
+// (each block's xxh64 lives in its run-directory record and is verified on
+// first materialization), which is what keeps open time independent of
+// warehouse size.
+//
+// Run directory section:
+//
+//	u64 run count
+//	count × 64-byte records
+//	  u64 block offset (relative to the run-data section), u64 block length
+//	  u64 block xxh64
+//	  u32 idOff, u32 idLen, u32 specOff, u32 specLen   (into the arena below)
+//	  u32 steps, u32 data, u32 edges                   (directory counts)
+//	  12 zero bytes
+//	string arena (run ids and spec names)
+//
+// Run block (8-aligned within the section; all arrays at natural
+// alignment, which the 32-byte header and the field order preserve):
+//
+//	header     u32 nSteps, nData, nFlows, flowInts, metaLen, arenaLen, 0, 0
+//	finals     ⌈nData/64⌉ u64 bitset words
+//	stepNameOff, stepModOff   (nSteps+1) u32 each — offsets into the arena
+//	dataNameOff               (nData+1) u32
+//	producer   nData i32
+//	inOff, outOff             (nSteps+1) i32 each  — CSR row offsets
+//	conOff                    (nData+1) i32
+//	inData, outData, conStep  CSR values
+//	flows      flowInts i32: per flow  from, to, count, data indexes
+//	arena      arenaLen bytes (step ids, modules, data ids, concatenated)
+//	meta       metaLen bytes, JSON [{"d": idx, "kv": {...}}] (sorted by idx)
+//
+// At materialization the int32/uint64 arrays are adopted by the run's
+// index *without copying* (they alias the mapping); strings are copied out
+// of the arena in one conversion so query results never dangle after
+// Close. A checksummed-but-forged block cannot cause memory unsafety: the
+// block is bounds- and invariant-checked here and again by
+// run.ReconstructArena before any aliased slice is indexed.
+const snapVersion3 = 3
+
+const (
+	v3HeaderSize   = 64
+	v3DirEntrySize = 32
+	v3RunRecSize   = 64
+	v3SectionAlign = 4096
+	v3BlockAlign   = 8
+
+	v3SecSpecs   = 1
+	v3SecViews   = 2
+	v3SecRunDir  = 3
+	v3SecRunData = 4
+
+	// v3MaxSections/v3MaxRuns bound the catalog structures decoded eagerly,
+	// so a forged header cannot make open allocate unbounded memory.
+	v3MaxSections = 64
+	v3MaxRuns     = 1 << 28
+)
+
+// snapshotInfo records how a warehouse came off disk — the Stats snapshot
+// section and the Close lifecycle hang off it.
+type snapshotInfo struct {
+	version int
+	mapped  bool
+	bytes   int
+	src     io.Closer // the mapping (nil when opened from a heap buffer)
+}
+
+// v3RunRec is one decoded run-directory record.
+type v3RunRec struct {
+	id, specName       string
+	blockOff, blockLen uint64 // absolute offsets into the file image
+	blockHash          uint64
+	steps, data, edges int
+}
+
+// lazyRun defers a v3 run's materialization to first use. once serializes
+// the build (any lock holder may trigger it; sync.Once publishes the
+// runTables writes to every waiter), err is sticky, and done lets readers
+// that do not want to force a build (Stats, label backfill) check state
+// with acquire semantics.
+type lazyRun struct {
+	once sync.Once
+	err  error
+	done atomic.Bool
+	// buildLabels asks materialization to also build reachability labels;
+	// set at open (LoadOptions.Labels) or by a later SetLabelIndex(true).
+	buildLabels atomic.Bool
+	data        []byte
+	rec         v3RunRec
+}
+
+// SaveV3 writes the warehouse in the v3 zero-copy snapshot format. Every
+// lazily-opened run is materialized first (saving is a whole-warehouse
+// operation). Output is deterministic: runs, specs and views are sorted, so
+// save → open → save is byte-identical.
+func (w *Warehouse) SaveV3(out io.Writer) error {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	if w.closed {
+		return ErrClosed
+	}
+	for id, rt := range w.runs {
+		if err := w.resolveLocked(rt); err != nil {
+			return fmt.Errorf("warehouse: save run %q: %w", id, err)
+		}
+	}
+	img, err := w.buildV3Locked()
+	if err != nil {
+		return err
+	}
+	if _, err := out.Write(img); err != nil {
+		return fmt.Errorf("warehouse: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// buildV3Locked assembles the complete v3 image in memory; callers hold
+// w.mu and have resolved every run.
+func (w *Warehouse) buildV3Locked() ([]byte, error) {
+	specNames := make([]string, 0, len(w.specs))
+	for n := range w.specs {
+		specNames = append(specNames, n)
+	}
+	sort.Strings(specNames)
+	specDocs := make([]json.RawMessage, 0, len(specNames))
+	var views []viewSnapshot
+	for _, n := range specNames {
+		blob, err := json.Marshal(w.specs[n])
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: encode spec %q: %w", n, err)
+		}
+		specDocs = append(specDocs, blob)
+		viewNames := make([]string, 0, len(w.views[n]))
+		for vn := range w.views[n] {
+			viewNames = append(viewNames, vn)
+		}
+		sort.Strings(viewNames)
+		for _, vn := range viewNames {
+			views = append(views, viewSnapshot{Spec: n, Name: vn, Blocks: w.views[n][vn].Blocks()})
+		}
+	}
+	specsJSON, err := json.Marshal(specDocs)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: encode specs: %w", err)
+	}
+	if views == nil {
+		views = []viewSnapshot{}
+	}
+	viewsJSON, err := json.Marshal(views)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: encode views: %w", err)
+	}
+
+	runIDs := make([]string, 0, len(w.runs))
+	for id := range w.runs {
+		runIDs = append(runIDs, id)
+	}
+	sort.Strings(runIDs)
+
+	// Run data section: 8-aligned blocks, offsets relative to the section.
+	type recInfo struct {
+		off, length uint64
+		hash        uint64
+		steps, data, edges int
+	}
+	var runData []byte
+	recs := make([]recInfo, len(runIDs))
+	for i, id := range runIDs {
+		for len(runData)%v3BlockAlign != 0 {
+			runData = append(runData, 0)
+		}
+		start := len(runData)
+		rt := w.runs[id]
+		runData, err = appendRunBlockV3(runData, rt.run, rt.index)
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: encode run %q: %w", id, err)
+		}
+		block := runData[start:]
+		ix := rt.index
+		recs[i] = recInfo{
+			off: uint64(start), length: uint64(len(block)), hash: xxh.Sum64(block),
+			steps: ix.NumSteps(), data: ix.NumData(), edges: rt.run.NumEdges(),
+		}
+	}
+
+	// Run directory section.
+	var arena []byte
+	dir := make([]byte, 8, 8+len(runIDs)*v3RunRecSize)
+	binary.LittleEndian.PutUint64(dir, uint64(len(runIDs)))
+	for i, id := range runIDs {
+		rec := recs[i]
+		var rb [v3RunRecSize]byte
+		le := binary.LittleEndian
+		le.PutUint64(rb[0:], rec.off)
+		le.PutUint64(rb[8:], rec.length)
+		le.PutUint64(rb[16:], rec.hash)
+		le.PutUint32(rb[24:], uint32(len(arena)))
+		le.PutUint32(rb[28:], uint32(len(id)))
+		arena = append(arena, id...)
+		specName := w.runs[id].specName
+		le.PutUint32(rb[32:], uint32(len(arena)))
+		le.PutUint32(rb[36:], uint32(len(specName)))
+		arena = append(arena, specName...)
+		le.PutUint32(rb[40:], uint32(rec.steps))
+		le.PutUint32(rb[44:], uint32(rec.data))
+		le.PutUint32(rb[48:], uint32(rec.edges))
+		dir = append(dir, rb[:]...)
+	}
+	runDir := append(dir, arena...)
+
+	// Assemble: header, directory, then the four page-aligned sections.
+	type section struct {
+		kind uint32
+		body []byte
+		hash uint64
+		off  uint64
+	}
+	sections := []section{
+		{kind: v3SecSpecs, body: specsJSON, hash: xxh.Sum64(specsJSON)},
+		{kind: v3SecViews, body: viewsJSON, hash: xxh.Sum64(viewsJSON)},
+		{kind: v3SecRunDir, body: runDir, hash: xxh.Sum64(runDir)},
+		{kind: v3SecRunData, body: runData, hash: 0}, // integrity is per block
+	}
+	off := uint64(v3HeaderSize + len(sections)*v3DirEntrySize)
+	for i := range sections {
+		off = alignUp(off, v3SectionAlign)
+		sections[i].off = off
+		off += uint64(len(sections[i].body))
+	}
+	fileSize := off
+
+	dirBytes := make([]byte, 0, len(sections)*v3DirEntrySize)
+	for _, s := range sections {
+		var eb [v3DirEntrySize]byte
+		le := binary.LittleEndian
+		le.PutUint32(eb[0:], s.kind)
+		le.PutUint64(eb[8:], s.off)
+		le.PutUint64(eb[16:], uint64(len(s.body)))
+		le.PutUint64(eb[24:], s.hash)
+		dirBytes = append(dirBytes, eb[:]...)
+	}
+
+	img := make([]byte, fileSize)
+	copy(img[0:4], snapMagic[:])
+	img[4] = snapVersion3
+	le := binary.LittleEndian
+	le.PutUint32(img[8:], uint32(len(sections)))
+	le.PutUint64(img[16:], v3HeaderSize)
+	le.PutUint64(img[24:], fileSize)
+	le.PutUint64(img[32:], xxh.Sum64(dirBytes))
+	copy(img[v3HeaderSize:], dirBytes)
+	for _, s := range sections {
+		copy(img[s.off:], s.body)
+	}
+	return img, nil
+}
+
+// v3MetaEntry is one annotated input in a run block's JSON meta island.
+type v3MetaEntry struct {
+	D  int32             `json:"d"`
+	KV map[string]string `json:"kv"`
+}
+
+// appendRunBlockV3 encodes one materialized run as a v3 block, appending to
+// dst (which is 8-aligned on entry).
+func appendRunBlockV3(dst []byte, r *run.Run, ix *run.Index) ([]byte, error) {
+	if ix == nil {
+		// Runs loaded under SetCompactIndex(false) have no CSR tables to
+		// store; build the index now rather than fail the save.
+		ix = r.Index()
+	}
+	nSteps, nData := ix.NumSteps(), ix.NumData()
+
+	// Arena plus the three name-offset tables.
+	var arena []byte
+	stepNameOff := make([]uint32, 0, nSteps+1)
+	stepModOff := make([]uint32, 0, nSteps+1)
+	dataNameOff := make([]uint32, 0, nData+1)
+	steps := r.Steps() // natural order = interning order
+	for _, st := range steps {
+		stepNameOff = append(stepNameOff, uint32(len(arena)))
+		arena = append(arena, st.ID...)
+	}
+	stepNameOff = append(stepNameOff, uint32(len(arena)))
+	for _, st := range steps {
+		stepModOff = append(stepModOff, uint32(len(arena)))
+		arena = append(arena, st.Module...)
+	}
+	stepModOff = append(stepModOff, uint32(len(arena)))
+	for d := 0; d < nData; d++ {
+		dataNameOff = append(dataNameOff, uint32(len(arena)))
+		arena = append(arena, ix.DataName(int32(d))...)
+	}
+	dataNameOff = append(dataNameOff, uint32(len(arena)))
+
+	// CSR tables straight off the index.
+	producer := make([]int32, nData)
+	inOff := make([]int32, 1, nSteps+1)
+	outOff := make([]int32, 1, nSteps+1)
+	conOff := make([]int32, 1, nData+1)
+	var inData, outData, conStep []int32
+	for s := 0; s < nSteps; s++ {
+		inData = append(inData, ix.InputsOf(int32(s))...)
+		inOff = append(inOff, int32(len(inData)))
+		outData = append(outData, ix.OutputsOf(int32(s))...)
+		outOff = append(outOff, int32(len(outData)))
+	}
+	finals := bitset.New(nData)
+	for d := 0; d < nData; d++ {
+		producer[d] = ix.Producer(int32(d))
+		conStep = append(conStep, ix.ConsumersOf(int32(d))...)
+		conOff = append(conOff, int32(len(conStep)))
+		if ix.IsFinal(int32(d)) {
+			finals.Add(int32(d))
+		}
+	}
+
+	// Flow stream, sorted by (from, to) node code like the v2 frames.
+	type edge struct {
+		fc, tc   int32
+		from, to string
+	}
+	stepCode := make(map[string]int32, nSteps+2)
+	stepCode[spec.Input] = nodeInput
+	stepCode[spec.Output] = nodeOutput
+	for i, st := range steps {
+		stepCode[st.ID] = int32(i + nodeStep0)
+	}
+	edges := make([]edge, 0, r.NumEdges())
+	for _, e := range r.Graph().Edges() {
+		edges = append(edges, edge{fc: stepCode[e.From], tc: stepCode[e.To], from: e.From, to: e.To})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].fc != edges[j].fc {
+			return edges[i].fc < edges[j].fc
+		}
+		return edges[i].tc < edges[j].tc
+	})
+	var flows []int32
+	for _, e := range edges {
+		ds := r.DataOn(e.from, e.to) // naturally sorted = ascending indexes
+		flows = append(flows, e.fc, e.tc, int32(len(ds)))
+		for _, d := range ds {
+			di, _ := ix.DataID(d)
+			flows = append(flows, di)
+		}
+	}
+
+	// Meta island.
+	var metaJSON []byte
+	if ann := r.AnnotatedInputs(); len(ann) > 0 {
+		entries := make([]v3MetaEntry, 0, len(ann))
+		for _, d := range ann {
+			di, _ := ix.DataID(d)
+			entries = append(entries, v3MetaEntry{D: di, KV: r.InputMeta(d)})
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].D < entries[j].D })
+		var err error
+		if metaJSON, err = json.Marshal(entries); err != nil {
+			return nil, err
+		}
+	}
+
+	// Emit. Field order keeps every array at its natural alignment given
+	// the 8-aligned block start.
+	le := binary.LittleEndian
+	var hdr [32]byte
+	le.PutUint32(hdr[0:], uint32(nSteps))
+	le.PutUint32(hdr[4:], uint32(nData))
+	le.PutUint32(hdr[8:], uint32(len(edges)))
+	le.PutUint32(hdr[12:], uint32(len(flows)))
+	le.PutUint32(hdr[16:], uint32(len(metaJSON)))
+	le.PutUint32(hdr[20:], uint32(len(arena)))
+	dst = append(dst, hdr[:]...)
+	for _, w := range finals {
+		dst = le.AppendUint64(dst, w)
+	}
+	for _, tbl := range [][]uint32{stepNameOff, stepModOff, dataNameOff} {
+		for _, v := range tbl {
+			dst = le.AppendUint32(dst, v)
+		}
+	}
+	for _, tbl := range [][]int32{producer, inOff, outOff, conOff, inData, outData, conStep, flows} {
+		for _, v := range tbl {
+			dst = le.AppendUint32(dst, uint32(v))
+		}
+	}
+	dst = append(dst, arena...)
+	dst = append(dst, metaJSON...)
+	return dst, nil
+}
+
+// OpenV3 memory-maps a v3 snapshot and returns a queryable warehouse
+// without loading it: the catalog (specs, views, run directory) is verified
+// and decoded eagerly, run tables materialize lazily on first query, and
+// the big integer arrays are served from the mapping for the warehouse's
+// lifetime. Call Close when done to release the mapping; cacheSize as in
+// New. Only the Labels and Metrics load options apply (there is no load
+// phase to parallelize — Progress, if set, is told the warehouse is ready
+// immediately).
+func OpenV3(path string, cacheSize int, opts LoadOptions) (*Warehouse, error) {
+	f, err := mmapfile.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: open snapshot: %w", err)
+	}
+	w, err := openV3Bytes(f.Bytes(), f.Mapped(), f, cacheSize, opts)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// openV3Bytes builds a lazily-served warehouse over a complete v3 file
+// image. src (optional) is closed by Warehouse.Close.
+func openV3Bytes(data []byte, mapped bool, src io.Closer, cacheSize int, opts LoadOptions) (*Warehouse, error) {
+	secs, err := parseV3Catalog(data)
+	if err != nil {
+		return nil, err
+	}
+
+	w := New(cacheSize)
+	if opts.Labels {
+		w.labelIndex = true
+	}
+	w.snap = &snapshotInfo{version: snapVersion3, mapped: mapped, bytes: len(data), src: src}
+
+	var specDocs []json.RawMessage
+	if err := json.Unmarshal(secs.bodies[v3SecSpecs], &specDocs); err != nil {
+		return nil, fmt.Errorf("warehouse: v3 snapshot: decode specs: %w", err)
+	}
+	for i, raw := range specDocs {
+		s, err := spec.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: snapshot spec %d: %w", i, err)
+		}
+		if err := w.RegisterSpec(s); err != nil {
+			return nil, err
+		}
+	}
+	var views []viewSnapshot
+	if err := json.Unmarshal(secs.bodies[v3SecViews], &views); err != nil {
+		return nil, fmt.Errorf("warehouse: v3 snapshot: decode views: %w", err)
+	}
+	for _, vs := range views {
+		s, err := w.Spec(vs.Spec)
+		if err != nil {
+			return nil, err
+		}
+		v, err := core.NewUserView(s, vs.Blocks)
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: snapshot view %q: %w", vs.Name, err)
+		}
+		if err := w.RegisterView(vs.Name, v); err != nil {
+			return nil, err
+		}
+	}
+
+	recs, err := parseV3RunDir(secs.bodies[v3SecRunDir], secs.runDataOff, secs.runDataLen)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		if _, err := w.Spec(rec.specName); err != nil {
+			return nil, fmt.Errorf("warehouse: v3 snapshot: run %q: %w", rec.id, err)
+		}
+		if _, dup := w.runs[rec.id]; dup {
+			return nil, fmt.Errorf("%w: run %q", ErrDuplicate, rec.id)
+		}
+		lz := &lazyRun{data: data, rec: rec}
+		if opts.Labels {
+			lz.buildLabels.Store(true)
+		}
+		w.runs[rec.id] = &runTables{specName: rec.specName, lazy: lz}
+	}
+
+	if opts.Metrics != nil {
+		w.AttachMetrics(opts.Metrics)
+	}
+	if opts.Progress != nil {
+		opts.Progress(len(recs), len(recs))
+	}
+	return w, nil
+}
+
+// v3Sections maps section kind to body bytes for the eagerly-read sections,
+// plus the bounds of the run-data section (whose body is only touched per
+// block, on materialization).
+type v3Sections struct {
+	bodies                 map[uint32][]byte
+	runDataOff, runDataLen uint64
+}
+
+// parseV3Catalog verifies the header, the section directory and the eager
+// sections' checksums, returning the section table. Every offset is bounds-
+// checked against the real file size before it is dereferenced, so a
+// truncated or forged file yields an error, never a fault.
+func parseV3Catalog(data []byte) (secs v3Sections, err error) {
+	size := uint64(len(data))
+	if len(data) < v3HeaderSize {
+		return secs, fmt.Errorf("warehouse: v3 snapshot: file truncated at %d bytes", len(data))
+	}
+	if [4]byte(data[:4]) != snapMagic {
+		return secs, fmt.Errorf("warehouse: bad snapshot magic %q", data[:4])
+	}
+	if data[4] != snapVersion3 {
+		return secs, fmt.Errorf("warehouse: unsupported snapshot version %d", data[4])
+	}
+	le := binary.LittleEndian
+	nSec := le.Uint32(data[8:])
+	dirOff := le.Uint64(data[16:])
+	fileSize := le.Uint64(data[24:])
+	dirHash := le.Uint64(data[32:])
+	if fileSize != size {
+		return secs, fmt.Errorf("warehouse: v3 snapshot: header says %d bytes, file has %d (truncated?)", fileSize, size)
+	}
+	if nSec == 0 || nSec > v3MaxSections {
+		return secs, fmt.Errorf("warehouse: v3 snapshot: implausible section count %d", nSec)
+	}
+	dirLen := uint64(nSec) * v3DirEntrySize
+	if dirOff > size || dirLen > size-dirOff {
+		return secs, fmt.Errorf("warehouse: v3 snapshot: section directory out of bounds")
+	}
+	dir := data[dirOff : dirOff+dirLen]
+	if h := xxh.Sum64(dir); h != dirHash {
+		return secs, fmt.Errorf("warehouse: v3 snapshot: section directory checksum mismatch (%#x != %#x)", h, dirHash)
+	}
+	secs.bodies = make(map[uint32][]byte, nSec)
+	sawRunData := false
+	for i := uint32(0); i < nSec; i++ {
+		e := dir[i*v3DirEntrySize:]
+		kind := le.Uint32(e)
+		off := le.Uint64(e[8:])
+		length := le.Uint64(e[16:])
+		hash := le.Uint64(e[24:])
+		if off > size || length > size-off {
+			return secs, fmt.Errorf("warehouse: v3 snapshot: section %d out of bounds", kind)
+		}
+		body := data[off : off+length]
+		switch kind {
+		case v3SecSpecs, v3SecViews, v3SecRunDir:
+			if _, dup := secs.bodies[kind]; dup {
+				return secs, fmt.Errorf("warehouse: v3 snapshot: duplicate section %d", kind)
+			}
+			if h := xxh.Sum64(body); h != hash {
+				return secs, fmt.Errorf("warehouse: v3 snapshot: section %d checksum mismatch (%#x != %#x)", kind, h, hash)
+			}
+			secs.bodies[kind] = body
+		case v3SecRunData:
+			if sawRunData {
+				return secs, fmt.Errorf("warehouse: v3 snapshot: duplicate section %d", kind)
+			}
+			sawRunData = true
+			secs.runDataOff, secs.runDataLen = off, length
+		default:
+			// Unknown sections are skipped — room for forward-compatible
+			// additions without a version bump.
+		}
+	}
+	for _, kind := range []uint32{v3SecSpecs, v3SecViews, v3SecRunDir} {
+		if _, ok := secs.bodies[kind]; !ok {
+			return secs, fmt.Errorf("warehouse: v3 snapshot: missing section %d", kind)
+		}
+	}
+	if !sawRunData {
+		return secs, fmt.Errorf("warehouse: v3 snapshot: missing section %d", v3SecRunData)
+	}
+	return secs, nil
+}
+
+// parseV3RunDir decodes the run directory. Block bounds are validated
+// against the run-data section here, once, so materialization can slice
+// without re-checking; ids and spec names are copied out of the section
+// (they become catalog keys and must survive Close).
+func parseV3RunDir(body []byte, runDataOff, runDataLen uint64) ([]v3RunRec, error) {
+	if len(body) < 8 {
+		return nil, fmt.Errorf("warehouse: v3 snapshot: run directory truncated")
+	}
+	le := binary.LittleEndian
+	n := le.Uint64(body)
+	if n > v3MaxRuns {
+		return nil, fmt.Errorf("warehouse: v3 snapshot: implausible run count %d", n)
+	}
+	recBytes := n * v3RunRecSize
+	if recBytes > uint64(len(body))-8 {
+		return nil, fmt.Errorf("warehouse: v3 snapshot: run directory truncated (%d runs)", n)
+	}
+	arena := string(body[8+recBytes:])
+	recs := make([]v3RunRec, 0, n)
+	for i := uint64(0); i < n; i++ {
+		rb := body[8+i*v3RunRecSize:]
+		rec := v3RunRec{
+			blockOff:  le.Uint64(rb[0:]),
+			blockLen:  le.Uint64(rb[8:]),
+			blockHash: le.Uint64(rb[16:]),
+			steps:     int(le.Uint32(rb[40:])),
+			data:      int(le.Uint32(rb[44:])),
+			edges:     int(le.Uint32(rb[48:])),
+		}
+		if rec.blockOff > runDataLen || rec.blockLen > runDataLen-rec.blockOff {
+			return nil, fmt.Errorf("warehouse: v3 snapshot: run %d block out of bounds", i)
+		}
+		if (runDataOff+rec.blockOff)%v3BlockAlign != 0 {
+			return nil, fmt.Errorf("warehouse: v3 snapshot: run %d block misaligned", i)
+		}
+		rec.blockOff += runDataOff // absolute from here on
+		idOff, idLen := uint64(le.Uint32(rb[24:])), uint64(le.Uint32(rb[28:]))
+		spOff, spLen := uint64(le.Uint32(rb[32:])), uint64(le.Uint32(rb[36:]))
+		aLen := uint64(len(arena))
+		if idOff > aLen || idLen > aLen-idOff || spOff > aLen || spLen > aLen-spOff {
+			return nil, fmt.Errorf("warehouse: v3 snapshot: run %d name out of bounds", i)
+		}
+		rec.id = arena[idOff : idOff+idLen]
+		rec.specName = arena[spOff : spOff+spLen]
+		if rec.id == "" {
+			return nil, fmt.Errorf("warehouse: v3 snapshot: run %d has an empty id", i)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// materialize builds the run and its index from the block, verifying the
+// block checksum and every structural invariant first. Called exactly once
+// per lazyRun (through sync.Once); on success it publishes run/index (and
+// labels when requested) into rt.
+func (lz *lazyRun) materialize(rt *runTables, w *Warehouse) {
+	r, err := decodeRunBlockV3(lz.data, lz.rec)
+	if err != nil {
+		lz.err = fmt.Errorf("warehouse: v3 snapshot: run %q: %w", lz.rec.id, err)
+		return
+	}
+	if err := r.Validate(); err != nil {
+		lz.err = fmt.Errorf("warehouse: v3 snapshot: run %q: %w", lz.rec.id, err)
+		return
+	}
+	rt.run = r
+	rt.index = r.Index() // pre-built by ReconstructArena; no second build
+	if lz.buildLabels.Load() {
+		if rt.labels = rt.index.BuildLabels(); rt.labels != nil {
+			w.observeLabelBuild()
+		}
+	}
+	lz.done.Store(true)
+}
+
+// decodeRunBlockV3 decodes one run block into a run whose index aliases the
+// block's integer arrays.
+func decodeRunBlockV3(data []byte, rec v3RunRec) (*run.Run, error) {
+	b := data[rec.blockOff : rec.blockOff+rec.blockLen]
+	if h := xxh.Sum64(b); h != rec.blockHash {
+		return nil, fmt.Errorf("block checksum mismatch (%#x != %#x)", h, rec.blockHash)
+	}
+	if len(b) < 32 {
+		return nil, fmt.Errorf("block truncated at %d bytes", len(b))
+	}
+	le := binary.LittleEndian
+	nSteps := int(le.Uint32(b[0:]))
+	nData := int(le.Uint32(b[4:]))
+	nFlows := int(le.Uint32(b[8:]))
+	flowInts := int(le.Uint32(b[12:]))
+	metaLen := int(le.Uint32(b[16:]))
+	arenaLen := int(le.Uint32(b[20:]))
+	if nSteps != rec.steps || nData != rec.data || nFlows != rec.edges {
+		return nil, fmt.Errorf("block header disagrees with run directory (%d/%d/%d vs %d/%d/%d)",
+			nSteps, nData, nFlows, rec.steps, rec.data, rec.edges)
+	}
+
+	cur := &blockCursor{b: b, off: 32}
+	finals, err := cur.u64s((nData + 63) / 64)
+	if err != nil {
+		return nil, err
+	}
+	stepNameOff, err := cur.u32s(nSteps + 1)
+	if err != nil {
+		return nil, err
+	}
+	stepModOff, err := cur.u32s(nSteps + 1)
+	if err != nil {
+		return nil, err
+	}
+	dataNameOff, err := cur.u32s(nData + 1)
+	if err != nil {
+		return nil, err
+	}
+	producer, err := cur.i32s(nData)
+	if err != nil {
+		return nil, err
+	}
+	inOff, err := cur.i32s(nSteps + 1)
+	if err != nil {
+		return nil, err
+	}
+	outOff, err := cur.i32s(nSteps + 1)
+	if err != nil {
+		return nil, err
+	}
+	conOff, err := cur.i32s(nData + 1)
+	if err != nil {
+		return nil, err
+	}
+	inData, err := cur.csrVals("inputs", inOff)
+	if err != nil {
+		return nil, err
+	}
+	outData, err := cur.csrVals("outputs", outOff)
+	if err != nil {
+		return nil, err
+	}
+	conStep, err := cur.csrVals("consumers", conOff)
+	if err != nil {
+		return nil, err
+	}
+	flowArr, err := cur.i32s(flowInts)
+	if err != nil {
+		return nil, err
+	}
+	if cur.off+arenaLen+metaLen > len(b) {
+		return nil, fmt.Errorf("block arena out of bounds")
+	}
+	// One copy: the arena becomes an immutable Go string and every name a
+	// substring, so results survive Close (the int arrays above stay
+	// mapping-backed on purpose).
+	arena := string(b[cur.off : cur.off+arenaLen])
+	metaBytes := b[cur.off+arenaLen : cur.off+arenaLen+metaLen]
+
+	names := func(what string, off []uint32, n int) ([]string, error) {
+		out := make([]string, n)
+		for i := 0; i < n; i++ {
+			lo, hi := off[i], off[i+1]
+			if lo > hi || int(hi) > len(arena) {
+				return nil, fmt.Errorf("%s name table out of bounds at %d", what, i)
+			}
+			out[i] = arena[lo:hi]
+		}
+		return out, nil
+	}
+	stepIDs, err := names("step", stepNameOff, nSteps)
+	if err != nil {
+		return nil, err
+	}
+	stepMods, err := names("module", stepModOff, nSteps)
+	if err != nil {
+		return nil, err
+	}
+	dataNames, err := names("data", dataNameOff, nData)
+	if err != nil {
+		return nil, err
+	}
+
+	flows := make([]run.InternedFlow, 0, nFlows)
+	for k := 0; k < len(flowArr); {
+		if len(flowArr)-k < 3 {
+			return nil, fmt.Errorf("flow stream truncated")
+		}
+		cnt := int(flowArr[k+2])
+		if cnt < 0 || cnt > len(flowArr)-k-3 {
+			return nil, fmt.Errorf("flow stream truncated")
+		}
+		flows = append(flows, run.InternedFlow{
+			From: flowArr[k], To: flowArr[k+1], Data: flowArr[k+3 : k+3+cnt],
+		})
+		k += 3 + cnt
+	}
+	if len(flows) != nFlows {
+		return nil, fmt.Errorf("flow stream has %d flows, header says %d", len(flows), nFlows)
+	}
+
+	var meta map[int32]map[string]string
+	if metaLen > 0 {
+		var entries []v3MetaEntry
+		if err := json.Unmarshal(metaBytes, &entries); err != nil {
+			return nil, fmt.Errorf("decode meta island: %w", err)
+		}
+		meta = make(map[int32]map[string]string, len(entries))
+		for _, e := range entries {
+			meta[e.D] = e.KV
+		}
+	}
+
+	return run.ReconstructArena(rec.id, rec.specName, run.ArenaTables{
+		StepIDs: stepIDs, StepModules: stepMods, DataNames: dataNames,
+		Producer: producer,
+		InOff:    inOff, InData: inData,
+		OutOff: outOff, OutData: outData,
+		ConOff: conOff, ConStep: conStep,
+		Finals: bitset.Set(finals),
+		Flows:  flows, Meta: meta,
+	})
+}
+
+// blockCursor slices typed little-endian arrays out of a run block without
+// copying, bounds- and alignment-checking every step. The zero-copy step —
+// unsafe.Slice over the mapping — is safe because (a) the byte range is
+// checked against the block first and (b) the pointer's alignment is
+// checked at runtime, so even a forged block can only produce an error.
+type blockCursor struct {
+	b   []byte
+	off int
+}
+
+func (c *blockCursor) bytesFor(n, size, align int) (unsafe.Pointer, error) {
+	if n < 0 || n > (len(c.b)-c.off)/size {
+		return nil, fmt.Errorf("block table out of bounds at offset %d", c.off)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	p := unsafe.Pointer(&c.b[c.off])
+	if uintptr(p)%uintptr(align) != 0 {
+		return nil, fmt.Errorf("block table misaligned at offset %d", c.off)
+	}
+	c.off += n * size
+	return p, nil
+}
+
+func (c *blockCursor) u64s(n int) ([]uint64, error) {
+	p, err := c.bytesFor(n, 8, 8)
+	if p == nil {
+		return nil, err
+	}
+	return unsafe.Slice((*uint64)(p), n), nil
+}
+
+func (c *blockCursor) u32s(n int) ([]uint32, error) {
+	p, err := c.bytesFor(n, 4, 4)
+	if p == nil {
+		return nil, err
+	}
+	return unsafe.Slice((*uint32)(p), n), nil
+}
+
+func (c *blockCursor) i32s(n int) ([]int32, error) {
+	p, err := c.bytesFor(n, 4, 4)
+	if p == nil {
+		return nil, err
+	}
+	return unsafe.Slice((*int32)(p), n), nil
+}
+
+// csrVals reads the value array belonging to a CSR offset table (its length
+// is the table's last entry; ReconstructArena re-checks monotonicity).
+func (c *blockCursor) csrVals(what string, off []int32) ([]int32, error) {
+	if len(off) == 0 {
+		return nil, fmt.Errorf("%s CSR has no offsets", what)
+	}
+	n := off[len(off)-1]
+	if n < 0 {
+		return nil, fmt.Errorf("%s CSR has negative length", what)
+	}
+	vals, err := c.i32s(int(n))
+	if err != nil {
+		return nil, fmt.Errorf("%s CSR: %w", what, err)
+	}
+	return vals, nil
+}
+
+// alignUp rounds off up to the next multiple of align (a power of two).
+func alignUp(off uint64, align uint64) uint64 {
+	return (off + align - 1) &^ (align - 1)
+}
+
+// alignedBytes allocates n bytes with 8-byte alignment guaranteed (a plain
+// make([]byte, n) may be byte-aligned for tiny sizes), so a heap-loaded v3
+// image can use the same unsafe.Slice decode path as a mapping.
+func alignedBytes(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	words := make([]uint64, (n+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), n)
+}

@@ -1,0 +1,449 @@
+package warehouse
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/run"
+	"repro/internal/spec"
+)
+
+// saveV3Temp saves w as a v3 snapshot in a temp file and returns the path
+// and the raw image.
+func saveV3Temp(t testing.TB, w *Warehouse) (string, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	mustT(t, w.SaveV3(&buf))
+	path := filepath.Join(t.TempDir(), "snap.v3")
+	mustT(t, os.WriteFile(path, buf.Bytes(), 0o644))
+	return path, buf.Bytes()
+}
+
+// openV3Image opens a v3 image from an aligned heap copy of data — the
+// corruption tests' entry point (no temp file per mutation).
+func openV3Image(data []byte, opts LoadOptions) (*Warehouse, error) {
+	buf := alignedBytes(len(data))
+	copy(buf, data)
+	return openV3Bytes(buf, false, nil, 0, opts)
+}
+
+// TestSaveV3RoundTrip: SaveV3 → OpenV3 restores an equivalent warehouse —
+// same catalog, views, metadata and deep-provenance answers — and a second
+// SaveV3 from the opened warehouse is byte-identical (the format is
+// canonical: sorted sections, sorted runs, deterministic blocks).
+func TestSaveV3RoundTrip(t *testing.T) {
+	w := snapshotWarehouse(t, 2)
+	path, img := saveV3Temp(t, w)
+
+	back, err := OpenV3(path, 0, LoadOptions{})
+	mustT(t, err)
+	defer back.Close()
+
+	if !reflect.DeepEqual(back.SpecNames(), w.SpecNames()) {
+		t.Fatal("specs differ after v3 round trip")
+	}
+	if !reflect.DeepEqual(back.RunIDs(), w.RunIDs()) {
+		t.Fatal("runs differ after v3 round trip")
+	}
+	v, err := back.View("phylogenomics", "joe")
+	mustT(t, err)
+	orig, err := w.View("phylogenomics", "joe")
+	mustT(t, err)
+	if !v.Equal(orig) {
+		t.Fatal("view differs after v3 round trip")
+	}
+	r, err := back.Run("fig2")
+	mustT(t, err)
+	if got := r.InputMeta("d1"); got["who"] != "joe" || got["when"] != "2008-04-07" {
+		t.Fatalf("metadata lost: %v", got)
+	}
+	if !reflect.DeepEqual(deepAnswers(t, back), deepAnswers(t, w)) {
+		t.Fatal("provenance answers differ after v3 round trip")
+	}
+
+	var buf2 bytes.Buffer
+	mustT(t, back.SaveV3(&buf2))
+	if !bytes.Equal(img, buf2.Bytes()) {
+		t.Fatalf("v3 snapshot not byte-stable: %d vs %d bytes", len(img), buf2.Len())
+	}
+
+	// The same image loads through the generic auto-detecting reader too.
+	fromReader, err := Load(bytes.NewReader(img), 0)
+	mustT(t, err)
+	if !reflect.DeepEqual(deepAnswers(t, fromReader), deepAnswers(t, w)) {
+		t.Fatal("reader-path v3 load disagrees")
+	}
+}
+
+// TestOpenV3Lazy: opening is O(catalog) — no run is materialized until
+// queried — while Stats still reports full catalog counts from the run
+// directory, and materialization progresses per touched run.
+func TestOpenV3Lazy(t *testing.T) {
+	w := snapshotWarehouse(t, 1)
+	wantStats := catalog(w.Stats())
+	path, _ := saveV3Temp(t, w)
+
+	back, err := OpenV3(path, 0, LoadOptions{})
+	mustT(t, err)
+	defer back.Close()
+
+	st := back.Stats()
+	if st.Snapshot.Version != 3 || st.Snapshot.RunsTotal != len(w.RunIDs()) {
+		t.Fatalf("snapshot stats: %+v", st.Snapshot)
+	}
+	if st.Snapshot.RunsMaterialized != 0 {
+		t.Fatalf("open materialized %d runs", st.Snapshot.RunsMaterialized)
+	}
+	if st.Steps != wantStats.Steps || st.DataObjects != wantStats.DataObjects || st.FlowEdges != wantStats.FlowEdges {
+		t.Fatalf("directory counts diverge: got %d/%d/%d want %d/%d/%d",
+			st.Steps, st.DataObjects, st.FlowEdges, wantStats.Steps, wantStats.DataObjects, wantStats.FlowEdges)
+	}
+
+	if _, err := back.Run("fig2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Stats().Snapshot.RunsMaterialized; got != 1 {
+		t.Fatalf("after one query %d runs materialized, want 1", got)
+	}
+	// Directory counts and materialized counts must agree: totals unchanged.
+	st = back.Stats()
+	if st.Steps != wantStats.Steps || st.DataObjects != wantStats.DataObjects || st.FlowEdges != wantStats.FlowEdges {
+		t.Fatalf("counts changed across materialization: %+v", st)
+	}
+}
+
+// TestOpenV3Labels: the Labels load option takes effect lazily — labels are
+// built at materialization time, and the label path serves the queries.
+func TestOpenV3Labels(t *testing.T) {
+	w := snapshotWarehouse(t, 1)
+	path, _ := saveV3Temp(t, w)
+	back, err := OpenV3(path, 0, LoadOptions{Labels: true})
+	mustT(t, err)
+	defer back.Close()
+	if !back.LabelIndexEnabled() {
+		t.Fatal("labels not enabled")
+	}
+	if back.RunLabels("fig2") == nil {
+		t.Fatal("no labels built at materialization")
+	}
+	fig2, _ := back.Run("fig2")
+	cl, _, err := back.DeepProvenanceStrategyCtx(context.Background(), "fig2", fig2.FinalOutputs()[0], false, StrategyLabels)
+	mustT(t, err)
+	if cl == nil || len(cl.DataSet()) == 0 {
+		t.Fatal("label-path closure empty")
+	}
+	if c := back.LabelCounters(); c.Hits == 0 {
+		t.Fatalf("label path not taken: %+v", c)
+	}
+}
+
+// TestV3CloseLifecycle: Close releases the snapshot and every subsequent
+// run-touching operation fails with ErrClosed — cleanly, never a fault
+// from an unmapped slice. Close is idempotent, and results obtained before
+// Close stay usable (strings are copies, closures hold heap bitsets).
+func TestV3CloseLifecycle(t *testing.T) {
+	w := snapshotWarehouse(t, 1)
+	path, _ := saveV3Temp(t, w)
+	back, err := OpenV3(path, 0, LoadOptions{})
+	mustT(t, err)
+
+	r, err := back.Run("fig2")
+	mustT(t, err)
+	finals := r.FinalOutputs()
+	cl, err := back.DeepProvenance("fig2", finals[len(finals)-1])
+	mustT(t, err)
+	preData := cl.DataSet()
+
+	mustT(t, back.Close())
+	mustT(t, back.Close()) // idempotent
+
+	if _, err := back.Run("fig2"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run after Close: %v", err)
+	}
+	if _, err := back.DeepProvenance("fig2", finals[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("DeepProvenance after Close: %v", err)
+	}
+	if _, _, err := back.ImmediateProvenance("fig2", finals[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ImmediateProvenance after Close: %v", err)
+	}
+	if err := back.SaveV3(new(bytes.Buffer)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SaveV3 after Close: %v", err)
+	}
+	if err := back.Save(new(bytes.Buffer)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Save after Close: %v", err)
+	}
+	if err := back.SaveBinary(new(bytes.Buffer)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SaveBinary after Close: %v", err)
+	}
+	if err := back.LoadRun(run.Figure2()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("LoadRun after Close: %v", err)
+	}
+	if ix := back.RunIndex("fig2"); ix != nil {
+		t.Fatal("RunIndex after Close must be nil")
+	}
+	// Pre-Close results remain intact (their strings were copied out of the
+	// arena at materialization).
+	for d := range preData {
+		if d == "" {
+			t.Fatal("dangling data name")
+		}
+	}
+	// Stats must not fault either.
+	_ = back.Stats()
+}
+
+// TestV3RejectsTruncation: every prefix cut of a valid image is rejected
+// with a descriptive error at open or at first query — never accepted
+// silently, never a panic.
+func TestV3RejectsTruncation(t *testing.T) {
+	w := snapshotWarehouse(t, 1)
+	var buf bytes.Buffer
+	mustT(t, w.SaveV3(&buf))
+	good := buf.Bytes()
+
+	for _, cut := range []int{0, 1, 4, 5, 63, 64, 100, len(good) / 4, len(good) / 2, len(good) - 1} {
+		if _, err := openV3Image(good[:cut], LoadOptions{}); err == nil {
+			t.Fatalf("truncation at %d accepted at open", cut)
+		}
+	}
+}
+
+// TestV3RejectsBitFlips: flipping any byte of the image must surface as a
+// checksum (or structural) error at open or at query time. Queries against
+// a corrupted-but-opened snapshot return errors; they never panic, which
+// is the safety property the aliased slices depend on.
+func TestV3RejectsBitFlips(t *testing.T) {
+	w := snapshotWarehouse(t, 1)
+	var buf bytes.Buffer
+	mustT(t, w.SaveV3(&buf))
+	good := buf.Bytes()
+	want := deepAnswers(t, w)
+
+	stride := 131
+	if testing.Short() {
+		stride = 997
+	}
+	clean := 0
+	for i := 0; i < len(good); i += stride {
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0xff
+		back, err := openV3Image(mut, LoadOptions{})
+		if err != nil {
+			continue // rejected at open: fine
+		}
+		// Opened: either every query answers exactly like the original (the
+		// flip hit padding) or the damaged runs error out cleanly.
+		got := make(map[string][]string)
+		for _, id := range back.RunIDs() {
+			r, err := back.Run(id)
+			if err != nil {
+				continue
+			}
+			mustT(t, r.Validate())
+			finals := r.FinalOutputs()
+			if len(finals) == 0 {
+				continue
+			}
+			cl, err := back.DeepProvenance(id, finals[len(finals)-1])
+			if err != nil {
+				continue
+			}
+			var ds []string
+			for d := range cl.DataSet() {
+				ds = append(ds, d)
+			}
+			sort.Strings(ds)
+			got[id] = ds
+		}
+		for id, ds := range got {
+			if !reflect.DeepEqual(ds, want[id]) {
+				t.Fatalf("flip at %d silently changed answers for %q", i, id)
+			}
+		}
+		if len(got) == len(want) {
+			clean++
+		}
+	}
+	_ = clean
+}
+
+// TestV3BlockChecksum: damaging one run's block leaves the warehouse
+// openable, fails exactly that run with a checksum error (sticky across
+// retries), and leaves every other run answering correctly.
+func TestV3BlockChecksum(t *testing.T) {
+	w := snapshotWarehouse(t, 1)
+	var buf bytes.Buffer
+	mustT(t, w.SaveV3(&buf))
+	img := buf.Bytes()
+
+	// Find the fig2 block via the open path, then flip a byte inside it.
+	pristine, err := openV3Image(img, LoadOptions{})
+	mustT(t, err)
+	rt := pristine.runs["fig2"]
+	if rt == nil || rt.lazy == nil {
+		t.Fatal("fixture: fig2 not lazy")
+	}
+	off := int(rt.lazy.rec.blockOff) + 40 // inside the block, past the header counts
+
+	mut := append([]byte(nil), img...)
+	mut[off] ^= 0x01
+	back, err := openV3Image(mut, LoadOptions{})
+	mustT(t, err) // open succeeds: block integrity is lazy by design
+
+	_, err = back.Run("fig2")
+	if err == nil || !strings.Contains(err.Error(), "fig2") {
+		t.Fatalf("damaged block: %v", err)
+	}
+	_, err2 := back.Run("fig2")
+	if err2 == nil || err2.Error() != err.Error() {
+		t.Fatalf("materialization error not sticky: %v vs %v", err2, err)
+	}
+	// Other runs still answer, and the damaged one is excluded from both.
+	got := deepAnswers2(t, back)
+	wantAll := deepAnswers(t, w)
+	delete(wantAll, "fig2")
+	if !reflect.DeepEqual(got, wantAll) {
+		t.Fatal("healthy runs affected by another run's damaged block")
+	}
+}
+
+// deepAnswers2 is deepAnswers tolerating per-run materialization errors
+// (skipping failed runs).
+func deepAnswers2(t testing.TB, w *Warehouse) map[string][]string {
+	t.Helper()
+	out := make(map[string][]string)
+	for _, id := range w.RunIDs() {
+		r, err := w.Run(id)
+		if err != nil {
+			continue
+		}
+		finals := r.FinalOutputs()
+		if len(finals) == 0 {
+			continue
+		}
+		cl, err := w.DeepProvenance(id, finals[len(finals)-1])
+		mustT(t, err)
+		var ds []string
+		for d := range cl.DataSet() {
+			ds = append(ds, d)
+		}
+		sort.Strings(ds)
+		out[id] = ds
+	}
+	return out
+}
+
+// TestConcurrentV3Materialization: many goroutines race first queries
+// against a freshly opened v3 warehouse — concurrent lazy materialization,
+// Stats scans and a SetLabelIndex toggle all run under -race — and every
+// answer matches the heap-loaded v2 warehouse byte for byte.
+func TestConcurrentV3Materialization(t *testing.T) {
+	w := snapshotWarehouse(t, 2)
+	var v2 bytes.Buffer
+	mustT(t, w.SaveBinary(&v2))
+	heap, err := Load(bytes.NewReader(v2.Bytes()), 0)
+	mustT(t, err)
+	want := deepAnswers(t, heap)
+
+	path, _ := saveV3Temp(t, w)
+	back, err := OpenV3(path, 0, LoadOptions{})
+	mustT(t, err)
+	defer back.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := deepAnswers2(t, back)
+			if !reflect.DeepEqual(got, want) {
+				errs <- errors.New("concurrent v3 answers diverge from v2")
+			}
+		}()
+	}
+	// Stats and label toggles race the materializations.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = back.Stats()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		back.SetLabelIndex(true)
+		back.SetLabelIndex(false)
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := back.Stats().Snapshot
+	if st.RunsMaterialized != st.RunsTotal {
+		t.Fatalf("not all runs materialized: %+v", st)
+	}
+}
+
+// FuzzSnapshotV3 feeds the v3 open path arbitrary images (seeded with a
+// valid snapshot and systematic corruptions). Opening must never panic;
+// when it succeeds, every queryable run must be valid and re-save must
+// work once failed runs are absent.
+func FuzzSnapshotV3(f *testing.F) {
+	w := New(0)
+	if err := w.RegisterSpec(spec.Phylogenomics()); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.LoadRun(run.Figure2()); err != nil {
+		f.Fatal(err)
+	}
+	var v3 bytes.Buffer
+	if err := w.SaveV3(&v3); err != nil {
+		f.Fatal(err)
+	}
+	good := v3.Bytes()
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add(good[:v3HeaderSize])
+	f.Add([]byte("ZOOM\x03"))
+	f.Add([]byte{})
+	for _, stride := range []int{7, 131} {
+		corrupt := append([]byte(nil), good...)
+		for i := 5; i < len(corrupt); i += stride {
+			corrupt[i] ^= 0x55
+		}
+		f.Add(corrupt)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		back, err := openV3Image(data, LoadOptions{})
+		if err != nil {
+			return
+		}
+		ok := true
+		for _, id := range back.RunIDs() {
+			r, err := back.Run(id)
+			if err != nil {
+				ok = false
+				continue
+			}
+			if err := r.Validate(); err != nil {
+				t.Fatalf("materialized invalid run %q: %v", id, err)
+			}
+		}
+		if ok {
+			if err := back.SaveV3(new(bytes.Buffer)); err != nil {
+				t.Fatalf("re-save v3: %v", err)
+			}
+		}
+	})
+}

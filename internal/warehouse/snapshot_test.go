@@ -257,10 +257,11 @@ func TestLoadParallelDeterministicError(t *testing.T) {
 	}
 }
 
-// FuzzSnapshotLoad feeds Load arbitrary bytes, seeded with valid v1 and v2
-// snapshots and corruptions of both. Load must never panic; when it
-// succeeds, the resulting warehouse must re-save in both formats and
-// contain only valid runs.
+// FuzzSnapshotLoad feeds Load arbitrary bytes, seeded with valid v1, v2
+// and v3 snapshots and corruptions of all three. Load must never panic;
+// when it succeeds, the resulting warehouse must re-save in both writable
+// formats and contain only valid runs (the generic reader path eagerly
+// materializes v3 runs, so this invariant covers v3 too).
 func FuzzSnapshotLoad(f *testing.F) {
 	w := New(0)
 	if err := w.RegisterSpec(spec.Phylogenomics()); err != nil {
@@ -269,18 +270,24 @@ func FuzzSnapshotLoad(f *testing.F) {
 	if err := w.LoadRun(run.Figure2()); err != nil {
 		f.Fatal(err)
 	}
-	var v1, v2 bytes.Buffer
+	var v1, v2, v3 bytes.Buffer
 	if err := w.Save(&v1); err != nil {
 		f.Fatal(err)
 	}
 	if err := w.SaveBinary(&v2); err != nil {
 		f.Fatal(err)
 	}
+	if err := w.SaveV3(&v3); err != nil {
+		f.Fatal(err)
+	}
 	f.Add(v1.Bytes())
 	f.Add(v2.Bytes())
+	f.Add(v3.Bytes())
 	f.Add(v1.Bytes()[:v1.Len()/2])
 	f.Add(v2.Bytes()[:v2.Len()/2])
+	f.Add(v3.Bytes()[:v3.Len()/2])
 	f.Add([]byte("ZOOM\x02"))
+	f.Add([]byte("ZOOM\x03"))
 	f.Add([]byte("Z"))
 	f.Add([]byte("{}"))
 	f.Add([]byte{})
@@ -289,6 +296,11 @@ func FuzzSnapshotLoad(f *testing.F) {
 		corrupt[i] ^= 0x55
 	}
 	f.Add(corrupt)
+	corrupt3 := append([]byte(nil), v3.Bytes()...)
+	for i := 6; i < len(corrupt3); i += 131 {
+		corrupt3[i] ^= 0x55
+	}
+	f.Add(corrupt3)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		back, err := LoadWith(bytes.NewReader(data), 0, LoadOptions{Workers: 2})
 		if err != nil {

@@ -21,6 +21,10 @@ type Stats struct {
 	CacheHits   int64
 	CacheMisses int64
 	Cache       CacheCounters
+	// Snapshot describes the snapshot this warehouse was opened from and,
+	// for v3 opens, how much of it has materialized (zero value for live
+	// warehouses and v1/v2 loads).
+	Snapshot SnapshotStats
 	// Index summarizes the compact run indexes (interned ids, CSR bytes,
 	// closure bitset words) across all loaded runs.
 	Index IndexStats
@@ -68,6 +72,19 @@ type CacheCounters struct {
 	Drops int64
 }
 
+// SnapshotStats describes a warehouse's snapshot provenance: the on-disk
+// format version it was opened from (0 for warehouses built live), whether
+// the snapshot is memory-mapped and how many bytes the mapping covers, and
+// the lazy-materialization progress of a v3 open (RunsMaterialized counts
+// runs whose tables are resident; queries materialize runs on demand).
+type SnapshotStats struct {
+	Version          int
+	Mapped           bool
+	MappedBytes      int
+	RunsTotal        int
+	RunsMaterialized int
+}
+
 // Stats computes the current warehouse statistics.
 func (w *Warehouse) Stats() Stats {
 	w.mu.RLock()
@@ -78,10 +95,31 @@ func (w *Warehouse) Stats() Stats {
 		st.Views += len(vs)
 	}
 	st.Runs = len(w.runs)
+	st.Snapshot.RunsTotal = len(w.runs)
+	if w.snap != nil {
+		st.Snapshot.Version = w.snap.version
+		st.Snapshot.Mapped = w.snap.mapped
+		if w.snap.mapped {
+			st.Snapshot.MappedBytes = w.snap.bytes
+		}
+	}
 	for _, rt := range w.runs {
+		if lz := rt.lazy; lz != nil && !lz.done.Load() {
+			// Unmaterialized (or failed) v3 run: report the directory counts
+			// without forcing the tables resident. The done.Load gate also
+			// orders this loop against a concurrent materialization.
+			st.Steps += lz.rec.steps
+			st.FlowEdges += lz.rec.edges
+			st.DataObjects += lz.rec.data
+			continue
+		}
+		st.Snapshot.RunsMaterialized++
 		st.Steps += rt.run.NumSteps()
 		st.FlowEdges += rt.run.NumEdges()
 		st.DataObjects += rt.run.NumData()
+	}
+	if w.snap == nil {
+		st.Snapshot.RunsMaterialized = len(w.runs)
 	}
 	st.Cache = w.cache.counters()
 	st.CacheHits, st.CacheMisses = st.Cache.Hits, st.Cache.Misses

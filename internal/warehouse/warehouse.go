@@ -37,6 +37,10 @@ var (
 	ErrUnknownView = errors.New("warehouse: unknown view")
 	ErrUnknownData = errors.New("warehouse: unknown data object")
 	ErrDuplicate   = errors.New("warehouse: duplicate identifier")
+	// ErrClosed is returned by every run-touching operation after Close.
+	// A closed warehouse has released its snapshot mapping, so queries
+	// must fail cleanly rather than reach into unmapped memory.
+	ErrClosed = errors.New("warehouse: closed")
 )
 
 // Warehouse holds the provenance tables.
@@ -77,6 +81,14 @@ type Warehouse struct {
 
 	cache *closureCache
 
+	// snap describes the snapshot this warehouse was opened from (nil for
+	// live warehouses and v1/v2 loads): format version, whether the file is
+	// memory-mapped, and the mapping to release on Close. closed flips once
+	// under the write lock; every reader that could touch mapped memory
+	// checks it first.
+	snap   *snapshotInfo
+	closed bool
+
 	// metricsReg/obs are the attached observability registry and the
 	// warehouse's instruments resolved from it (both nil when detached —
 	// the common case). Published atomically so AttachMetrics is safe
@@ -99,6 +111,26 @@ type runTables struct {
 	run      *run.Run
 	index    *run.Index
 	labels   *run.Labels
+
+	// lazy, when non-nil, holds a v3 snapshot run that has not necessarily
+	// materialized yet: run/index/labels are populated on first use through
+	// lazy.once (resolveLocked), which also publishes the writes to every
+	// other lock holder. Readers that must not force a build check
+	// lazy.done instead.
+	lazy *lazyRun
+}
+
+// resolveLocked materializes a lazily-opened run if it has not been yet.
+// Callers hold w.mu (read or write); the sync.Once inside lazyRun both
+// serializes the build among concurrent read-lock holders and gives every
+// caller a happens-before edge to the published runTables fields.
+func (w *Warehouse) resolveLocked(rt *runTables) error {
+	lz := rt.lazy
+	if lz == nil {
+		return nil
+	}
+	lz.once.Do(func() { lz.materialize(rt, w) })
+	return lz.err
 }
 
 // New returns an empty warehouse. cacheSize bounds the number of cached
@@ -208,11 +240,15 @@ func (w *Warehouse) ViewNames(specName string) []string {
 // two racing loads of the same id still resolve to exactly one winner.
 func (w *Warehouse) LoadRun(r *run.Run) error {
 	w.mu.RLock()
+	closed := w.closed
 	s, ok := w.specs[r.SpecName()]
 	_, dup := w.runs[r.ID()]
 	noIndex := w.noIndex
 	buildLabels := w.labelIndex
 	w.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownSpec, r.SpecName())
 	}
@@ -236,6 +272,9 @@ func (w *Warehouse) LoadRun(r *run.Run) error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
 	if _, dup := w.runs[r.ID()]; dup {
 		return fmt.Errorf("%w: run %q", ErrDuplicate, r.ID())
 	}
@@ -284,15 +323,43 @@ func (w *Warehouse) LoadLogReader(runID, specName string, src io.Reader) (int, e
 	return l.NumEvents(), nil
 }
 
-// Run returns a loaded run.
+// Run returns a loaded run, materializing it first when the warehouse was
+// opened from a v3 snapshot.
 func (w *Warehouse) Run(id string) (*run.Run, error) {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
+	if w.closed {
+		return nil, ErrClosed
+	}
 	rt, ok := w.runs[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownRun, id)
 	}
+	if err := w.resolveLocked(rt); err != nil {
+		return nil, err
+	}
 	return rt.run, nil
+}
+
+// Close releases the resources behind a snapshot-opened warehouse — in
+// particular the memory mapping a v3 open holds, after which none of the
+// mapping-backed index slices may be touched again. Every subsequent
+// run-touching operation returns ErrClosed; callers must drain in-flight
+// queries first (Close takes the write lock, so it cannot overlap one).
+// Closing a live warehouse just marks it closed. Close is idempotent.
+func (w *Warehouse) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	// Cached closures can hold index pointers; drop them with the mapping.
+	w.cache.reset()
+	if w.snap != nil && w.snap.src != nil {
+		return w.snap.src.Close()
+	}
+	return nil
 }
 
 // RunIDs lists loaded runs, sorted.

@@ -1,0 +1,82 @@
+// Package xxh is a dependency-free implementation of the XXH64 hash
+// (Yann Collet's xxHash, 64-bit variant, seed 0) used to checksum the
+// sections of the v3 snapshot format. XXH64 is not cryptographic; it is
+// the standard fast integrity check for memory-mapped file formats —
+// corruption detection, not tamper-proofing. The implementation is the
+// reference algorithm specialized to one-shot hashing of an in-memory
+// slice, which is the only shape snapshot verification needs.
+package xxh
+
+import "encoding/binary"
+
+const (
+	prime1 uint64 = 11400714785074694791
+	prime2 uint64 = 14029467366897019727
+	prime3 uint64 = 1609587929392839161
+	prime4 uint64 = 9650029242287828579
+	prime5 uint64 = 2870177450012600261
+)
+
+// Sum64 returns the XXH64 hash of b with seed 0.
+func Sum64(b []byte) uint64 {
+	n := uint64(len(b))
+	var h uint64
+	if len(b) >= 32 {
+		v1 := prime1
+		v1 += prime2
+		v2 := prime2
+		v3 := uint64(0)
+		v4 := ^prime1 + 1
+		for len(b) >= 32 {
+			v1 = round(v1, binary.LittleEndian.Uint64(b[0:8]))
+			v2 = round(v2, binary.LittleEndian.Uint64(b[8:16]))
+			v3 = round(v3, binary.LittleEndian.Uint64(b[16:24]))
+			v4 = round(v4, binary.LittleEndian.Uint64(b[24:32]))
+			b = b[32:]
+		}
+		h = rol(v1, 1) + rol(v2, 7) + rol(v3, 12) + rol(v4, 18)
+		h = mergeRound(h, v1)
+		h = mergeRound(h, v2)
+		h = mergeRound(h, v3)
+		h = mergeRound(h, v4)
+	} else {
+		h = prime5
+	}
+	h += n
+	for len(b) >= 8 {
+		h ^= round(0, binary.LittleEndian.Uint64(b[:8]))
+		h = rol(h, 27)*prime1 + prime4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		h ^= uint64(binary.LittleEndian.Uint32(b[:4])) * prime1
+		h = rol(h, 23)*prime2 + prime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * prime5
+		h = rol(h, 11) * prime1
+	}
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+func round(acc, input uint64) uint64 {
+	acc += input * prime2
+	acc = rol(acc, 31)
+	acc *= prime1
+	return acc
+}
+
+func mergeRound(acc, val uint64) uint64 {
+	val = round(0, val)
+	acc ^= val
+	acc = acc*prime1 + prime4
+	return acc
+}
+
+func rol(x uint64, r uint) uint64 { return x<<r | x>>(64-r) }

