@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke bench bench-smoke bench-ingest-smoke bench-labels-smoke bench-mmap-smoke bench-obs-smoke serve-smoke ci
+.PHONY: all build vet test race fuzz-smoke bench bench-smoke bench-ingest-smoke bench-labels-smoke bench-mmap-smoke bench-obs-smoke bench-shard-smoke serve-smoke cluster-smoke ci
 
 all: ci
 
@@ -63,10 +63,23 @@ bench-mmap-smoke:
 bench-obs-smoke:
 	$(GO) test -run '^$$' -bench 'ObsOverhead' -benchtime=1x -benchmem .
 
+# One-iteration pass over the sharded-routing benchmarks (S1): direct vs
+# routed query latency at 1 and 4 shards plus the /v1/runs scatter-gather.
+# The throughput-scaling table itself is `go run ./cmd/zoombench -only S1`.
+bench-shard-smoke:
+	$(GO) test -run '^$$' -bench 'Shard' -benchtime=1x -benchmem .
+
 # End-to-end smoke of `zoom serve`: boots the server on a free port against
 # the example warehouse, then checks /healthz, /readyz, /metrics, a traced
 # query (trace id header + span tree), the slow log, and SIGTERM shutdown.
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-ci: vet build test race fuzz-smoke bench-smoke bench-ingest-smoke bench-labels-smoke bench-mmap-smoke bench-obs-smoke serve-smoke
+# End-to-end smoke of the sharded deployment: `zoom snapshot shard` into 2
+# shards, a worker per shard, `zoom router` in front; checks routed traced
+# queries, the merged catalog, aggregated readiness, and the dead-worker
+# fast-502 path.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
+
+ci: vet build test race fuzz-smoke bench-smoke bench-ingest-smoke bench-labels-smoke bench-mmap-smoke bench-obs-smoke bench-shard-smoke serve-smoke cluster-smoke

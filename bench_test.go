@@ -10,19 +10,23 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/obs"
 	"repro/internal/provenance"
 	"repro/internal/run"
+	"repro/internal/server"
 	"repro/internal/spec"
 	"repro/internal/warehouse"
 	"repro/internal/wflog"
+	"repro/zoom/client"
 )
 
 // BenchmarkTable1WorkflowClasses measures workload generation per Table I
@@ -875,5 +879,104 @@ func BenchmarkMmapOpen(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// shardCluster boots n workers over ring-split subsets of full plus a
+// router in front, returning a client against the router. Cleanup is
+// registered on b.
+func shardCluster(b *testing.B, full *warehouse.Warehouse, n int) *client.Client {
+	b.Helper()
+	ring, err := cluster.NewRing(n, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	urls := make([]string, n)
+	for k := 0; k < n; k++ {
+		sub, err := full.Subset(func(id string) bool { return ring.Place(id) == k })
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := server.New(obs.NewRegistry(), server.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.SetEngine(provenance.NewEngine(sub))
+		ts := httptest.NewServer(s.Handler())
+		b.Cleanup(ts.Close)
+		urls[k] = ts.URL
+	}
+	rt, err := cluster.New(obs.NewRegistry(), cluster.Config{Workers: urls})
+	if err != nil {
+		b.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	b.Cleanup(front.Close)
+	return client.New(front.URL, client.Options{})
+}
+
+// BenchmarkShardedRouting (S1) isolates the router's own cost: a warm deep
+// query answered directly by one worker vs through the consistent-hash
+// router at 1 and 4 shards (the delta is the forwarding hop), plus the
+// scatter-gather /v1/runs merge across 4 shards. The throughput-scaling
+// claim itself lives in zoombench -only S1, which emulates per-worker
+// machine capacity.
+func BenchmarkShardedRouting(b *testing.B) {
+	g := gen.NewGenerator(31)
+	sp := g.Workflow(gen.Classes()[0], "bench-shard")
+	full := warehouse.New(0)
+	if err := full.RegisterSpec(sp); err != nil {
+		b.Fatal(err)
+	}
+	type target struct{ run, data string }
+	var targets []target
+	for i := 0; i < 8; i++ {
+		r, _, err := g.Run(sp, gen.Small(), fmt.Sprintf("bs-run-%02d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := full.LoadRun(r); err != nil {
+			b.Fatal(err)
+		}
+		targets = append(targets, target{run: r.ID(), data: r.AllData()[0]})
+	}
+	ctx := context.Background()
+
+	s, err := server.New(obs.NewRegistry(), server.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.SetEngine(provenance.NewEngine(full))
+	direct := httptest.NewServer(s.Handler())
+	b.Cleanup(direct.Close)
+	dc := client.New(direct.URL, client.Options{})
+
+	query := func(b *testing.B, c *client.Client) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t := targets[i%len(targets)]
+			if _, err := c.Query(ctx, client.QueryRequest{Run: t.run, Data: t.data}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("direct", func(b *testing.B) { query(b, dc) })
+	for _, n := range []int{1, 4} {
+		c := shardCluster(b, full, n)
+		b.Run(fmt.Sprintf("routed-%dshard", n), func(b *testing.B) { query(b, c) })
+		if n == 4 {
+			b.Run("runs-gather-4shard", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					rr, err := c.Runs(ctx)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rr.Count != len(targets) {
+						b.Fatalf("merged %d runs, want %d", rr.Count, len(targets))
+					}
+				}
+			})
+		}
 	}
 }

@@ -12,6 +12,8 @@
 //	zoom load    -warehouse wh.json -file spec.json [-log run.jsonl -run id] [-parallel N] [-format json|binary|v3|keep]
 //	zoom save    -warehouse wh.json [-out wh.v3] [-format v3]   re-save in an explicit format
 //	zoom snapshot convert -in old.snap -out new.snap [-format v3]
+//	zoom snapshot shard -in wh.v3 -n 4 [-out prefix] [-replicas 128] [-format keep]
+//	zoom router  -workers http://h1:8081,http://h2:8082 [-addr :8090] [-replicas 128] [-drain 5s]
 //	zoom query   -warehouse wh.json -run id -data d447[,d448,...] [-parallel N] [-relevant ...] [-mode deep|immediate|derived] [-labels] [-dot] [-trace]
 //	zoom runs    -warehouse wh.json       list warehouse contents
 //	zoom stats   -warehouse wh.json [-json]  warehouse statistics and metrics
@@ -51,6 +53,8 @@ func main() {
 		err = cmdExample(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "router":
+		err = cmdRouter(os.Args[2:])
 	case "spec":
 		err = cmdSpec(os.Args[2:])
 	case "view":
@@ -85,7 +89,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: zoom <example|spec|view|load|save|snapshot|query|ask|compare|runs|stats|serve> [flags]
+	fmt.Fprintln(os.Stderr, `usage: zoom <example|spec|view|load|save|snapshot|query|ask|compare|runs|stats|serve|router> [flags]
 run "zoom <subcommand> -h" for per-command flags
 canned query forms for "ask": `+strings.Join(zoom.QueryForms(), ", "))
 }
@@ -124,11 +128,16 @@ func cmdSave(args []string) error {
 	return nil
 }
 
-// cmdSnapshot manages snapshot files; its only verb so far is convert,
-// which rewrites a v1/v2/v3 snapshot into another format.
+// cmdSnapshot manages snapshot files: convert rewrites a v1/v2/v3
+// snapshot into another format; shard splits one into N shard snapshots
+// by the cluster's consistent-hash ring.
 func cmdSnapshot(args []string) error {
+	if len(args) >= 1 && args[0] == "shard" {
+		return cmdSnapshotShard(args[1:])
+	}
 	if len(args) < 1 || args[0] != "convert" {
-		return fmt.Errorf(`snapshot: usage: zoom snapshot convert -in old.snap -out new.snap [-format v3]`)
+		return fmt.Errorf(`snapshot: usage: zoom snapshot convert -in old.snap -out new.snap [-format v3]
+       zoom snapshot shard -in wh.v3 -n 4 [-out prefix] [-replicas 128] [-format keep]`)
 	}
 	fs := flag.NewFlagSet("snapshot convert", flag.ExitOnError)
 	in := fs.String("in", "", "snapshot file to read (any format, required)")
@@ -157,6 +166,119 @@ func cmdSnapshot(args []string) error {
 	fmt.Printf("converted %s (%s) to %s (%s, %d runs)\n",
 		*in, snapshotFormat(*in), *out, *format, len(sys.RunIDs()))
 	return nil
+}
+
+// cmdSnapshotShard splits one snapshot into N shard snapshots using the
+// same consistent-hash ring the router routes by: shard k's file holds
+// exactly the runs `zoom router` will send to worker k, plus the full
+// spec and view catalog, so `router + N×(serve shard-k)` answers every
+// query a single node over the original snapshot would.
+func cmdSnapshotShard(args []string) error {
+	fs := flag.NewFlagSet("snapshot shard", flag.ExitOnError)
+	in := fs.String("in", "", "snapshot file to split (any format, required)")
+	out := fs.String("out", "", "output prefix; shard k is written to <prefix>.shard<k> (default: -in)")
+	n := fs.Int("n", 0, "number of shards (required)")
+	replicas := fs.Int("replicas", 0, "virtual nodes per shard on the placement ring (0 = default; must match the router)")
+	format := fs.String("format", "keep", "output format: json, binary, v3, or keep (preserve the input's format)")
+	parallel := fs.Int("parallel", 0, "workers for parallel snapshot loading (0 = GOMAXPROCS)")
+	_ = fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("snapshot shard: -in is required")
+	}
+	if *n < 1 {
+		return fmt.Errorf("snapshot shard: -n must be at least 1")
+	}
+	switch *format {
+	case "json", "binary", "v3":
+	case "keep":
+		*format = snapshotFormat(*in)
+	default:
+		return fmt.Errorf("snapshot shard: unknown -format %q (want json, binary, v3 or keep)", *format)
+	}
+	if *out == "" {
+		*out = *in
+	}
+	if _, err := os.Stat(*in); err != nil {
+		return fmt.Errorf("snapshot shard: %w", err)
+	}
+	ring, err := zoom.NewRing(*n, *replicas)
+	if err != nil {
+		return err
+	}
+	sys, err := loadSystemWith(*in, *parallel, nil)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	parts := ring.Partition(sys.RunIDs())
+	for k, ids := range parts {
+		keep := make(map[string]bool, len(ids))
+		for _, id := range ids {
+			keep[id] = true
+		}
+		sub, err := sys.Subset(func(id string) bool { return keep[id] })
+		if err != nil {
+			return fmt.Errorf("snapshot shard %d: %w", k, err)
+		}
+		path := fmt.Sprintf("%s.shard%d", *out, k)
+		if err := saveSystemFormat(sub, path, *format); err != nil {
+			return fmt.Errorf("snapshot shard %d: %w", k, err)
+		}
+		fmt.Printf("shard %d/%d: %s (%s, %d runs)\n", k, *n, path, *format, len(ids))
+	}
+	return nil
+}
+
+// cmdRouter runs the cluster front: a stateless consistent-hash router
+// over N `zoom serve` workers. It holds no warehouse — run-addressed
+// queries are forwarded to the owning shard, catalog endpoints are
+// scatter-gathered — so it starts instantly and restarts freely.
+// SIGINT/SIGTERM drain in-flight requests for up to -drain.
+func cmdRouter(args []string) error {
+	fs := flag.NewFlagSet("router", flag.ExitOnError)
+	addr := fs.String("addr", ":8090", "listen address")
+	workers := fs.String("workers", "", "comma-separated worker base URLs in shard order (required; order must match `zoom snapshot shard`)")
+	replicas := fs.Int("replicas", 0, "virtual nodes per shard on the placement ring (0 = default; must match the snapshot split)")
+	forwardTimeout := fs.Duration("forward-timeout", 30*time.Second, "per-request forwarding timeout")
+	gatherTimeout := fs.Duration("gather-timeout", 5*time.Second, "per-shard scatter-gather and health-poll timeout")
+	fanout := fs.Int("fanout", 8, "max shards hit concurrently by a scatter-gather")
+	healthInterval := fs.Duration("health-interval", 2*time.Second, "worker /readyz polling period")
+	breakerThreshold := fs.Int("breaker-threshold", 3, "consecutive forward failures that open a shard's circuit")
+	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "how long an open circuit fails fast before retrying")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+	_ = fs.Parse(args)
+	bases := splitList(*workers)
+	if len(bases) == 0 {
+		return fmt.Errorf("router: -workers is required (comma-separated base URLs in shard order)")
+	}
+	rt, err := zoom.NewRouter(zoom.NewMetrics(), zoom.RouterConfig{
+		Workers:          bases,
+		Replicas:         *replicas,
+		ForwardTimeout:   *forwardTimeout,
+		GatherTimeout:    *gatherTimeout,
+		Fanout:           *fanout,
+		HealthInterval:   *healthInterval,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "zoom router: listening on http://%s, %d shards:\n", ln.Addr(), len(bases))
+	for i, b := range bases {
+		fmt.Fprintf(os.Stderr, "zoom router:   shard %d -> %s\n", i, b)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = rt.Serve(ctx, ln, *drain)
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	return err
 }
 
 // cmdCompare diffs two runs structurally (reproducibility check).

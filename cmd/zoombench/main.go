@@ -25,7 +25,7 @@ func main() {
 		out     = flag.String("out", "", "also write the reports to this file")
 		csvDir  = flag.String("csv", "", "also write each report as CSV into this directory")
 		jsonOut = flag.String("json", "", "also write the selected reports as a JSON array to this file")
-		only    = flag.String("only", "", "run a single experiment id (T1,T2,E1,E2,F10,E3,E4,F11,E5,A1/A2,C1,P1,P2,L1,L2)")
+		only    = flag.String("only", "", "run a single experiment id (T1,T2,E1,E2,F10,E3,E4,F11,E5,A1/A2,C1,P1,P2,L1,L2,S1)")
 	)
 	flag.Parse()
 
@@ -49,10 +49,12 @@ func main() {
 	start := time.Now()
 	fmt.Fprintf(w, "ZOOM*UserViews evaluation (seed %d, full=%v)\n\n", *seed, *full)
 	var selected []*zoom.Report
-	for _, rep := range zoom.RunExperiments(o) {
-		if *only != "" && rep.ID != *only {
+	for _, exp := range zoom.BenchExperiments() {
+		// Filter before running: -only pays for one experiment, not all.
+		if *only != "" && exp.ID != *only {
 			continue
 		}
+		rep := exp.Run(o)
 		selected = append(selected, rep)
 		fmt.Fprintln(w, rep.String())
 		if *csvDir != "" {
@@ -66,6 +68,10 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	if *only != "" && len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "zoombench: unknown experiment id %q\n", *only)
+		os.Exit(1)
 	}
 	if *jsonOut != "" {
 		blob, err := json.MarshalIndent(selected, "", "  ")

@@ -466,21 +466,41 @@ func ExpFig11(o Options) *Report {
 // RunAll executes every experiment in DESIGN.md order, including the
 // ablations and the minimal-vs-minimum gap study.
 func RunAll(o Options) []*Report {
-	return []*Report{
-		ExpTable1(o),
-		ExpTable2(o),
-		ExpScalability(o),
-		ExpOptimality(o),
-		ExpFig10(o),
-		ExpQueryTime(o),
-		ExpViewSwitch(o),
-		ExpFig11(o),
-		ExpMinimumGap(o),
-		ExpAblation(o),
-		ExpConcurrent(o),
-		ExpCompact(o),
-		ExpLabels(o),
-		ExpIngest(o),
-		ExpMmap(o),
+	exps := Experiments()
+	reports := make([]*Report, 0, len(exps))
+	for _, e := range exps {
+		reports = append(reports, e.Run(o))
+	}
+	return reports
+}
+
+// Experiment pairs a report id with the function that produces it, so
+// drivers can select experiments before paying for them (zoombench -only
+// runs just the requested one instead of the whole harness).
+type Experiment struct {
+	ID  string
+	Run func(Options) *Report
+}
+
+// Experiments returns the harness registry in DESIGN.md order. Each
+// entry's ID matches the ID of the report its Run returns.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"T1", ExpTable1},
+		{"T2", ExpTable2},
+		{"E1", ExpScalability},
+		{"E2", ExpOptimality},
+		{"F10", ExpFig10},
+		{"E3", ExpQueryTime},
+		{"E4", ExpViewSwitch},
+		{"F11", ExpFig11},
+		{"E5", ExpMinimumGap},
+		{"A1/A2", ExpAblation},
+		{"C1", ExpConcurrent},
+		{"P1", ExpCompact},
+		{"P2", ExpLabels},
+		{"L1", ExpIngest},
+		{"L2", ExpMmap},
+		{"S1", ExpShard},
 	}
 }

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestExpShardScales runs S1 at reduced scale and asserts the shape the
+// paper-style claim needs: no request errors, a merged row per worker
+// count, and aggregate throughput that grows with workers (the capacity
+// gate makes scaling visible even on a single-CPU host).
+func TestExpShardScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins HTTP clusters")
+	}
+	o := testOptions()
+	o.RunsPerKind = 2
+	o.Trials = 1
+	o.LargeRunCap = 400
+	rep := ExpShard(o)
+	if len(rep.Rows) != 3 {
+		t.Fatalf("expected rows for 1/2/4 workers, got %d", len(rep.Rows))
+	}
+	qps := make(map[string]float64)
+	for _, want := range []string{"1", "2", "4"} {
+		s, ok := rep.Cell(want, "throughput q/s")
+		if !ok {
+			t.Fatalf("missing row for %s workers\n%s", want, rep)
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("throughput %q: %v", s, err)
+		}
+		qps[want] = v
+		if e, _ := rep.Cell(want, "errors"); e != "0" {
+			t.Fatalf("%s workers: %s request errors\n%s", want, e, rep)
+		}
+	}
+	if qps["4"] <= qps["1"] {
+		t.Fatalf("no scale-out: 4 workers %.1f q/s vs 1 worker %.1f q/s\n%s",
+			qps["4"], qps["1"], rep)
+	}
+	notes := strings.Join(rep.Notes, " ")
+	if !strings.Contains(notes, "4/4 requests") || !strings.Contains(notes, "answered=true") {
+		t.Fatalf("dead-worker probe did not fail fast with live survivors:\n%s", rep)
+	}
+}

@@ -11,10 +11,18 @@ func TestSmokeAll(t *testing.T) {
 	o.MaxSpecNodes = 200
 	o.LargeRunCap = 500
 	reports := RunAll(o)
-	if len(reports) != 15 {
-		t.Fatalf("expected 15 reports, got %d", len(reports))
+	if want := len(Experiments()); len(reports) != want {
+		t.Fatalf("expected %d reports, got %d", want, len(reports))
 	}
-	for _, r := range reports {
+	ids := make(map[string]bool, len(reports))
+	for i, r := range reports {
 		t.Log("\n" + r.String())
+		if got, want := r.ID, Experiments()[i].ID; got != want {
+			t.Fatalf("registry id %q produced report id %q", want, got)
+		}
+		if ids[r.ID] {
+			t.Fatalf("duplicate report id %q", r.ID)
+		}
+		ids[r.ID] = true
 	}
 }

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"regexp"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/zoom/client"
+)
+
+// timingRe matches the volatile per-stage timing object in a deep-query
+// response; it is the only non-deterministic part of any API body (wall-
+// clock nanoseconds), so the differential suite masks it before the byte
+// comparison. The timing object is flat — no nested braces.
+var timingRe = regexp.MustCompile(`"timing": \{[^{}]*\}`)
+
+func maskTiming(b []byte) []byte {
+	return timingRe.ReplaceAll(b, []byte(`"timing": null`))
+}
+
+// traceID returns a fixed, valid trace id for pair n, so the single node
+// and the cluster answer the same logical query under the same id and
+// the trace_id fields compare equal byte-for-byte.
+func traceID(n int) string { return fmt.Sprintf("%016x", n+1) }
+
+// TestClusterDifferentialByteIdentical is the core correctness claim of
+// the scale-out layer: for every run, query kind, and view shape, the
+// routed answer over 2 and 4 shards is byte-identical to a single node
+// holding all the runs (deep queries modulo the masked wall-clock timing
+// block). Run ids are the shard key and every query is answered within
+// one run, so sharding must not be observable to clients.
+func TestClusterDifferentialByteIdentical(t *testing.T) {
+	specs, runs, infos := buildCorpus(t, []gen.RunClass{gen.Small(), gen.Medium()})
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			singleURL, routerURL, _ := buildCluster(t, shards, specs, runs)
+			n := 0
+			diff := func(path, body string, mask bool) {
+				t.Helper()
+				id := traceID(n)
+				n++
+				wantStatus, want := postRaw(t, singleURL, path, id, body)
+				gotStatus, got := postRaw(t, routerURL, path, id, body)
+				if wantStatus != gotStatus {
+					t.Fatalf("%s %s: status single=%d routed=%d", path, body, wantStatus, gotStatus)
+				}
+				if mask {
+					want, got = maskTiming(want), maskTiming(got)
+				}
+				if !bytes.Equal(want, got) {
+					t.Fatalf("%s %s: routed answer differs from single node\nsingle: %s\nrouted: %s",
+						path, body, want, got)
+				}
+			}
+			for _, info := range infos {
+				relevant, err := json.Marshal(info.relevant)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, target := range info.targets {
+					// Deep under UAdmin, a relevant-set view, and each kind.
+					diff("/v1/query", fmt.Sprintf(`{"run":%q,"data":%q}`, info.id, target), true)
+					diff("/v1/query", fmt.Sprintf(`{"run":%q,"data":%q,"relevant":%s}`, info.id, target, relevant), true)
+					diff("/v1/query", fmt.Sprintf(`{"run":%q,"data":%q,"kind":"immediate"}`, info.id, target), false)
+					diff("/v1/query", fmt.Sprintf(`{"run":%q,"data":%q,"kind":"derived"}`, info.id, target), false)
+				}
+				targets, err := json.Marshal(info.targets)
+				if err != nil {
+					t.Fatal(err)
+				}
+				diff("/v1/batch", fmt.Sprintf(`{"run":%q,"data":%s}`, info.id, targets), false)
+				diff("/v1/batch", fmt.Sprintf(`{"run":%q,"data":%s,"relevant":%s}`, info.id, targets, relevant), false)
+			}
+
+			// The merged run catalog is byte-identical too: same rows, same
+			// sort, same count, same field order.
+			id := traceID(n)
+			wantStatus, want := getRaw(t, singleURL, "/v1/runs", id)
+			gotStatus, got := getRaw(t, routerURL, "/v1/runs", id)
+			if wantStatus != http.StatusOK || gotStatus != http.StatusOK {
+				t.Fatalf("/v1/runs: status single=%d routed=%d", wantStatus, gotStatus)
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("/v1/runs: routed catalog differs\nsingle: %s\nrouted: %s", want, got)
+			}
+		})
+	}
+}
+
+// TestClusterConcurrentDifferential hammers the router from concurrent
+// clients and checks every answer against single-node ground truth. The
+// "Concurrent" name opts it into the -race CI job.
+func TestClusterConcurrentDifferential(t *testing.T) {
+	specs, runs, infos := buildCorpus(t, []gen.RunClass{gen.Small()})
+	singleURL, routerURL, _ := buildCluster(t, 2, specs, runs)
+	single := client.New(singleURL, client.Options{})
+	ctx := context.Background()
+
+	// Ground truth from the single node.
+	type answer struct {
+		result *client.Result
+		batch  []*client.Result
+	}
+	truth := make(map[string]answer, len(infos))
+	for _, info := range infos {
+		q, err := single.Query(ctx, client.QueryRequest{Run: info.id, Data: info.targets[0]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := single.Batch(ctx, client.BatchRequest{Run: info.id, Data: info.targets})
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth[info.id] = answer{result: q.Result, batch: b.Results}
+	}
+
+	const workers = 8
+	const iters = 10
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// One client per goroutine, all sharing the router.
+			c := client.New(routerURL, client.Options{})
+			for i := 0; i < iters; i++ {
+				info := infos[(w+i)%len(infos)]
+				want := truth[info.id]
+				q, err := c.Query(ctx, client.QueryRequest{Run: info.id, Data: info.targets[0]})
+				if err != nil {
+					errc <- fmt.Errorf("worker %d query %s: %v", w, info.id, err)
+					return
+				}
+				if !reflect.DeepEqual(q.Result, want.result) {
+					errc <- fmt.Errorf("worker %d: routed deep result for %s differs from single node", w, info.id)
+					return
+				}
+				b, err := c.Batch(ctx, client.BatchRequest{Run: info.id, Data: info.targets})
+				if err != nil {
+					errc <- fmt.Errorf("worker %d batch %s: %v", w, info.id, err)
+					return
+				}
+				if !reflect.DeepEqual(b.Results, want.batch) {
+					errc <- fmt.Errorf("worker %d: routed batch for %s differs from single node", w, info.id)
+					return
+				}
+				if i%5 == 0 {
+					rr, err := c.Runs(ctx)
+					if err != nil {
+						errc <- fmt.Errorf("worker %d runs: %v", w, err)
+						return
+					}
+					if rr.Count != len(infos) {
+						errc <- fmt.Errorf("worker %d: merged runs count %d, want %d", w, rr.Count, len(infos))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

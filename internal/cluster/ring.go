@@ -1,0 +1,104 @@
+// Package cluster is the scale-out layer of the provenance service: a
+// consistent-hash ring placing run ids on shards, and a stateless HTTP
+// router that forwards run-addressed queries to the worker owning the
+// run and scatter-gathers the catalog endpoints across all workers.
+//
+// The paper's provenance model is run-granular — every query (deep,
+// immediate, derived, under any view) is answered entirely within one
+// run's induced graph — so the run id is a perfect shard key: a worker
+// holding a run's snapshot frames answers queries over it exactly as a
+// single node would, and the cluster's answers are byte-identical to a
+// single node's (pinned by the differential suite). Placement and
+// snapshot splitting (`zoom snapshot shard`) use the same ring, so
+// `router + N×(serve -mmap shard-k)` is a complete cluster bring-up.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/xxh"
+)
+
+// DefaultReplicas is the virtual-node count per shard. 128 points per
+// shard keeps the max/mean load ratio under ~1.15 for realistic shard
+// counts while the whole ring for 64 shards stays under 100KB.
+const DefaultReplicas = 128
+
+// Ring places run ids on n shards by consistent hashing: each shard
+// contributes Replicas virtual points on a 64-bit circle (XXH64 of
+// "shard-<k>#<r>"), and a run id lands on the first point clockwise of
+// its own hash. Shards are abstract indexes 0..n-1 — the router maps
+// them onto worker addresses, the snapshot splitter onto output files —
+// so placement depends only on (n, replicas, run id), never on worker
+// addresses: re-pointing a shard at a replacement worker moves no data.
+//
+// Consistent hashing (rather than hash mod n) keeps resharding cheap:
+// growing n to n+1 moves ~1/(n+1) of the runs, the rest stay put, which
+// is what makes `zoom snapshot shard` a file-level re-split instead of a
+// full redistribution.
+//
+// A Ring is immutable after New and safe for concurrent use.
+type Ring struct {
+	n      int
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing returns a ring over n shards with the given virtual-node count
+// per shard (replicas <= 0 selects DefaultReplicas).
+func NewRing(n, replicas int) (*Ring, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one shard, got %d", n)
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{n: n, points: make([]ringPoint, 0, n*replicas)}
+	var key []byte
+	for shard := 0; shard < n; shard++ {
+		for v := 0; v < replicas; v++ {
+			key = fmt.Appendf(key[:0], "shard-%d#%d", shard, v)
+			r.points = append(r.points, ringPoint{hash: xxh.Sum64(key), shard: shard})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Identical hashes (vanishingly rare): break the tie by shard so
+		// placement stays deterministic regardless of sort stability.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r, nil
+}
+
+// Shards returns the number of shards on the ring.
+func (r *Ring) Shards() int { return r.n }
+
+// Place returns the shard owning runID: the shard of the first virtual
+// point at or clockwise of XXH64(runID), wrapping at the top of the
+// circle.
+func (r *Ring) Place(runID string) int {
+	h := xxh.Sum64([]byte(runID))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// Partition splits runIDs into per-shard groups, preserving input order
+// within each group.
+func (r *Ring) Partition(runIDs []string) [][]string {
+	out := make([][]string, r.n)
+	for _, id := range runIDs {
+		s := r.Place(id)
+		out[s] = append(out[s], id)
+	}
+	return out
+}

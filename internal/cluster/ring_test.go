@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ids(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("run-%04d", i)
+	}
+	return out
+}
+
+func TestRingRejectsZeroShards(t *testing.T) {
+	if _, err := NewRing(0, 0); err == nil {
+		t.Fatal("NewRing(0) should fail")
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewRing(4, 0)
+	for _, id := range ids(1000) {
+		if a.Place(id) != b.Place(id) {
+			t.Fatalf("placement of %q differs between identical rings", id)
+		}
+	}
+	if a.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", a.Shards())
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(4, DefaultReplicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	const n = 20000
+	for _, id := range ids(n) {
+		counts[r.Place(id)]++
+	}
+	mean := float64(n) / 4
+	for s, c := range counts {
+		ratio := float64(c) / mean
+		if ratio < 0.5 || ratio > 1.5 {
+			t.Fatalf("shard %d holds %d of %d runs (ratio %.2f), want within [0.5, 1.5] of mean", s, c, n, ratio)
+		}
+	}
+}
+
+// TestRingMinimalMovement pins the consistent-hashing property: growing
+// the ring from n to n+1 shards moves roughly 1/(n+1) of the keys, not
+// all of them (hash-mod-n would reshuffle ~80%).
+func TestRingMinimalMovement(t *testing.T) {
+	r4, _ := NewRing(4, 0)
+	r5, _ := NewRing(5, 0)
+	moved := 0
+	const n = 20000
+	for _, id := range ids(n) {
+		if r4.Place(id) != r5.Place(id) {
+			moved++
+		}
+	}
+	frac := float64(moved) / n
+	if frac < 0.05 || frac > 0.40 {
+		t.Fatalf("grow 4->5 moved %.1f%% of keys, want ~20%% (5%%..40%%)", frac*100)
+	}
+}
+
+func TestRingPartition(t *testing.T) {
+	r, _ := NewRing(3, 0)
+	in := ids(300)
+	parts := r.Partition(in)
+	if len(parts) != 3 {
+		t.Fatalf("Partition returned %d groups, want 3", len(parts))
+	}
+	total := 0
+	for s, group := range parts {
+		total += len(group)
+		for _, id := range group {
+			if r.Place(id) != s {
+				t.Fatalf("run %q in group %d but Place says %d", id, s, r.Place(id))
+			}
+		}
+	}
+	if total != len(in) {
+		t.Fatalf("groups hold %d runs, want %d", total, len(in))
+	}
+}

@@ -1,0 +1,507 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/zoom/client"
+)
+
+// TraceIDHeader carries the trace id across the router hop; the router
+// adopts a valid inbound id and forwards it to the worker, which adopts
+// it in turn, so one id names the request in every log on the path.
+const TraceIDHeader = client.TraceIDHeader
+
+// maxBodyBytes bounds forwarded request bodies (same cap as the worker).
+const maxBodyBytes = 1 << 20
+
+// Config tunes a Router.
+type Config struct {
+	// Workers are the shard base URLs in shard order: Workers[k] serves
+	// shard k of len(Workers). The order must match the -n used by
+	// `zoom snapshot shard`; the ring places runs on indexes, not URLs.
+	Workers []string
+	// Replicas is the virtual-node count per shard (0 = DefaultReplicas).
+	// Must match the value used to split the snapshot.
+	Replicas int
+	// ForwardTimeout bounds one forwarded /v1/query or /v1/batch request
+	// (default 30s).
+	ForwardTimeout time.Duration
+	// GatherTimeout bounds each per-shard call of a scatter-gather and of
+	// a health poll (default 5s).
+	GatherTimeout time.Duration
+	// Fanout bounds how many shards a scatter-gather or health sweep hits
+	// concurrently (default 8).
+	Fanout int
+	// HealthInterval is the /readyz polling period (default 2s).
+	HealthInterval time.Duration
+	// BreakerThreshold is the consecutive forwarding failures that open a
+	// shard's circuit (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit fails fast before the
+	// next attempt is allowed through (default 5s). A successful health
+	// poll closes the circuit early.
+	BreakerCooldown time.Duration
+	// MaxIdleConns bounds the keep-alive pool per worker (default 32).
+	MaxIdleConns int
+	// Transport overrides the shared HTTP transport (tests, custom pools).
+	Transport http.RoundTripper
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Replicas <= 0 {
+		out.Replicas = DefaultReplicas
+	}
+	if out.ForwardTimeout <= 0 {
+		out.ForwardTimeout = 30 * time.Second
+	}
+	if out.GatherTimeout <= 0 {
+		out.GatherTimeout = 5 * time.Second
+	}
+	if out.Fanout <= 0 {
+		out.Fanout = 8
+	}
+	if out.HealthInterval <= 0 {
+		out.HealthInterval = 2 * time.Second
+	}
+	if out.BreakerThreshold <= 0 {
+		out.BreakerThreshold = 3
+	}
+	if out.BreakerCooldown <= 0 {
+		out.BreakerCooldown = 5 * time.Second
+	}
+	if out.MaxIdleConns <= 0 {
+		out.MaxIdleConns = 32
+	}
+	return out
+}
+
+// Router is a stateless scale-out front for N zoom workers: it places
+// run-addressed requests (/v1/query, /v1/batch) on the consistent-hash
+// ring and forwards them verbatim to the owning worker over pooled
+// keep-alive connections, and answers the catalog endpoints (/v1/runs,
+// /v1/stats) by bounded parallel scatter-gather with a deterministic
+// merge. Per-shard circuit breakers and /readyz polling turn a dead
+// worker into fast 502s naming the shard instead of per-request connect
+// timeouts, while the remaining shards keep answering.
+type Router struct {
+	cfg    Config
+	ring   *Ring
+	shards []*shard
+	httpc  *http.Client
+	reg    *obs.Registry
+
+	requests  *obs.Counter
+	requestNs *obs.Histogram
+	forwards  *obs.Counter
+	fwdErrors *obs.Counter
+	fastFails *obs.Counter
+	gathers   *obs.Counter
+	partials  *obs.Counter
+}
+
+// New returns a router over cfg.Workers (at least one required), wired to
+// reg (one is created when nil). Start its health loop with HealthLoop or
+// let Serve do it.
+func New(reg *obs.Registry, cfg Config) (*Router, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("cluster: router needs at least one worker")
+	}
+	cfg = (&cfg).withDefaults()
+	ring, err := NewRing(len(cfg.Workers), cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	rt := cfg.Transport
+	if rt == nil {
+		rt = &http.Transport{
+			MaxIdleConns:        cfg.MaxIdleConns * len(cfg.Workers),
+			MaxIdleConnsPerHost: cfg.MaxIdleConns,
+			IdleConnTimeout:     90 * time.Second,
+		}
+	}
+	r := &Router{
+		cfg:       cfg,
+		ring:      ring,
+		httpc:     &http.Client{Transport: rt},
+		reg:       reg,
+		requests:  reg.Counter("router.requests"),
+		requestNs: reg.Histogram("router.request_ns"),
+		forwards:  reg.Counter("router.forwards"),
+		fwdErrors: reg.Counter("router.forward_errors"),
+		fastFails: reg.Counter("router.fast_fails"),
+		gathers:   reg.Counter("router.gathers"),
+		partials:  reg.Counter("router.gather_partial"),
+	}
+	for i, base := range cfg.Workers {
+		r.shards = append(r.shards, &shard{
+			index: i,
+			base:  base,
+			cl:    client.New(base, client.Options{Timeout: -1, Transport: rt}),
+			up:    reg.Gauge(fmt.Sprintf("router.shard.%d.up", i)),
+		})
+	}
+	return r, nil
+}
+
+// Ring returns the router's placement ring.
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Registry returns the router's metrics registry.
+func (rt *Router) Registry() *obs.Registry { return rt.reg }
+
+// errorBody matches the worker's uniform JSON error shape, so clients
+// decode router-originated errors (fast 502s) exactly like worker errors.
+type errorBody struct {
+	Error   string `json:"error"`
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Handler returns the router's route table.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/query", rt.measured(rt.forward("/v1/query")))
+	mux.Handle("POST /v1/batch", rt.measured(rt.forward("/v1/batch")))
+	mux.Handle("GET /v1/runs", rt.measured(http.HandlerFunc(rt.handleRuns)))
+	mux.Handle("GET /v1/stats", rt.measured(http.HandlerFunc(rt.handleStats)))
+	mux.HandleFunc("GET /v1/shards", rt.handleShards)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	return mux
+}
+
+// measured wraps a handler with the router's request counter/histogram.
+func (rt *Router) measured(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h.ServeHTTP(w, r)
+		rt.requests.Inc()
+		rt.requestNs.Observe(time.Since(start).Nanoseconds())
+	})
+}
+
+// Serve runs the router on ln until ctx is cancelled, with the health
+// loop polling in the background, then shuts down gracefully like the
+// worker: the listener closes immediately, in-flight requests get up to
+// drain to finish.
+func (rt *Router) Serve(ctx context.Context, ln net.Listener, drain time.Duration) error {
+	hctx, hcancel := context.WithCancel(ctx)
+	defer hcancel()
+	go rt.HealthLoop(hctx)
+	srv := &http.Server{Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	if e := <-errc; e != nil && !errors.Is(e, http.ErrServerClosed) && err == nil {
+		err = e
+	}
+	return err
+}
+
+// forward returns the handler for a run-addressed endpoint: peek at the
+// run id, place it on the ring, and relay the request/response verbatim
+// to/from the owning worker. The body passes through untouched in both
+// directions — the cluster's answers are byte-identical to the worker's
+// (and, by the differential suite, to a single node's).
+func (rt *Router) forward(path string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTraceWithID("POST "+path, r.Header.Get(TraceIDHeader))
+		defer tr.Finish()
+		w.Header().Set(TraceIDHeader, tr.ID())
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				errorBody{Error: "bad request: " + err.Error(), TraceID: tr.ID()})
+			return
+		}
+		// The router only needs the run id for placement; everything else
+		// in the body is the worker's to validate.
+		var peek struct {
+			Run string `json:"run"`
+		}
+		if jerr := json.Unmarshal(body, &peek); jerr != nil || peek.Run == "" {
+			writeJSON(w, http.StatusBadRequest,
+				errorBody{Error: "bad request: a JSON body with a run id is required", TraceID: tr.ID()})
+			return
+		}
+		idx := rt.ring.Place(peek.Run)
+		sh := rt.shards[idx]
+		if reason := sh.state(time.Now()); reason != "" {
+			rt.fastFails.Inc()
+			writeJSON(w, http.StatusBadGateway, errorBody{
+				Error:   fmt.Sprintf("shard %d (%s) unavailable: %s", idx, sh.base, reason),
+				TraceID: tr.ID(),
+			})
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ForwardTimeout)
+		defer cancel()
+		url := sh.base + path
+		if q := r.URL.RawQuery; q != "" {
+			url += "?" + q
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError,
+				errorBody{Error: err.Error(), TraceID: tr.ID()})
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(TraceIDHeader, tr.ID())
+		resp, err := rt.httpc.Do(req)
+		if err != nil {
+			sh.fail(int32(rt.cfg.BreakerThreshold), rt.cfg.BreakerCooldown)
+			rt.fwdErrors.Inc()
+			writeJSON(w, http.StatusBadGateway, errorBody{
+				Error:   fmt.Sprintf("shard %d (%s) forward failed: %v", idx, sh.base, err),
+				TraceID: tr.ID(),
+			})
+			return
+		}
+		defer resp.Body.Close()
+		sh.ok()
+		rt.forwards.Inc()
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	})
+}
+
+// ShardError describes one shard's failure inside a partial scatter-
+// gather answer or a fast 502.
+type ShardError struct {
+	Shard int    `json:"shard"`
+	Addr  string `json:"addr"`
+	Error string `json:"error"`
+}
+
+// gather calls fn once per shard with bounded concurrency and returns
+// the per-shard results (nil where failed) plus the failures sorted by
+// shard index. Shards that are breaker-open or health-down are reported
+// failed without a request. Only transport-level failures feed the
+// breaker; a worker that answers (even with an error status) is alive.
+func (rt *Router) gather(ctx context.Context, fn func(context.Context, *shard) (any, error)) ([]any, []ShardError) {
+	rt.gathers.Inc()
+	results := make([]any, len(rt.shards))
+	errs := make([]error, len(rt.shards))
+	sem := make(chan struct{}, rt.cfg.Fanout)
+	var wg sync.WaitGroup
+	for i, sh := range rt.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if reason := sh.state(time.Now()); reason != "" {
+				errs[i] = errors.New(reason)
+				return
+			}
+			cctx, cancel := context.WithTimeout(ctx, rt.cfg.GatherTimeout)
+			defer cancel()
+			v, err := fn(cctx, sh)
+			if err != nil {
+				var ce *client.Error
+				if !errors.As(err, &ce) {
+					sh.fail(int32(rt.cfg.BreakerThreshold), rt.cfg.BreakerCooldown)
+				}
+				errs[i] = err
+				return
+			}
+			sh.ok()
+			results[i] = v
+		}(i, sh)
+	}
+	wg.Wait()
+	var fails []ShardError
+	for i, err := range errs {
+		if err != nil {
+			fails = append(fails, ShardError{Shard: i, Addr: rt.shards[i].base, Error: err.Error()})
+		}
+	}
+	if len(fails) > 0 {
+		rt.partials.Inc()
+	}
+	return results, fails
+}
+
+// routerRunsResponse is the merged GET /v1/runs body. The leading fields
+// mirror the worker's runsResponse exactly (trace_id, count, runs) so a
+// fully-healthy cluster answer is byte-identical to a single node
+// holding the same runs; the partial fields only appear when shards
+// failed — degraded answers are flagged, never silently truncated.
+type routerRunsResponse struct {
+	TraceID      string           `json:"trace_id"`
+	Count        int              `json:"count"`
+	Runs         []client.RunInfo `json:"runs"`
+	Partial      bool             `json:"partial,omitempty"`
+	FailedShards []ShardError     `json:"failed_shards,omitempty"`
+}
+
+// handleRuns scatter-gathers the run catalog and merges it
+// deterministically: dedup by run id (first shard wins — shards are
+// disjoint under a correct split, so this only matters for overlapping
+// hand-built deployments), then sort by id.
+func (rt *Router) handleRuns(w http.ResponseWriter, r *http.Request) {
+	tr := obs.NewTraceWithID("GET /v1/runs", r.Header.Get(TraceIDHeader))
+	defer tr.Finish()
+	w.Header().Set(TraceIDHeader, tr.ID())
+	results, fails := rt.gather(r.Context(), func(ctx context.Context, sh *shard) (any, error) {
+		return sh.cl.Runs(ctx)
+	})
+	seen := make(map[string]bool)
+	merged := make([]client.RunInfo, 0, 16)
+	for _, v := range results {
+		rr, ok := v.(*client.RunsResponse)
+		if !ok || rr == nil {
+			continue
+		}
+		for _, ri := range rr.Runs {
+			if !seen[ri.ID] {
+				seen[ri.ID] = true
+				merged = append(merged, ri)
+			}
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].ID < merged[j].ID })
+	resp := routerRunsResponse{TraceID: tr.ID(), Count: len(merged), Runs: merged}
+	if len(fails) > 0 {
+		resp.Partial = true
+		resp.FailedShards = fails
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// shardStats is one shard's raw stats document inside the merged
+// GET /v1/stats body.
+type shardStats struct {
+	Shard int             `json:"shard"`
+	Addr  string          `json:"addr"`
+	Stats json.RawMessage `json:"stats"`
+}
+
+// routerStatsResponse is the merged GET /v1/stats body: each shard's
+// stats document verbatim, in shard order, plus the partial flag.
+type routerStatsResponse struct {
+	TraceID      string       `json:"trace_id"`
+	ShardsTotal  int          `json:"shards_total"`
+	ShardsOK     int          `json:"shards_ok"`
+	Shards       []shardStats `json:"shards"`
+	Partial      bool         `json:"partial,omitempty"`
+	FailedShards []ShardError `json:"failed_shards,omitempty"`
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	tr := obs.NewTraceWithID("GET /v1/stats", r.Header.Get(TraceIDHeader))
+	defer tr.Finish()
+	w.Header().Set(TraceIDHeader, tr.ID())
+	results, fails := rt.gather(r.Context(), func(ctx context.Context, sh *shard) (any, error) {
+		return sh.cl.Stats(ctx)
+	})
+	resp := routerStatsResponse{TraceID: tr.ID(), ShardsTotal: len(rt.shards)}
+	for i, v := range results {
+		sr, ok := v.(*client.StatsResponse)
+		if !ok || sr == nil {
+			continue
+		}
+		resp.ShardsOK++
+		resp.Shards = append(resp.Shards, shardStats{Shard: i, Addr: rt.shards[i].base, Stats: sr.Stats})
+	}
+	if len(fails) > 0 {
+		resp.Partial = true
+		resp.FailedShards = fails
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// shardState is one row of GET /v1/shards and GET /readyz: the router's
+// current view of a worker.
+type shardState struct {
+	Shard      int    `json:"shard"`
+	Addr       string `json:"addr"`
+	Ready      bool   `json:"ready"`
+	State      string `json:"state,omitempty"` // why unavailable; empty when forwardable
+	RunsLoaded int    `json:"runs_loaded"`
+	RunsTotal  int    `json:"runs_total"`
+}
+
+func (rt *Router) shardStates() []shardState {
+	now := time.Now()
+	out := make([]shardState, len(rt.shards))
+	for i, sh := range rt.shards {
+		out[i] = shardState{
+			Shard:      i,
+			Addr:       sh.base,
+			Ready:      sh.available(now),
+			State:      sh.state(now),
+			RunsLoaded: int(sh.loaded.Load()),
+			RunsTotal:  int(sh.total.Load()),
+		}
+	}
+	return out
+}
+
+// handleShards reports the router's shard table from its current state,
+// without touching the workers.
+func (rt *Router) handleShards(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"shards":   rt.shardStates(),
+		"replicas": rt.cfg.Replicas,
+	})
+}
+
+// handleReadyz polls every worker's /readyz live (also refreshing the
+// health state) and answers 200 only when all shards are ready — the
+// signal a cluster smoke test or orchestrator waits on before sending
+// traffic.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready := rt.checkAll(r.Context())
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"ready":  ready,
+		"shards": rt.shardStates(),
+	})
+}
+
+// handleMetrics serves the router registry's Prometheus exposition.
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePrometheus(w, rt.reg.Snapshot(), "zoom")
+}

@@ -24,12 +24,23 @@ import (
 // outcome="..." label instead of being part of the metric name.
 var outcomeLabels = map[string]bool{"hit": true, "miss": true, "shared-wait": true}
 
+// classLabels are the trailing name segments folded into a class="..."
+// label — the per-route HTTP status-class counters the server registers
+// (http.query.status.2xx / .4xx / .5xx) become one family per route.
+var classLabels = map[string]bool{"1xx": true, "2xx": true, "3xx": true, "4xx": true, "5xx": true}
+
 // promSplit maps a registry name to a sanitized metric name and an
 // optional label pair.
 func promSplit(namespace, name string) (metric, labels string) {
-	if i := strings.LastIndexByte(name, '.'); i >= 0 && outcomeLabels[name[i+1:]] {
-		labels = `outcome="` + name[i+1:] + `"`
-		name = name[:i]
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		switch tail := name[i+1:]; {
+		case outcomeLabels[tail]:
+			labels = `outcome="` + tail + `"`
+			name = name[:i]
+		case classLabels[tail]:
+			labels = `class="` + tail + `"`
+			name = name[:i]
+		}
 	}
 	var b strings.Builder
 	if namespace != "" {

@@ -272,6 +272,9 @@ func TestPromSplit(t *testing.T) {
 		{"zoom", "query.deep_total_ns.shared-wait", "zoom_query_deep_total_ns", `outcome="shared-wait"`},
 		{"", "cache.hits", "cache_hits", ""},
 		{"zoom", "batch.count", "zoom_batch_count", ""},
+		{"zoom", "http.query.status.2xx", "zoom_http_query_status", `class="2xx"`},
+		{"zoom", "http.batch.status.5xx", "zoom_http_batch_status", `class="5xx"`},
+		{"zoom", "http.query.in_flight", "zoom_http_query_in_flight", ""},
 		{"", "9lives", "_lives", ""}, // leading digit is not a valid name start
 	}
 	for _, c := range cases {

@@ -56,9 +56,38 @@ func newTraceID() string {
 // the request route, e.g. "POST /v1/query"). The root span is already
 // started; Finish ends it.
 func NewTrace(name string) *Trace {
-	t := &Trace{id: newTraceID(), t0: time.Now()}
+	return NewTraceWithID(name, "")
+}
+
+// NewTraceWithID is NewTrace with a caller-supplied trace id — how a
+// routed request keeps one id end-to-end: the router mints the id, sends
+// it in X-Zoom-Trace-Id, and the worker adopts it instead of minting its
+// own, so both slow logs and both responses name the same trace. An id
+// that fails ValidTraceID (including "") is replaced by a fresh random
+// one, so a malicious or sloppy client cannot inject arbitrary strings
+// into logs and headers.
+func NewTraceWithID(name, id string) *Trace {
+	if !ValidTraceID(id) {
+		id = newTraceID()
+	}
+	t := &Trace{id: id, t0: time.Now()}
 	t.root = &Span{tr: t, name: name}
 	return t
+}
+
+// ValidTraceID reports whether id is a well-formed trace id: exactly 16
+// lower-case hex digits, the shape newTraceID produces.
+func ValidTraceID(id string) bool {
+	if len(id) != 16 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // ID returns the trace id (16 hex digits) — the value of X-Zoom-Trace-Id.

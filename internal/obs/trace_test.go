@@ -171,3 +171,40 @@ func TestSpanEndTwice(t *testing.T) {
 		t.Fatalf("second End moved duration %d -> %d", d1, d2)
 	}
 }
+
+// TestTraceWithID: a valid supplied id is adopted verbatim; anything else
+// (wrong length, upper case, non-hex, empty) is replaced by a fresh one.
+func TestTraceWithID(t *testing.T) {
+	const id = "0123456789abcdef"
+	if got := NewTraceWithID("r", id).ID(); got != id {
+		t.Fatalf("valid id not adopted: got %q", got)
+	}
+	for _, bad := range []string{"", "short", "0123456789ABCDEF", "0123456789abcdeg",
+		"0123456789abcdef0", "xxxxxxxxxxxxxxxx"} {
+		tr := NewTraceWithID("r", bad)
+		if tr.ID() == bad {
+			t.Fatalf("invalid id %q adopted", bad)
+		}
+		if !ValidTraceID(tr.ID()) {
+			t.Fatalf("replacement id %q is not valid", tr.ID())
+		}
+	}
+}
+
+// TestValidTraceID pins the 16-lower-hex shape.
+func TestValidTraceID(t *testing.T) {
+	if !ValidTraceID(NewTrace("r").ID()) {
+		t.Fatal("fresh trace id does not validate")
+	}
+	for id, want := range map[string]bool{
+		"0123456789abcdef": true,
+		"ffffffffffffffff": true,
+		"0123456789abcde":  false,
+		"0123456789abcdeF": false,
+		"":                 false,
+	} {
+		if got := ValidTraceID(id); got != want {
+			t.Errorf("ValidTraceID(%q) = %v, want %v", id, got, want)
+		}
+	}
+}

@@ -87,6 +87,17 @@ type Server struct {
 	slowCount *obs.Counter
 	ready     *obs.Gauge
 
+	// Per-route metrics (status-class counters, latency histogram,
+	// in-flight gauge), resolved once at construction and keyed by the
+	// short route name. The router scrapes these on both sides of a
+	// forwarded request to attribute tail latency to router or worker.
+	routes map[string]*routeMetrics
+
+	// testHookBatchStarted, when set by a test, runs inside handleBatch
+	// after the request is decoded and validated — the seam the graceful-
+	// drain regression test uses to hold a batch in flight across SIGTERM.
+	testHookBatchStarted func()
+
 	// views memoizes built user views per (spec, relevant) and per named
 	// view so repeated requests hit the engine's mapping memo (keyed by
 	// view pointer) instead of rebuilding both every time.
@@ -112,7 +123,7 @@ func New(reg *obs.Registry, cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 	}
-	return &Server{
+	s := &Server{
 		reg:       reg,
 		cfg:       cfg,
 		slow:      NewSlowLog(cfg.SlowLogSize),
@@ -121,8 +132,56 @@ func New(reg *obs.Registry, cfg Config) (*Server, error) {
 		requestNs: reg.Histogram("http.request_ns"),
 		slowCount: reg.Counter("http.slow_requests"),
 		ready:     reg.Gauge("server.ready"),
+		routes:    make(map[string]*routeMetrics),
 		views:     make(map[string]*core.UserView),
-	}, nil
+	}
+	for _, key := range routeKeys {
+		s.routes[key] = newRouteMetrics(reg, key)
+	}
+	return s, nil
+}
+
+// routeKeys are the short names of the instrumented API routes; they
+// appear in metric names as http.<key>.status.<class>, http.<key>.ns and
+// http.<key>.in_flight (the status classes fold into class="..." labels
+// in the Prometheus exposition).
+var routeKeys = []string{"query", "batch", "runs", "stats"}
+
+// routeMetrics are one API route's instruments: request counters split by
+// status class, a latency histogram, and an in-flight gauge.
+type routeMetrics struct {
+	status   [6]*obs.Counter // index status/100; 0 unused
+	latency  *obs.Histogram
+	inFlight *obs.Gauge
+}
+
+func newRouteMetrics(reg *obs.Registry, key string) *routeMetrics {
+	rm := &routeMetrics{
+		latency:  reg.Histogram("http." + key + ".ns"),
+		inFlight: reg.Gauge("http." + key + ".in_flight"),
+	}
+	for c := 1; c <= 5; c++ {
+		rm.status[c] = reg.Counter(fmt.Sprintf("http.%s.status.%dxx", key, c))
+	}
+	return rm
+}
+
+// observe records one finished request on the route's instruments.
+func (rm *routeMetrics) observe(status int, durNs int64) {
+	if rm == nil {
+		return
+	}
+	if c := status / 100; c >= 1 && c <= 5 {
+		rm.status[c].Inc()
+	}
+	rm.latency.Observe(durNs)
+}
+
+// addInFlight adjusts the route's in-flight gauge (no-op on nil).
+func (rm *routeMetrics) addInFlight(delta int64) {
+	if rm != nil {
+		rm.inFlight.Add(delta)
+	}
 }
 
 // SetEngine installs the engine and flips the server ready. It may be
@@ -245,24 +304,42 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // snapshots.
 type apiHandler func(ctx context.Context, tr *obs.Trace, w http.ResponseWriter, r *http.Request)
 
-// traced wraps an API endpoint with the request boundary: a fresh trace
-// (id in X-Zoom-Trace-Id), request metrics, and slow-log capture when the
-// request runs at or over the threshold.
+// TraceIDHeader carries the request's trace id on responses — and, since
+// the handlers accept it inbound too, one id can follow a request through
+// a router hop onto a worker, so both slow logs name the same trace.
+const TraceIDHeader = "X-Zoom-Trace-Id"
+
+// routeKey maps a route ("POST /v1/query") to its metrics key ("query").
+func routeKey(route string) string {
+	if i := strings.LastIndexByte(route, '/'); i >= 0 {
+		return route[i+1:]
+	}
+	return route
+}
+
+// traced wraps an API endpoint with the request boundary: a trace (id in
+// X-Zoom-Trace-Id — a valid inbound id on the same header is adopted
+// instead of minting one), request and per-route metrics, and slow-log
+// capture when the request runs at or over the threshold.
 func (s *Server) traced(route string, h apiHandler) http.Handler {
+	rm := s.routes[routeKey(route)]
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		tr := obs.NewTrace(route)
+		tr := obs.NewTraceWithID(route, r.Header.Get(TraceIDHeader))
 		ctx := tr.Context(r.Context())
-		w.Header().Set("X-Zoom-Trace-Id", tr.ID())
+		w.Header().Set(TraceIDHeader, tr.ID())
 		sw := &statusWriter{ResponseWriter: w}
+		rm.addInFlight(1)
 		start := time.Now()
 		h(ctx, tr, sw, r)
 		dur := time.Since(start)
+		rm.addInFlight(-1)
 		node := tr.Finish()
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
 		s.requests.Inc()
 		s.requestNs.Observe(dur.Nanoseconds())
+		rm.observe(sw.status, dur.Nanoseconds())
 		if sw.status >= 400 {
 			s.errCount.Inc()
 		}
@@ -627,6 +704,9 @@ func (s *Server) handleBatch(ctx context.Context, tr *obs.Trace, w http.Response
 	if workers <= 0 {
 		workers = s.cfg.Workers
 	}
+	if s.testHookBatchStarted != nil {
+		s.testHookBatchStarted()
+	}
 	results, err := e.DeepProvenanceBatch(ctx, req.Run, v, req.Data, workers)
 	if err != nil {
 		writeError(w, tr, err)
@@ -652,14 +732,26 @@ type runInfo struct {
 	Edges int    `json:"edges"`
 }
 
-// handleRuns lists the loaded runs.
+// runsResponse is the body of GET /v1/runs: the run list sorted by id
+// plus an explicit count. The sort and count are load-bearing for the
+// cluster router, whose scatter-gather merge needs stable, dedupable
+// worker responses — field order here must stay in sync with the router's
+// merged response so a fully-healthy cluster answer is byte-identical to
+// a single node's.
+type runsResponse struct {
+	TraceID string    `json:"trace_id"`
+	Count   int       `json:"count"`
+	Runs    []runInfo `json:"runs"`
+}
+
+// handleRuns lists the loaded runs, deterministically sorted by run id.
 func (s *Server) handleRuns(_ context.Context, tr *obs.Trace, w http.ResponseWriter, _ *http.Request) {
 	e := s.engineOr503(w, tr)
 	if e == nil {
 		return
 	}
 	wh := e.Warehouse()
-	ids := wh.RunIDs()
+	ids := wh.RunIDs() // sorted by the warehouse
 	out := make([]runInfo, 0, len(ids))
 	for _, id := range ids {
 		r, err := wh.Run(id)
@@ -668,7 +760,8 @@ func (s *Server) handleRuns(_ context.Context, tr *obs.Trace, w http.ResponseWri
 		}
 		out = append(out, runInfo{ID: id, Spec: r.SpecName(), Steps: r.NumSteps(), Edges: r.NumEdges()})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"trace_id": tr.ID(), "runs": out})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, runsResponse{TraceID: tr.ID(), Count: len(out), Runs: out})
 }
 
 // handleStats returns the warehouse statistics (catalog row counts, cache

@@ -2,9 +2,11 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -658,5 +660,224 @@ func TestReadyzReportsLoadProgress(t *testing.T) {
 	}
 	if body.RunsLoaded != 8 || body.RunsTotal != 8 {
 		t.Fatalf("/readyz after load: %+v, want 8/8", body)
+	}
+}
+
+// TestServerTraceIDPropagation: a valid inbound X-Zoom-Trace-Id is adopted
+// for the whole request (header, body, slow log), so a routed query keeps
+// one trace id end-to-end; an invalid one is replaced with a fresh id.
+func TestServerTraceIDPropagation(t *testing.T) {
+	s, _ := newTestServer(t, Config{SlowThreshold: -1})
+	h := s.Handler()
+	const id = "00000000deadbeef"
+
+	body, _ := json.Marshal(map[string]any{"run": "fig2", "data": "d447"})
+	req := httptest.NewRequest("POST", "/v1/query", bytes.NewReader(body))
+	req.Header.Set(TraceIDHeader, id)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get(TraceIDHeader); got != id {
+		t.Fatalf("response header id %q, want inbound %q", got, id)
+	}
+	var resp struct {
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID != id {
+		t.Fatalf("body trace_id %q, want inbound %q", resp.TraceID, id)
+	}
+	entries := s.SlowLog().Entries()
+	if len(entries) == 0 || entries[0].TraceID != id {
+		t.Fatalf("slow log did not keep the inbound trace id: %+v", entries)
+	}
+
+	// An invalid inbound id must be replaced, not echoed.
+	req = httptest.NewRequest("POST", "/v1/query", bytes.NewReader(body))
+	req.Header.Set(TraceIDHeader, "not-a-trace-id!!")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	got := rec.Header().Get(TraceIDHeader)
+	if got == "not-a-trace-id!!" || !obs.ValidTraceID(got) {
+		t.Fatalf("invalid inbound id echoed or replacement invalid: %q", got)
+	}
+}
+
+// TestServerRouteMetrics: each API route owns status-class counters, a
+// latency histogram, and an in-flight gauge, and they reach /metrics with
+// the status class folded into a class label.
+func TestServerRouteMetrics(t *testing.T) {
+	s, reg := newTestServer(t, Config{})
+	h := s.Handler()
+
+	var out map[string]any
+	doJSON(t, h, "POST", "/v1/query", map[string]any{"run": "fig2", "data": "d447"}, &out)
+	rec := doJSON(t, h, "POST", "/v1/query", map[string]any{"run": "no-such-run", "data": "d447"}, nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown run: status %d", rec.Code)
+	}
+	doJSON(t, h, "GET", "/v1/runs", nil, &out)
+
+	snap := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"http.query.status.2xx": 1,
+		"http.query.status.4xx": 1,
+		"http.runs.status.2xx":  1,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	if h := snap.Histograms["http.query.ns"]; h.Count != 2 {
+		t.Errorf("http.query.ns count = %d, want 2", h.Count)
+	}
+	if g, ok := snap.Gauges["http.query.in_flight"]; !ok || g != 0 {
+		t.Errorf("http.query.in_flight = %d (present %v), want 0", g, ok)
+	}
+
+	var prom bytes.Buffer
+	obs.WritePrometheus(&prom, snap, "zoom")
+	for _, want := range []string{
+		`zoom_http_query_status{class="2xx"} 1`,
+		`zoom_http_query_status{class="4xx"} 1`,
+		`zoom_http_query_in_flight 0`,
+		`zoom_http_query_ns_count 2`,
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestServerRunsSortedWithCount: GET /v1/runs reports a count and lists
+// runs in sorted id order regardless of load order — the stable shape the
+// cluster router's scatter-gather merge depends on.
+func TestServerRunsSortedWithCount(t *testing.T) {
+	w := warehouse.New(0)
+	sp := spec.Phylogenomics()
+	if err := w.RegisterSpec(sp); err != nil {
+		t.Fatal(err)
+	}
+	// Load in non-sorted id order.
+	for _, id := range []string{"zrun", "arun"} {
+		r, _, err := run.Execute(sp, run.Config{RunID: id, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.LoadRun(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.LoadRun(run.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(obs.NewRegistry(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetEngine(provenance.NewEngine(w))
+
+	var resp struct {
+		TraceID string `json:"trace_id"`
+		Count   int    `json:"count"`
+		Runs    []struct {
+			ID string `json:"id"`
+		} `json:"runs"`
+	}
+	doJSON(t, s.Handler(), "GET", "/v1/runs", nil, &resp)
+	if resp.Count != 3 || len(resp.Runs) != 3 {
+		t.Fatalf("count %d, %d runs, want 3", resp.Count, len(resp.Runs))
+	}
+	want := []string{"arun", "fig2", "zrun"}
+	for i, r := range resp.Runs {
+		if r.ID != want[i] {
+			t.Fatalf("runs[%d] = %q, want %q (sorted)", i, r.ID, want[i])
+		}
+	}
+}
+
+// TestServerConcurrentBatchDrain regression-pins the graceful-drain path:
+// a SIGTERM (context cancellation, as cmdServe wires it) arriving while a
+// /v1/batch is in flight must let the batch finish with a 200 while the
+// listener stops accepting new connections.
+func TestServerConcurrentBatchDrain(t *testing.T) {
+	s, _ := newTestServer(t, Config{SlowThreshold: time.Hour})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s.testHookBatchStarted = func() {
+		close(started)
+		<-release
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ctx, ln, 10*time.Second) }()
+
+	type reply struct {
+		status int
+		body   []byte
+		err    error
+	}
+	resc := make(chan reply, 1)
+	go func() {
+		resp, err := http.Post("http://"+addr+"/v1/batch", "application/json",
+			strings.NewReader(`{"run":"fig2","data":["d447","d413"]}`))
+		if err != nil {
+			resc <- reply{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		resc <- reply{status: resp.StatusCode, body: b}
+	}()
+
+	<-started
+	cancel() // what SIGTERM does in cmdServe
+
+	// The listener must close while the batch is still being held open.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, derr := net.DialTimeout("tcp", addr, 100*time.Millisecond)
+		if derr != nil {
+			break
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			close(release)
+			t.Fatal("listener still accepting after shutdown began")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	close(release)
+	res := <-resc
+	if res.err != nil {
+		t.Fatalf("in-flight batch failed during drain: %v", res.err)
+	}
+	if res.status != http.StatusOK {
+		t.Fatalf("in-flight batch status %d during drain: %s", res.status, res.body)
+	}
+	var batch struct {
+		Count   int               `json:"count"`
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(res.body, &batch); err != nil {
+		t.Fatalf("bad batch body after drain: %v", err)
+	}
+	if batch.Count != 2 || len(batch.Results) != 2 {
+		t.Fatalf("drained batch answered %d/%d results, want 2", batch.Count, len(batch.Results))
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve returned %v after drain", err)
 	}
 }

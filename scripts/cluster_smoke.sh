@@ -1,0 +1,140 @@
+#!/usr/bin/env sh
+# End-to-end smoke test for the sharded deployment: build the CLI, split the
+# example warehouse into 2 shard snapshots with `zoom snapshot shard`, boot a
+# worker per shard plus `zoom router` in front, and check the full scale-out
+# surface — routed queries, the merged run catalog, aggregated readiness,
+# trace-id propagation through the hop, and the dead-worker path (fast 502
+# naming the dead shard while the survivor keeps answering). Exits non-zero
+# on the first failed check.
+set -eu
+
+workdir=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do
+        kill "$p" 2>/dev/null || true
+    done
+    for p in $pids; do
+        wait "$p" 2>/dev/null || true
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "cluster-smoke: FAIL: $*" >&2
+    for log in "$workdir"/*.log; do
+        echo "--- $log ---" >&2
+        cat "$log" >&2 || true
+    done
+    exit 1
+}
+
+# Wait for the "listening on http://..." line a zoom process prints and
+# echo the base URL.
+wait_listen() {
+    _log=$1
+    _pid=$2
+    _base=""
+    for _ in $(seq 1 50); do
+        _base=$(sed -n 's!.*listening on \(http://[0-9.:]*\).*!\1!p' "$_log" | head -1)
+        [ -n "$_base" ] && break
+        kill -0 "$_pid" 2>/dev/null || return 1
+        sleep 0.1
+    done
+    [ -n "$_base" ] && echo "$_base"
+}
+
+echo "cluster-smoke: building zoom"
+go build -o "$workdir/zoom" ./cmd/zoom
+
+echo "cluster-smoke: creating and sharding the example warehouse"
+"$workdir/zoom" example -warehouse "$workdir/wh.json" >/dev/null
+"$workdir/zoom" snapshot shard -in "$workdir/wh.json" -n 2 >/dev/null
+[ -f "$workdir/wh.json.shard0" ] || fail "missing shard0 snapshot"
+[ -f "$workdir/wh.json.shard1" ] || fail "missing shard1 snapshot"
+
+"$workdir/zoom" serve -warehouse "$workdir/wh.json.shard0" -addr 127.0.0.1:0 \
+    -expvar "" >"$workdir/worker0.log" 2>&1 &
+w0_pid=$!
+pids="$pids $w0_pid"
+"$workdir/zoom" serve -warehouse "$workdir/wh.json.shard1" -addr 127.0.0.1:0 \
+    -expvar "" >"$workdir/worker1.log" 2>&1 &
+w1_pid=$!
+pids="$pids $w1_pid"
+w0=$(wait_listen "$workdir/worker0.log" "$w0_pid") || fail "worker 0 never listened"
+w1=$(wait_listen "$workdir/worker1.log" "$w1_pid") || fail "worker 1 never listened"
+echo "cluster-smoke: workers at $w0 $w1"
+
+# Worker order is shard order: shard0 first.
+"$workdir/zoom" router -addr 127.0.0.1:0 -workers "$w0,$w1" \
+    -health-interval 200ms >"$workdir/router.log" 2>&1 &
+router_pid=$!
+pids="$pids $router_pid"
+base=$(wait_listen "$workdir/router.log" "$router_pid") || fail "router never listened"
+echo "cluster-smoke: router at $base"
+
+# Aggregated readiness: 200 only once every shard is ready.
+for _ in $(seq 1 50); do
+    if curl -fsS "$base/readyz" 2>/dev/null | grep -q '"ready": true'; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+[ "${ready:-}" = 1 ] || fail "router /readyz never became ready"
+echo "cluster-smoke: cluster ready"
+
+# The merged catalog holds the example run wherever the ring placed it.
+curl -fsS "$base/v1/runs" >"$workdir/runs.json" || fail "GET /v1/runs"
+grep -q '"count": 1' "$workdir/runs.json" || fail "merged catalog count != 1"
+grep -q '"id": "fig2"' "$workdir/runs.json" || fail "merged catalog misses fig2"
+
+# A routed deep query through the named joe view, with a caller-chosen
+# trace id that must survive the router hop into the worker's answer.
+trace=cafe0123cafe0123
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -H "X-Zoom-Trace-Id: $trace" \
+    -d '{"run":"fig2","data":"d447","view":"joe"}' \
+    "$base/v1/query" >"$workdir/query.json" || fail "routed POST /v1/query"
+grep -q "\"trace_id\": \"$trace\"" "$workdir/query.json" || fail "trace id lost across the router hop"
+grep -q '"data": "d447"' "$workdir/query.json" || fail "routed query wrong payload"
+echo "cluster-smoke: routed traced query ok"
+
+# /v1/shards names both workers and their run counts.
+curl -fsS "$base/v1/shards" >"$workdir/shards.json" || fail "GET /v1/shards"
+grep -q '"shard": 0' "$workdir/shards.json" || fail "shard 0 missing from /v1/shards"
+grep -q '"shard": 1' "$workdir/shards.json" || fail "shard 1 missing from /v1/shards"
+
+# Dead-worker path: kill the worker that owns fig2, then the routed query
+# must fail fast with a 502 naming its shard while /v1/runs still answers
+# (flagged partial), and readiness drops to 503.
+if curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"run":"fig2","data":"d447"}' "$w0/v1/query" >/dev/null 2>&1; then
+    owner_pid=$w0_pid
+    owner_shard=0
+else
+    owner_pid=$w1_pid
+    owner_shard=1
+fi
+kill "$owner_pid"
+wait "$owner_pid" 2>/dev/null || true
+echo "cluster-smoke: killed shard $owner_shard worker"
+
+status=$(curl -s -o "$workdir/dead.json" -w '%{http_code}' \
+    -X POST -H 'Content-Type: application/json' \
+    -d '{"run":"fig2","data":"d447"}' "$base/v1/query")
+[ "$status" = 502 ] || fail "query on dead shard returned $status, want 502"
+grep -q "shard $owner_shard" "$workdir/dead.json" || fail "502 does not name the dead shard"
+
+curl -fsS "$base/v1/runs" >"$workdir/partial.json" || fail "GET /v1/runs with dead shard"
+grep -q '"partial": true' "$workdir/partial.json" || fail "degraded catalog not flagged partial"
+code=$(curl -s -o /dev/null -w '%{http_code}' "$base/readyz")
+[ "$code" = 503 ] || fail "router /readyz with dead shard returned $code, want 503"
+echo "cluster-smoke: dead shard fails fast, survivors keep answering"
+
+# Graceful shutdown of the router.
+kill -TERM "$router_pid"
+wait "$router_pid" || fail "router exited non-zero on SIGTERM"
+pids="$w0_pid $w1_pid"
+echo "cluster-smoke: PASS"

@@ -1,0 +1,336 @@
+// Package client is the typed HTTP client for the zoom provenance
+// service — the one place the wire shapes of /v1/query, /v1/batch,
+// /v1/runs and /v1/stats are spelled as Go structs outside the server.
+// Both halves of the cluster use it: the router's scatter-gather and
+// health checks speak through a Client per worker, and the S1 benchmark
+// driver uses it as the load generator. It is deliberately dependency-
+// free (net/http only) so external tooling can import it without pulling
+// in the engine.
+//
+// Every request is bounded by the client timeout (or the caller's
+// context, whichever ends first), reuses pooled keep-alive connections,
+// and can carry an explicit trace id in X-Zoom-Trace-Id — the server
+// adopts a valid inbound id, which is how one id follows a query through
+// the router onto a worker.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// TraceIDHeader is the header carrying the request/response trace id.
+const TraceIDHeader = "X-Zoom-Trace-Id"
+
+// DefaultTimeout bounds a request when Options.Timeout is zero.
+const DefaultTimeout = 30 * time.Second
+
+// Options tune a Client.
+type Options struct {
+	// Timeout bounds each request end-to-end (connect, send, wait, read).
+	// Zero selects DefaultTimeout; negative means no timeout (the
+	// caller's context is then the only bound).
+	Timeout time.Duration
+	// MaxIdleConns bounds the keep-alive pool per host (default 32).
+	MaxIdleConns int
+	// Transport overrides the HTTP transport (tests, shared pools). When
+	// set, MaxIdleConns is ignored.
+	Transport http.RoundTripper
+}
+
+// Client talks to one zoom server (a worker or a router) at a base URL.
+// It is safe for concurrent use.
+type Client struct {
+	base    string
+	http    *http.Client
+	timeout time.Duration
+}
+
+// New returns a client for the server at base (e.g. "http://127.0.0.1:8080").
+func New(base string, opts Options) *Client {
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	rt := opts.Transport
+	if rt == nil {
+		maxIdle := opts.MaxIdleConns
+		if maxIdle <= 0 {
+			maxIdle = 32
+		}
+		rt = &http.Transport{
+			MaxIdleConns:        maxIdle,
+			MaxIdleConnsPerHost: maxIdle,
+			IdleConnTimeout:     90 * time.Second,
+		}
+	}
+	return &Client{
+		base:    strings.TrimRight(base, "/"),
+		http:    &http.Client{Transport: rt},
+		timeout: timeout,
+	}
+}
+
+// Base returns the client's base URL.
+func (c *Client) Base() string { return c.base }
+
+// Error is a non-2xx response decoded from the server's uniform JSON
+// error shape, with the HTTP status attached.
+type Error struct {
+	Status  int    // HTTP status code
+	Message string `json:"error"`
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("zoom: server status %d: %s", e.Status, e.Message)
+}
+
+// QueryRequest is the body of POST /v1/query.
+type QueryRequest struct {
+	Run      string   `json:"run"`
+	Data     string   `json:"data"`
+	Kind     string   `json:"kind,omitempty"` // deep (default), immediate, derived
+	View     string   `json:"view,omitempty"`
+	Relevant []string `json:"relevant,omitempty"`
+	Labels   *bool    `json:"labels,omitempty"`
+	// TraceID, when a valid 16-hex id, is sent in X-Zoom-Trace-Id and
+	// adopted by the server. Not part of the JSON body.
+	TraceID string `json:"-"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Run      string   `json:"run"`
+	Data     []string `json:"data"`
+	View     string   `json:"view,omitempty"`
+	Relevant []string `json:"relevant,omitempty"`
+	Workers  int      `json:"workers,omitempty"`
+	TraceID  string   `json:"-"`
+}
+
+// Execution mirrors the server's execution DTO.
+type Execution struct {
+	ID        string   `json:"id"`
+	Composite string   `json:"composite"`
+	Steps     []string `json:"steps"`
+	Inputs    []string `json:"inputs,omitempty"`
+	Outputs   []string `json:"outputs,omitempty"`
+}
+
+// Edge mirrors the server's edge DTO.
+type Edge struct {
+	From string   `json:"from"`
+	To   string   `json:"to"`
+	Data []string `json:"data"`
+}
+
+// Result mirrors the server's provenance result DTO.
+type Result struct {
+	Root       string            `json:"root"`
+	External   bool              `json:"external,omitempty"`
+	Metadata   map[string]string `json:"metadata,omitempty"`
+	Executions []Execution       `json:"executions"`
+	Data       []string          `json:"data"`
+	Edges      []Edge            `json:"edges"`
+}
+
+// Timing mirrors the server's per-stage timing DTO.
+type Timing struct {
+	LookupNs  int64 `json:"lookup_ns"`
+	ComputeNs int64 `json:"compute_ns,omitempty"`
+	ProjectNs int64 `json:"project_ns"`
+	TotalNs   int64 `json:"total_ns"`
+}
+
+// QueryResponse is the body of a POST /v1/query answer.
+type QueryResponse struct {
+	TraceID   string          `json:"trace_id"`
+	Run       string          `json:"run"`
+	Data      string          `json:"data"`
+	Kind      string          `json:"kind"`
+	Outcome   string          `json:"outcome,omitempty"`
+	Strategy  string          `json:"strategy,omitempty"`
+	Timing    *Timing         `json:"timing,omitempty"`
+	Result    *Result         `json:"result,omitempty"`
+	Execution *Execution      `json:"execution,omitempty"`
+	Trace     json.RawMessage `json:"trace,omitempty"`
+}
+
+// BatchResponse is the body of a POST /v1/batch answer.
+type BatchResponse struct {
+	TraceID string          `json:"trace_id"`
+	Run     string          `json:"run"`
+	Count   int             `json:"count"`
+	Results []*Result       `json:"results"`
+	Trace   json.RawMessage `json:"trace,omitempty"`
+}
+
+// RunInfo is one row of GET /v1/runs.
+type RunInfo struct {
+	ID    string `json:"id"`
+	Spec  string `json:"spec"`
+	Steps int    `json:"steps"`
+	Edges int    `json:"edges"`
+}
+
+// RunsResponse is the body of GET /v1/runs — runs sorted by id, with an
+// explicit count. Field order matches the server (and the router's merge)
+// so re-encoding is byte-stable.
+type RunsResponse struct {
+	TraceID string    `json:"trace_id"`
+	Count   int       `json:"count"`
+	Runs    []RunInfo `json:"runs"`
+}
+
+// StatsResponse is the body of GET /v1/stats; the stats document is kept
+// raw (its shape belongs to the warehouse and grows PR over PR).
+type StatsResponse struct {
+	TraceID string          `json:"trace_id"`
+	Stats   json.RawMessage `json:"stats"`
+}
+
+// Readyz is the body of GET /readyz.
+type Readyz struct {
+	Ready      bool `json:"ready"`
+	RunsLoaded int  `json:"runs_loaded"`
+	RunsTotal  int  `json:"runs_total"`
+}
+
+// Query answers one provenance query.
+func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	var out QueryResponse
+	if err := c.postJSON(ctx, "/v1/query", req.TraceID, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Batch answers many queries of one run/view in one request.
+func (c *Client) Batch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	var out BatchResponse
+	if err := c.postJSON(ctx, "/v1/batch", req.TraceID, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Runs lists the server's loaded runs, sorted by id.
+func (c *Client) Runs(ctx context.Context) (*RunsResponse, error) {
+	var out RunsResponse
+	if err := c.getJSON(ctx, "/v1/runs", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the server's warehouse statistics.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.getJSON(ctx, "/v1/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ready polls GET /readyz. It returns the decoded body with no error for
+// both the ready (200) and still-loading (503) cases; other statuses and
+// transport failures are errors.
+func (c *Client) Ready(ctx context.Context) (*Readyz, error) {
+	ctx, cancel := c.bound(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return nil, &Error{Status: resp.StatusCode, Message: "unexpected /readyz status"}
+	}
+	var out Readyz
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&out); err != nil {
+		return nil, fmt.Errorf("zoom: decode /readyz: %w", err)
+	}
+	return &out, nil
+}
+
+// bound derives the request context from the client timeout.
+func (c *Client) bound(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.timeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.timeout)
+}
+
+// drain discards and closes a response body so the connection returns to
+// the keep-alive pool.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+func (c *Client) postJSON(ctx context.Context, path, traceID string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := c.bound(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set(TraceIDHeader, traceID)
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	ctx, cancel := c.bound(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+// do sends the request and decodes a 2xx JSON body into out, or a non-2xx
+// body into an *Error.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("zoom: read response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		e := &Error{Status: resp.StatusCode}
+		if jerr := json.Unmarshal(body, e); jerr != nil || e.Message == "" {
+			e.Message = strings.TrimSpace(string(body))
+		}
+		return e
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("zoom: decode %s: %w", req.URL.Path, err)
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/provenance"
+	"repro/internal/run"
+	"repro/internal/server"
+	"repro/internal/spec"
+	"repro/internal/warehouse"
+)
+
+// newTestServer boots a real server over the paper's example warehouse.
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	w := warehouse.New(0)
+	sp := spec.Phylogenomics()
+	if err := w.RegisterSpec(sp); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LoadRun(run.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	joe, err := core.BuildRelevant(sp, spec.PhyloRelevantJoe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RegisterView("joe", joe); err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(obs.NewRegistry(), server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetEngine(provenance.NewEngine(w))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestClientQueryBatchRunsStats(t *testing.T) {
+	ts := newTestServer(t)
+	c := New(ts.URL, Options{})
+	ctx := context.Background()
+
+	q, err := c.Query(ctx, QueryRequest{Run: "fig2", Data: "d447", View: "joe"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind != "deep" || q.Result == nil || len(q.Result.Executions) == 0 {
+		t.Fatalf("deep query answer unexpected: %+v", q)
+	}
+	if q.Outcome != "miss" {
+		t.Fatalf("first query outcome %q, want miss", q.Outcome)
+	}
+
+	im, err := c.Query(ctx, QueryRequest{Run: "fig2", Data: "d413", Kind: "immediate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Execution == nil {
+		t.Fatal("immediate query returned no execution")
+	}
+
+	b, err := c.Batch(ctx, BatchRequest{Run: "fig2", Data: []string{"d447", "d413"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Count != 2 || len(b.Results) != 2 {
+		t.Fatalf("batch count %d / %d results, want 2", b.Count, len(b.Results))
+	}
+
+	runs, err := c.Runs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Count != 1 || len(runs.Runs) != 1 || runs.Runs[0].ID != "fig2" {
+		t.Fatalf("runs listing unexpected: %+v", runs)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Stats) == 0 {
+		t.Fatal("stats document empty")
+	}
+
+	r, err := c.Ready(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Ready {
+		t.Fatal("server not ready")
+	}
+}
+
+func TestClientTraceIDPropagation(t *testing.T) {
+	ts := newTestServer(t)
+	c := New(ts.URL, Options{})
+	const id = "00000000cafef00d"
+	q, err := c.Query(context.Background(), QueryRequest{Run: "fig2", Data: "d447", TraceID: id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TraceID != id {
+		t.Fatalf("trace id %q, want propagated %q", q.TraceID, id)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	ts := newTestServer(t)
+	c := New(ts.URL, Options{})
+	_, err := c.Query(context.Background(), QueryRequest{Run: "nope", Data: "d1"})
+	var e *Error
+	if !errors.As(err, &e) {
+		t.Fatalf("want *Error, got %v", err)
+	}
+	if e.Status != http.StatusNotFound || e.Message == "" || e.TraceID == "" {
+		t.Fatalf("error not decoded from server shape: %+v", e)
+	}
+}
+
+func TestClientTimeout(t *testing.T) {
+	stall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer stall.Close()
+	c := New(stall.URL, Options{Timeout: 50 * time.Millisecond})
+	start := time.Now()
+	_, err := c.Runs(context.Background())
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("timeout took %v, want ~50ms", d)
+	}
+}

@@ -89,8 +89,8 @@ func TestFacadeAdminSurface(t *testing.T) {
 	o.WorkflowsPerClass, o.RunsPerKind, o.Trials = 1, 1, 1
 	o.ScaleSpecs, o.MaxSpecNodes, o.LargeRunCap = 2, 120, 300
 	reports := zoom.RunExperiments(o)
-	if len(reports) != 15 {
-		t.Fatalf("RunExperiments returned %d reports", len(reports))
+	if want := len(zoom.BenchExperiments()); len(reports) != want {
+		t.Fatalf("RunExperiments returned %d reports, want %d", len(reports), want)
 	}
 
 	// LoadSystem rejects garbage.

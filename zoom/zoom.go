@@ -20,6 +20,7 @@ import (
 	"io"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/composite"
 	"repro/internal/core"
 	"repro/internal/dot"
@@ -104,6 +105,8 @@ type (
 	Report = bench.Report
 	// BenchOptions scales the experiment harness.
 	BenchOptions = bench.Options
+	// BenchExperiment is one selectable experiment of the harness.
+	BenchExperiment = bench.Experiment
 )
 
 // Reserved node identifiers and module kinds.
@@ -332,6 +335,46 @@ func NewServer(reg *Metrics, cfg ServerConfig) (*Server, error) {
 // ConnectServer installs this system's query engine into the server,
 // flipping it ready — typically called after a background warehouse load.
 func (s *System) ConnectServer(srv *Server) { srv.SetEngine(s.e) }
+
+// Cluster scale-out types: a consistent-hash ring placing run ids on
+// shards, and a stateless router that forwards run-addressed queries to
+// the owning worker and scatter-gathers the catalog endpoints.
+type (
+	// Ring places run ids on N abstract shard indexes by consistent
+	// hashing; the router maps indexes onto worker addresses and
+	// `zoom snapshot shard` maps them onto output files, so both agree on
+	// placement by construction.
+	Ring = cluster.Ring
+	// Router is the scatter-gather HTTP front over N workers.
+	Router = cluster.Router
+	// RouterConfig tunes a Router (worker addresses in shard order,
+	// timeouts, fan-out bound, health polling, circuit breaking).
+	RouterConfig = cluster.Config
+)
+
+// NewRing returns a consistent-hash ring over n shards (replicas <= 0
+// selects the default virtual-node count; it must match across the
+// router and the snapshot splitter).
+func NewRing(n, replicas int) (*Ring, error) { return cluster.NewRing(n, replicas) }
+
+// NewRouter returns a cluster router wired to the registry (one is
+// created when nil). Serve runs it with health polling; Handler mounts
+// it on an existing server.
+func NewRouter(reg *Metrics, cfg RouterConfig) (*Router, error) { return cluster.New(reg, cfg) }
+
+// Subset returns an independent system holding only the runs keep
+// selects, with the full spec and view catalog — the resharding
+// primitive behind `zoom snapshot shard`. The subset shares the parent's
+// immutable run storage; for a system opened from a v3 snapshot
+// (OpenSnapshot), save or finish using the subset before closing the
+// parent.
+func (s *System) Subset(keep func(runID string) bool) (*System, error) {
+	w, err := s.w.Subset(keep)
+	if err != nil {
+		return nil, err
+	}
+	return &System{w: w, e: provenance.NewEngine(w)}, nil
+}
 
 // WriteMetricsPrometheus renders a metrics snapshot in the Prometheus text
 // exposition format (what the server's /metrics serves).
@@ -594,3 +637,7 @@ func SpecGraphML(s *Spec) string { return export.SpecGraphML(s) }
 func DefaultBench() BenchOptions              { return bench.Default() }
 func FullBench() BenchOptions                 { return bench.Full() }
 func RunExperiments(o BenchOptions) []*Report { return bench.RunAll(o) }
+
+// BenchExperiments returns the experiment registry so drivers can select
+// by id before running anything.
+func BenchExperiments() []BenchExperiment { return bench.Experiments() }
