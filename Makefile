@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke bench bench-smoke bench-ingest-smoke bench-labels-smoke bench-mmap-smoke bench-obs-smoke bench-shard-smoke serve-smoke cluster-smoke ci
+.PHONY: all build vet test race fuzz-smoke bench bench-smoke bench-ingest-smoke bench-labels-smoke bench-mmap-smoke bench-obs-smoke bench-shard-smoke bench-replica-smoke serve-smoke cluster-smoke ci
 
 all: ci
 
@@ -69,6 +69,13 @@ bench-obs-smoke:
 bench-shard-smoke:
 	$(GO) test -run '^$$' -bench 'Shard' -benchtime=1x -benchmem .
 
+# One-iteration pass over the replicated-routing benchmarks (S2): the
+# healthy, failover, and cache-hit forwarding paths through a 2-shard ×
+# 2-replica router. The availability/hedging table itself is
+# `go run ./cmd/zoombench -only S2`.
+bench-replica-smoke:
+	$(GO) test -run '^$$' -bench 'Replica' -benchtime=1x -benchmem .
+
 # End-to-end smoke of `zoom serve`: boots the server on a free port against
 # the example warehouse, then checks /healthz, /readyz, /metrics, a traced
 # query (trace id header + span tree), the slow log, and SIGTERM shutdown.
@@ -78,8 +85,9 @@ serve-smoke:
 # End-to-end smoke of the sharded deployment: `zoom snapshot shard` into 2
 # shards, a worker per shard, `zoom router` in front; checks routed traced
 # queries, the merged catalog, aggregated readiness, and the dead-worker
-# fast-502 path.
+# fast-502 path. A second phase runs 2 replicas per shard and checks
+# zero-loss failover across a replica kill plus the router response cache.
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
 
-ci: vet build test race fuzz-smoke bench-smoke bench-ingest-smoke bench-labels-smoke bench-mmap-smoke bench-obs-smoke bench-shard-smoke serve-smoke cluster-smoke
+ci: vet build test race fuzz-smoke bench-smoke bench-ingest-smoke bench-labels-smoke bench-mmap-smoke bench-obs-smoke bench-shard-smoke bench-replica-smoke serve-smoke cluster-smoke

@@ -980,3 +980,110 @@ func BenchmarkShardedRouting(b *testing.B) {
 		}
 	}
 }
+
+// replicaCluster boots a 2-shard × 2-replica cluster over full's runs
+// (each replica serving its own subset copy, as real replicas serve
+// identical snapshot copies) and returns a router client, the router,
+// and the per-shard replica servers.
+func replicaCluster(b *testing.B, full *warehouse.Warehouse, cfg cluster.Config) (*client.Client, *cluster.Router, [][]*httptest.Server) {
+	const shards = 2
+	ring, err := cluster.NewRing(shards, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups := make([][]string, shards)
+	servers := make([][]*httptest.Server, shards)
+	for k := 0; k < shards; k++ {
+		for j := 0; j < 2; j++ {
+			sub, err := full.Subset(func(id string) bool { return ring.Place(id) == k })
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := server.New(obs.NewRegistry(), server.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.SetEngine(provenance.NewEngine(sub))
+			ts := httptest.NewServer(s.Handler())
+			b.Cleanup(ts.Close)
+			groups[k] = append(groups[k], ts.URL)
+			servers[k] = append(servers[k], ts)
+		}
+	}
+	cfg.Shards = groups
+	rt, err := cluster.New(obs.NewRegistry(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	b.Cleanup(front.Close)
+	return client.New(front.URL, client.Options{}), rt, servers
+}
+
+// BenchmarkReplicatedRouting (S2) isolates the replica machinery's cost:
+// a warm deep query through a 2-shard × 2-replica router on the healthy
+// path, on the failover path (preferred replicas dead, breakers open),
+// and on the response-cache hit path. The availability and tail-latency
+// claims live in zoombench -only S2, which emulates per-worker capacity.
+func BenchmarkReplicatedRouting(b *testing.B) {
+	g := gen.NewGenerator(37)
+	sp := g.Workflow(gen.Classes()[0], "bench-replica")
+	full := warehouse.New(0)
+	if err := full.RegisterSpec(sp); err != nil {
+		b.Fatal(err)
+	}
+	type target struct{ run, data string }
+	var targets []target
+	for i := 0; i < 8; i++ {
+		r, _, err := g.Run(sp, gen.Small(), fmt.Sprintf("br-run-%02d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := full.LoadRun(r); err != nil {
+			b.Fatal(err)
+		}
+		targets = append(targets, target{run: r.ID(), data: r.AllData()[0]})
+	}
+	ctx := context.Background()
+	query := func(b *testing.B, c *client.Client) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t := targets[i%len(targets)]
+			if _, err := c.Query(ctx, client.QueryRequest{Run: t.run, Data: t.data}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	healthy, _, _ := replicaCluster(b, full, cluster.Config{})
+	b.Run("routed-2x2", func(b *testing.B) { query(b, healthy) })
+
+	failover, _, servers := replicaCluster(b, full, cluster.Config{})
+	for _, g := range servers {
+		g[0].CloseClientConnections()
+		g[0].Close()
+	}
+	// Warm the breakers so the steady state measured is open-circuit
+	// candidate selection, not the first failed dials.
+	for i := 0; i < 4; i++ {
+		t := targets[i%len(targets)]
+		if _, err := failover.Query(ctx, client.QueryRequest{Run: t.run, Data: t.data}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("failover-2x2", func(b *testing.B) { query(b, failover) })
+
+	cached, rt, _ := replicaCluster(b, full, cluster.Config{CacheEntries: 1024})
+	// Prime every target so the measured path is pure cache hits.
+	for _, t := range targets {
+		if _, err := cached.Query(ctx, client.QueryRequest{Run: t.run, Data: t.data}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("cache-hit", func(b *testing.B) {
+		query(b, cached)
+		if rt.Registry().Snapshot().Counters["router.cache_hits"] == 0 {
+			b.Fatal("cache-hit bench never hit the cache")
+		}
+	})
+}

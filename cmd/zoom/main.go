@@ -237,22 +237,25 @@ func cmdSnapshotShard(args []string) error {
 func cmdRouter(args []string) error {
 	fs := flag.NewFlagSet("router", flag.ExitOnError)
 	addr := fs.String("addr", ":8090", "listen address")
-	workers := fs.String("workers", "", "comma-separated worker base URLs in shard order (required; order must match `zoom snapshot shard`)")
+	workers := fs.String("workers", "", "worker base URLs in shard order (required; order must match `zoom snapshot shard`). Semicolons separate shards, commas separate replicas within a shard: 'a,b;c,d' is two shards with two replicas each; without a semicolon commas separate single-replica shards")
 	replicas := fs.Int("replicas", 0, "virtual nodes per shard on the placement ring (0 = default; must match the snapshot split)")
 	forwardTimeout := fs.Duration("forward-timeout", 30*time.Second, "per-request forwarding timeout")
 	gatherTimeout := fs.Duration("gather-timeout", 5*time.Second, "per-shard scatter-gather and health-poll timeout")
 	fanout := fs.Int("fanout", 8, "max shards hit concurrently by a scatter-gather")
 	healthInterval := fs.Duration("health-interval", 2*time.Second, "worker /readyz polling period")
-	breakerThreshold := fs.Int("breaker-threshold", 3, "consecutive forward failures that open a shard's circuit")
+	breakerThreshold := fs.Int("breaker-threshold", 3, "consecutive forward failures that open a replica's circuit")
 	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "how long an open circuit fails fast before retrying")
+	hedge := fs.Duration("hedge", 0, "hedge run-addressed requests on the next replica after this delay (0 = off; pick a p99-ish value)")
+	cacheEntries := fs.Int("cache", 4096, "response cache entries (0 disables; invalidated when a shard's worker generation changes)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "response cache total byte bound (0 = 64MiB default)")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	_ = fs.Parse(args)
-	bases := splitList(*workers)
-	if len(bases) == 0 {
-		return fmt.Errorf("router: -workers is required (comma-separated base URLs in shard order)")
+	groups := zoom.ParseWorkers(*workers)
+	if len(groups) == 0 {
+		return fmt.Errorf("router: -workers is required ('a,b;c,d': semicolons separate shards, commas separate replicas)")
 	}
 	rt, err := zoom.NewRouter(zoom.NewMetrics(), zoom.RouterConfig{
-		Workers:          bases,
+		Shards:           groups,
 		Replicas:         *replicas,
 		ForwardTimeout:   *forwardTimeout,
 		GatherTimeout:    *gatherTimeout,
@@ -260,6 +263,9 @@ func cmdRouter(args []string) error {
 		HealthInterval:   *healthInterval,
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
+		HedgeDelay:       *hedge,
+		CacheEntries:     *cacheEntries,
+		CacheBytes:       *cacheBytes,
 	})
 	if err != nil {
 		return err
@@ -268,9 +274,9 @@ func cmdRouter(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "zoom router: listening on http://%s, %d shards:\n", ln.Addr(), len(bases))
-	for i, b := range bases {
-		fmt.Fprintf(os.Stderr, "zoom router:   shard %d -> %s\n", i, b)
+	fmt.Fprintf(os.Stderr, "zoom router: listening on http://%s, %d shards:\n", ln.Addr(), len(groups))
+	for i, g := range groups {
+		fmt.Fprintf(os.Stderr, "zoom router:   shard %d -> %s\n", i, strings.Join(g, ", "))
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -502,5 +502,6 @@ func Experiments() []Experiment {
 		{"L1", ExpIngest},
 		{"L2", ExpMmap},
 		{"S1", ExpShard},
+		{"S2", ExpReplica},
 	}
 }

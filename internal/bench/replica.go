@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/provenance"
+	"repro/internal/server"
+	"repro/internal/warehouse"
+	"repro/zoom/client"
+)
+
+// replicaStraggleEvery marks every Nth query request on the preferred
+// replica as a straggler (held for replicaStraggle before service) in the
+// S2 tail-latency phase — frequent enough that the p99 lands inside the
+// straggler population at smoke scale.
+const replicaStraggleEvery = 8
+
+// replicaStraggle is the added straggler delay: several service floors,
+// so an unhedged straggler dominates the tail and a hedge placed at
+// replicaHedgeDelay beats it decisively.
+const replicaStraggle = 6 * shardServiceFloor
+
+// replicaHedgeDelay is the hedge trigger for the hedged row: ~2 service
+// floors, past the healthy p99 at the light straggler-phase load but far
+// below the straggler delay.
+const replicaHedgeDelay = 2 * shardServiceFloor
+
+// replicaKillClients/replicaTailClients size the load for the two S2
+// phases: the kill phase wants queue pressure (errors surface fast), the
+// tail phase wants light load so queueing stays under the hedge delay
+// and the p99 isolates stragglers, not saturation.
+const (
+	replicaKillClients = 8
+	replicaTailClients = 2
+)
+
+// ExpReplica (S2) measures what replica sets buy over PR 8's
+// single-worker shards. Phase one is availability: a 2-shard cluster
+// loses one worker halfway through the workload — with one replica per
+// shard every query for the dead shard fails fast (the S1 failure mode),
+// with two replicas the router fails over and the error count stays
+// zero. Phase two is tail latency: the preferred replica delays every
+// Nth request as an emulated straggler, and the same workload runs
+// unhedged vs hedged — the hedged run answers stragglers from the
+// sibling replica and pulls the p99 back toward the service floor.
+func ExpReplica(o Options) *Report {
+	rep := &Report{
+		ID:    "S2",
+		Title: "Replica failover and hedging: availability under worker loss, p99 under stragglers",
+		Headers: []string{"config", "queries", "clients",
+			"throughput q/s", "errors", "p50 ms", "p99 ms", "hedge wins"},
+	}
+
+	// Corpus: large-class runs over 2 shards, as in S1 but smaller — S2
+	// compares failure modes at fixed scale, not scale-out curves.
+	g := gen.NewGenerator(o.Seed + 29)
+	classes := gen.Classes()
+	sp := g.Workflow(classes[len(classes)-1], "s2-wf")
+	large := runClasses(o)[2]
+	nRuns := 4 * o.RunsPerKind
+	targetsPerRun := o.Trials + 2
+
+	full := warehouse.New(0)
+	if err := full.RegisterSpec(sp); err != nil {
+		panic(err)
+	}
+	var queries []shardQuery
+	for i := 0; i < nRuns; i++ {
+		r, _, err := g.Run(sp, large, fmt.Sprintf("s2-run-%02d", i))
+		if err != nil {
+			panic(err)
+		}
+		if err := full.LoadRun(r); err != nil {
+			panic(err)
+		}
+		all := r.AllData()
+		step := len(all) / targetsPerRun
+		if step < 1 {
+			step = 1
+		}
+		for j, taken := 0, 0; j < len(all) && taken < targetsPerRun; j, taken = j+step, taken+1 {
+			queries = append(queries, shardQuery{run: r.ID(), data: all[j]})
+		}
+	}
+	rand.New(rand.NewSource(o.Seed+29)).Shuffle(len(queries), func(i, j int) {
+		queries[i], queries[j] = queries[j], queries[i]
+	})
+
+	const shards = 2
+	ring, err := cluster.NewRing(shards, 0)
+	if err != nil {
+		panic(err)
+	}
+
+	// newReplica boots one gated worker over its own subset of shard k's
+	// runs (replicas are separate processes over identical snapshot
+	// copies; sharing one warehouse would share closure memo state).
+	newReplica := func(k int, wrap func(http.Handler) http.Handler) *httptest.Server {
+		sub, err := full.Subset(func(id string) bool { return ring.Place(id) == k })
+		if err != nil {
+			panic(err)
+		}
+		s, err := server.New(obs.NewRegistry(), server.Config{})
+		if err != nil {
+			panic(err)
+		}
+		s.SetEngine(provenance.NewEngine(sub))
+		var h http.Handler = &capacityGate{
+			next:  s.Handler(),
+			sem:   make(chan struct{}, 1),
+			floor: shardServiceFloor,
+		}
+		if wrap != nil {
+			h = wrap(h)
+		}
+		return httptest.NewServer(h)
+	}
+
+	// buildCluster assembles reps replicas per shard (preferred replica
+	// optionally wrapped) and a router, returning the client, the router,
+	// and the servers for surgical kills.
+	buildCluster := func(reps int, wrapPreferred func(http.Handler) http.Handler, cfg cluster.Config) (*client.Client, *cluster.Router, [][]*httptest.Server, func()) {
+		servers := make([][]*httptest.Server, shards)
+		groups := make([][]string, shards)
+		for k := 0; k < shards; k++ {
+			for j := 0; j < reps; j++ {
+				var wrap func(http.Handler) http.Handler
+				if j == 0 {
+					wrap = wrapPreferred
+				}
+				ts := newReplica(k, wrap)
+				servers[k] = append(servers[k], ts)
+				groups[k] = append(groups[k], ts.URL)
+			}
+		}
+		cfg.Shards = groups
+		rt, err := cluster.New(obs.NewRegistry(), cfg)
+		if err != nil {
+			panic(err)
+		}
+		front := httptest.NewServer(rt.Handler())
+		cl := client.New(front.URL, client.Options{})
+		stop := func() {
+			front.Close()
+			for _, g := range servers {
+				for _, ts := range g {
+					ts.Close()
+				}
+			}
+		}
+		return cl, rt, servers, stop
+	}
+
+	// Phase 1 — availability under worker loss: kill shard 0's preferred
+	// worker halfway through the drive.
+	for _, reps := range []int{1, 2} {
+		cl, _, servers, stop := buildCluster(reps, nil, cluster.Config{})
+		var once sync.Once
+		wall, lat, errCount := driveReplicaLoad(cl, queries, replicaKillClients, func() {
+			once.Do(func() {
+				servers[0][0].CloseClientConnections()
+				servers[0][0].Close()
+			})
+		})
+		rep.Append(fmt.Sprintf("2x%d kill", reps), len(queries), replicaKillClients,
+			float64(len(queries))/wall.Seconds(), errCount,
+			ms(percentileDuration(lat, 0.50)), ms(percentileDuration(lat, 0.99)), 0)
+		stop()
+	}
+
+	// Phase 2 — tail latency under stragglers: the preferred replica of
+	// each shard delays every Nth query request, unhedged vs hedged.
+	straggler := func(next http.Handler) http.Handler {
+		var n atomic.Int64
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost && n.Add(1)%replicaStraggleEvery == 0 {
+				time.Sleep(replicaStraggle)
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+	for _, hedge := range []time.Duration{0, replicaHedgeDelay} {
+		cl, rt, _, stop := buildCluster(2, straggler, cluster.Config{HedgeDelay: hedge})
+		wall, lat, errCount := driveReplicaLoad(cl, queries, replicaTailClients, nil)
+		name := "2x2 straggler"
+		if hedge > 0 {
+			name += " hedged"
+		}
+		wins := 0
+		if hedge > 0 {
+			wins = int(rt.Registry().Snapshot().Counters["router.hedge_wins"])
+		}
+		rep.Append(name, len(queries), replicaTailClients,
+			float64(len(queries))/wall.Seconds(), errCount,
+			ms(percentileDuration(lat, 0.50)), ms(percentileDuration(lat, 0.99)), wins)
+		stop()
+	}
+
+	rep.Notes = append(rep.Notes,
+		"Kill rows: shard 0's preferred worker dies (connections cut, listener closed)",
+		"halfway through the workload. With one replica per shard its queries fail fast",
+		"(the errors column counts PR 8's 502s); with two, per-replica breakers and",
+		"failover keep the error count at zero through the loss.",
+		fmt.Sprintf("Straggler rows: the preferred replica holds every %dth query for %s", replicaStraggleEvery, replicaStraggle),
+		fmt.Sprintf("before service; the hedged row launches a second attempt on the sibling after %s", replicaHedgeDelay),
+		"and the first answer wins, pulling the p99 back toward the service floor.",
+		fmt.Sprintf("Workers are gated to one in-flight request with a %s service floor as in S1;", shardServiceFloor),
+		"the light straggler-phase load keeps queueing under the hedge delay so the p99",
+		"isolates stragglers rather than saturation. Caveats: loopback transport, emulated",
+		"single-core workers, and a straggler rate far above production make the deltas",
+		"directional, not absolute.")
+	return rep
+}
+
+// driveReplicaLoad is driveShardLoad with a halfway hook: onHalf (when
+// non-nil) runs once the drive passes the midpoint of the workload — the
+// seam the kill phase uses to lose a worker mid-flight.
+func driveReplicaLoad(cl *client.Client, queries []shardQuery, clients int, onHalf func()) (time.Duration, []time.Duration, int) {
+	ctx := context.Background()
+	lat := make([]time.Duration, len(queries))
+	var next, errCount atomic.Int64
+	var wg sync.WaitGroup
+	half := int64(len(queries) / 2)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(queries)) {
+					return
+				}
+				if onHalf != nil && i == half {
+					onHalf()
+				}
+				qs := time.Now()
+				_, err := cl.Query(ctx, client.QueryRequest{Run: queries[i].run, Data: queries[i].data})
+				lat[i] = time.Since(qs)
+				if err != nil {
+					errCount.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start), lat, int(errCount.Load())
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestExpReplicaFailoverAndHedging runs S2 at reduced scale and asserts
+// the two claims the report makes: losing a worker produces errors with
+// one replica per shard and none with two, and hedging pulls the
+// straggler-phase p99 below the unhedged run's.
+func TestExpReplicaFailoverAndHedging(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins HTTP clusters")
+	}
+	o := testOptions()
+	o.RunsPerKind = 2
+	o.Trials = 1
+	o.LargeRunCap = 400
+	rep := ExpReplica(o)
+	if len(rep.Rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d\n%s", len(rep.Rows), rep)
+	}
+	cellInt := func(row, col string) int {
+		s, ok := rep.Cell(row, col)
+		if !ok {
+			t.Fatalf("missing row %q\n%s", row, rep)
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("%s/%s = %q: %v", row, col, s, err)
+		}
+		return v
+	}
+	cellFloat := func(row, col string) float64 {
+		s, ok := rep.Cell(row, col)
+		if !ok {
+			t.Fatalf("missing row %q\n%s", row, rep)
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("%s/%s = %q: %v", row, col, s, err)
+		}
+		return v
+	}
+	if e := cellInt("2x1 kill", "errors"); e == 0 {
+		t.Fatalf("single-replica kill produced no errors — the dead shard should fail fast\n%s", rep)
+	}
+	if e := cellInt("2x2 kill", "errors"); e != 0 {
+		t.Fatalf("replicated kill produced %d errors — failover should absorb the loss\n%s", e, rep)
+	}
+	unhedged := cellFloat("2x2 straggler", "p99 ms")
+	hedged := cellFloat("2x2 straggler hedged", "p99 ms")
+	if hedged >= unhedged {
+		t.Fatalf("hedging did not improve straggler p99: %.1f ms hedged vs %.1f ms unhedged\n%s",
+			hedged, unhedged, rep)
+	}
+	if w := cellInt("2x2 straggler hedged", "hedge wins"); w == 0 {
+		t.Fatalf("hedged run recorded no hedge wins\n%s", rep)
+	}
+}

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"bytes"
+	"container/list"
+	"sync"
+
+	"repro/internal/xxh"
+)
+
+// DefaultCacheBytes bounds the response cache's total retained bytes
+// (request + response bodies) when Config.CacheBytes is zero.
+const DefaultCacheBytes = 64 << 20
+
+// maxCacheBody is the largest worker response body the cache will retain;
+// larger answers are streamed through uncached so one huge deep-provenance
+// result cannot monopolize the cache.
+const maxCacheBody = 4 << 20
+
+// cacheEntry is one cached worker response. The full request body is kept
+// so a 64-bit key collision degrades to a miss, never a wrong answer, and
+// the trace id embedded in the stored body is kept so a hit can be
+// rewritten to carry the current request's id (the only byte that may
+// legitimately differ between a cached and a freshly-forwarded answer).
+type cacheEntry struct {
+	key         uint64
+	path        string
+	reqBody     []byte
+	shard       int
+	epoch       uint64
+	contentType string
+	traceID     string
+	body        []byte
+}
+
+func (e *cacheEntry) size() int64 { return int64(len(e.reqBody) + len(e.body)) }
+
+// respCache is a bounded LRU over full (path, request body) keys. The
+// paper's query model makes the request body a complete cache key: a
+// /v1/query or /v1/batch body spells out (run, view or relevant set,
+// data, kind), and the worker's answer is a pure function of those plus
+// the shard's loaded data — so entries are invalidated by the owning
+// shard's epoch (bumped when a health poll observes the worker's
+// warehouse generation change), never by time.
+type respCache struct {
+	mu       sync.Mutex
+	maxEnts  int
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	entries  map[uint64]*list.Element
+}
+
+func newRespCache(maxEntries int, maxBytes int64) *respCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &respCache{
+		maxEnts:  maxEntries,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		entries:  make(map[uint64]*list.Element),
+	}
+}
+
+func cacheKey(path string, reqBody []byte) uint64 {
+	h := make([]byte, 0, len(path)+1+len(reqBody))
+	h = append(h, path...)
+	h = append(h, 0)
+	h = append(h, reqBody...)
+	return xxh.Sum64(h)
+}
+
+// lookup returns the fresh entry for (path, reqBody), or nil. stale
+// reports that an entry existed but was dropped because the shard's
+// epoch moved past it — the caller counts that as an invalidation.
+func (c *respCache) lookup(path string, reqBody []byte, epoch uint64) (e *cacheEntry, stale bool) {
+	key := cacheKey(path, reqBody)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.path != path || !bytes.Equal(ent.reqBody, reqBody) {
+		// 64-bit collision: a different request hashed here. Miss.
+		return nil, false
+	}
+	if ent.epoch != epoch {
+		c.remove(el)
+		return nil, true
+	}
+	c.ll.MoveToFront(el)
+	return ent, false
+}
+
+// store inserts (or replaces) the entry and evicts from the LRU tail
+// until both bounds hold. Oversized bodies are the caller's problem —
+// it skips store entirely past maxCacheBody.
+func (c *respCache) store(ent *cacheEntry) {
+	ent.key = cacheKey(ent.path, ent.reqBody)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[ent.key]; ok {
+		c.remove(el)
+	}
+	c.entries[ent.key] = c.ll.PushFront(ent)
+	c.bytes += ent.size()
+	for (c.maxEnts > 0 && c.ll.Len() > c.maxEnts) || c.bytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.remove(back)
+	}
+}
+
+// remove unlinks an element; callers hold c.mu.
+func (c *respCache) remove(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.entries, ent.key)
+	c.bytes -= ent.size()
+}
+
+// Len reports the live entry count (tests and /v1/shards introspection).
+func (c *respCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// rewriteTraceID replaces the stored answer's embedded trace id with the
+// current request's. Responses carry exactly one top-level trace_id field
+// (the first field the server encodes), so replacing the first occurrence
+// of the quoted field is exact; when the ids already match (or the stored
+// id is empty) the body is returned as-is.
+func rewriteTraceID(body []byte, oldID, newID string) []byte {
+	if oldID == "" || oldID == newID {
+		return body
+	}
+	old := []byte(`"trace_id": "` + oldID + `"`)
+	new := []byte(`"trace_id": "` + newID + `"`)
+	return bytes.Replace(body, old, new, 1)
+}

@@ -3,142 +3,67 @@ package cluster
 import (
 	"context"
 	"sync"
-	"sync/atomic"
 	"time"
-
-	"repro/internal/obs"
-	"repro/zoom/client"
 )
 
-// shard is the router's view of one worker: its address, a typed client
-// over the shared keep-alive pool, the last health verdict, and a
-// circuit breaker over forwarding failures.
-type shard struct {
-	index int
-	base  string
-	cl    *client.Client
-
-	// polled flips once the first health check completes; until then the
-	// router forwards optimistically (workers typically come up behind
-	// the router, and the first real request is as good a probe as any).
-	polled atomic.Bool
-	// ready is the last /readyz verdict (true = 200 with ready:true).
-	ready atomic.Bool
-	// loaded/total mirror the worker's reported load progress.
-	loaded atomic.Int64
-	total  atomic.Int64
-
-	// Circuit breaker: consecutive forwarding failures open the circuit
-	// until openUntil (unix nanos); while open, requests for this shard
-	// fail fast with a 502 naming the shard instead of waiting out a
-	// connect timeout per request.
-	fails     atomic.Int32
-	openUntil atomic.Int64
-
-	up *obs.Gauge // router.shard.<i>.up: 1 when forwardable
-}
-
-// available reports whether the router should attempt a forward: the
-// breaker is closed and the worker wasn't down at the last poll.
-func (s *shard) available(now time.Time) bool {
-	if now.UnixNano() < s.openUntil.Load() {
-		return false
-	}
-	if s.polled.Load() && !s.ready.Load() {
-		return false
-	}
-	return true
-}
-
-// state describes why a shard is unavailable ("" when it is available).
-func (s *shard) state(now time.Time) string {
-	if now.UnixNano() < s.openUntil.Load() {
-		return "circuit open"
-	}
-	if s.polled.Load() && !s.ready.Load() {
-		return "worker not ready"
-	}
-	return ""
-}
-
-// fail records one forwarding failure, opening the breaker at the
-// configured threshold.
-func (s *shard) fail(threshold int32, cooldown time.Duration) {
-	if s.fails.Add(1) >= threshold {
-		s.openUntil.Store(time.Now().Add(cooldown).UnixNano())
-	}
-	s.setUp(false)
-}
-
-// ok resets the breaker after a successful forward.
-func (s *shard) ok() {
-	s.fails.Store(0)
-	s.openUntil.Store(0)
-	s.setUp(true)
-}
-
-// setHealth records a health-poll verdict. A healthy verdict closes the
-// breaker — this is the "join" path: a worker that was down (or is new)
-// starts taking traffic again within one poll interval of answering
-// /readyz.
-func (s *shard) setHealth(ready bool, loaded, total int) {
-	s.polled.Store(true)
-	s.ready.Store(ready)
-	s.loaded.Store(int64(loaded))
-	s.total.Store(int64(total))
-	if ready {
-		s.fails.Store(0)
-		s.openUntil.Store(0)
-	}
-	s.setUp(ready)
-}
-
-func (s *shard) setUp(up bool) {
-	if up {
-		s.up.Set(1)
-	} else {
-		s.up.Set(0)
-	}
-}
-
-// checkAll polls every shard's /readyz concurrently (bounded by the
-// gather fan-out) and records the verdicts. It returns true when every
-// shard is ready. Both the periodic health loop and GET /readyz on the
-// router run this, so readiness answers are live, not cached.
+// checkAll polls every replica's /readyz concurrently (bounded by the
+// gather fan-out) and records the verdicts, including each worker's
+// warehouse generation — a change bumps the shard's cache epoch so
+// responses cached against the old data stop being served. It returns
+// true when every shard has at least one ready replica. Both the
+// periodic health loop and GET /readyz on the router run this, so
+// readiness answers are live, not cached.
 func (rt *Router) checkAll(ctx context.Context) bool {
 	sem := make(chan struct{}, rt.cfg.Fanout)
 	var wg sync.WaitGroup
-	allReady := atomic.Bool{}
-	allReady.Store(true)
 	for _, sh := range rt.shards {
-		wg.Add(1)
-		go func(sh *shard) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			hctx, cancel := context.WithTimeout(ctx, rt.cfg.GatherTimeout)
-			defer cancel()
-			rz, err := sh.cl.Ready(hctx)
-			if err != nil {
-				sh.setHealth(false, 0, 0)
-				allReady.Store(false)
-				return
-			}
-			sh.setHealth(rz.Ready, rz.RunsLoaded, rz.RunsTotal)
-			if !rz.Ready {
-				allReady.Store(false)
-			}
-		}(sh)
+		for _, rep := range sh.replicas {
+			wg.Add(1)
+			go func(sh *shard, rep *replica) {
+				defer wg.Done()
+				select {
+				case sem <- struct{}{}:
+				case <-ctx.Done():
+					return
+				}
+				defer func() { <-sem }()
+				hctx, cancel := context.WithTimeout(ctx, rt.cfg.GatherTimeout)
+				defer cancel()
+				rz, err := rep.cl.Ready(hctx)
+				if err != nil {
+					rep.setHealth(false, 0, 0)
+					return
+				}
+				if rep.observeGeneration(rz.Generation) {
+					sh.epoch.Add(1)
+					rt.cacheInvals.Inc()
+				}
+				rep.setHealth(rz.Ready, rz.RunsLoaded, rz.RunsTotal)
+			}(sh, rep)
+		}
 	}
 	wg.Wait()
-	return allReady.Load()
+	allReady := true
+	for _, sh := range rt.shards {
+		ready := false
+		for _, rep := range sh.replicas {
+			if rep.polled.Load() && rep.ready.Load() {
+				ready = true
+				break
+			}
+		}
+		if !ready {
+			allReady = false
+		}
+	}
+	return allReady
 }
 
 // HealthLoop polls worker readiness every cfg.HealthInterval until ctx
 // is cancelled. Run it in a goroutine next to Serve; the router also
-// works without it (forwarding failures still trip the per-shard
-// breaker), but join/leave detection is then driven by traffic instead
-// of polling.
+// works without it (forwarding failures still trip the per-replica
+// breakers), but join/leave detection — and cache invalidation on a
+// worker reload — is then driven by traffic instead of polling.
 func (rt *Router) HealthLoop(ctx context.Context) {
 	t := time.NewTicker(rt.cfg.HealthInterval)
 	defer t.Stop()

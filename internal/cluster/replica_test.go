@@ -1,0 +1,533 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/provenance"
+	"repro/internal/run"
+	"repro/internal/server"
+	"repro/internal/spec"
+	"repro/internal/warehouse"
+	"repro/zoom/client"
+)
+
+func TestParseWorkers(t *testing.T) {
+	cases := []struct {
+		in   string
+		want [][]string
+	}{
+		{"a", [][]string{{"a"}}},
+		{"a,b", [][]string{{"a"}, {"b"}}}, // legacy: commas separate shards
+		{"a,b;c,d", [][]string{{"a", "b"}, {"c", "d"}}},
+		{"a;b", [][]string{{"a"}, {"b"}}},
+		{"a,b;", [][]string{{"a", "b"}}}, // trailing ; forces grouped
+		{" a , b ; c ", [][]string{{"a", "b"}, {"c"}}},
+		{"", nil},
+		{";;", nil},
+	}
+	for _, tc := range cases {
+		if got := ParseWorkers(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseWorkers(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// buildReplicatedCluster is buildCluster with reps workers per shard (all
+// replicas of a shard serve the same shard warehouse) and a caller-shaped
+// router config. It returns the per-shard replica servers so tests can
+// kill specific processes.
+func buildReplicatedCluster(t *testing.T, n, reps int, specs []*spec.Spec, runs []*run.Run, shape func(*Config)) (string, string, *Router, [][]*httptest.Server) {
+	t.Helper()
+	ring, err := NewRing(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := warehouse.New(0)
+	// Each replica gets its own warehouse loaded with the same shard's
+	// runs — real replicas are separate processes over identical snapshot
+	// copies, and sharing one in-process warehouse would leak memoized
+	// closure state between siblings.
+	shardWh := make([][]*warehouse.Warehouse, n)
+	for i := range shardWh {
+		for j := 0; j < reps; j++ {
+			shardWh[i] = append(shardWh[i], warehouse.New(0))
+		}
+	}
+	for _, sp := range specs {
+		if err := full.RegisterSpec(sp); err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range shardWh {
+			for _, w := range g {
+				if err := w.RegisterSpec(sp); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for _, r := range runs {
+		if err := full.LoadRun(r); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range shardWh[ring.Place(r.ID())] {
+			if err := w.LoadRun(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	single := newWorker(t, full)
+	groups := make([][]string, n)
+	servers := make([][]*httptest.Server, n)
+	for i, g := range shardWh {
+		for _, w := range g {
+			ts := newWorker(t, w)
+			servers[i] = append(servers[i], ts)
+			groups[i] = append(groups[i], ts.URL)
+		}
+	}
+	cfg := Config{Shards: groups}
+	if shape != nil {
+		shape(&cfg)
+	}
+	rt, err := New(obs.NewRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+	return single.URL, rts.URL, rt, servers
+}
+
+// killServer force-closes a replica's client connections and listener so
+// in-flight and future requests to it fail at the transport level.
+func killServer(ts *httptest.Server) {
+	ts.CloseClientConnections()
+	ts.Close()
+}
+
+// TestRouterReplicaFailover kills the preferred replica of every shard
+// and checks the tentpole's availability claim: every run-addressed
+// request still answers 200 via the sibling replica, the failover counter
+// moves, and the router still reports ready.
+func TestRouterReplicaFailover(t *testing.T) {
+	specs, runs, infos := buildCorpus(t, []gen.RunClass{gen.Small()})
+	_, routerURL, rt, servers := buildReplicatedCluster(t, 2, 2, specs, runs, nil)
+
+	for i := range servers {
+		killServer(servers[i][0])
+	}
+	for _, info := range infos {
+		status, b := postRaw(t, routerURL, "/v1/query", "",
+			fmt.Sprintf(`{"run":%q,"data":%q}`, info.id, info.targets[0]))
+		if status != http.StatusOK {
+			t.Fatalf("query %s with preferred replica dead: status %d body %s", info.id, status, b)
+		}
+	}
+	if rt.failovers.Value() == 0 {
+		t.Fatal("failover counter did not move")
+	}
+
+	// Scatter-gather also fails over: the catalog is whole, not partial.
+	status, b := getRaw(t, routerURL, "/v1/runs", "")
+	if status != http.StatusOK || strings.Contains(string(b), `"partial"`) {
+		t.Fatalf("runs with preferred replicas dead: status %d body %s", status, b)
+	}
+
+	// Live readiness: every shard still has a ready replica.
+	status, b = getRaw(t, routerURL, "/readyz", "")
+	if status != http.StatusOK {
+		t.Fatalf("readyz with one replica per shard dead: status %d body %s", status, b)
+	}
+	for _, st := range rt.shardStates() {
+		if !st.Ready {
+			t.Fatalf("shard %d not ready with a live sibling: %+v", st.Shard, st)
+		}
+		if st.Replicas[0].Ready {
+			t.Fatalf("shard %d dead replica still reported ready", st.Shard)
+		}
+	}
+
+	// Kill the sibling too: now the shard fails fast with a 502.
+	for i := range servers {
+		killServer(servers[i][1])
+	}
+	deadInfo := infos[0]
+	var sawGateway bool
+	for i := 0; i < rt.cfg.BreakerThreshold+1; i++ {
+		status, _ = postRaw(t, routerURL, "/v1/query", "",
+			fmt.Sprintf(`{"run":%q,"data":%q}`, deadInfo.id, deadInfo.targets[0]))
+		if status == http.StatusBadGateway {
+			sawGateway = true
+		}
+	}
+	if !sawGateway {
+		t.Fatal("whole shard dead: expected 502s")
+	}
+}
+
+// TestRouterHedging makes the preferred replica slow and checks that a
+// hedged second attempt on the sibling wins: the answer comes back fast,
+// correct, and the hedge counters move.
+func TestRouterHedging(t *testing.T) {
+	specs, runs, infos := buildCorpus(t, []gen.RunClass{gen.Small()})
+
+	const slowFor = 500 * time.Millisecond
+	_, routerURL, rt, servers := buildReplicatedCluster(t, 1, 2, specs, runs, func(cfg *Config) {
+		cfg.HedgeDelay = 25 * time.Millisecond
+	})
+
+	// Interpose a delay on the preferred replica's query endpoint only
+	// (health stays fast so the replica remains in rotation — a slow
+	// worker, not a dead one).
+	slowInner := servers[0][0].Config.Handler
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			time.Sleep(slowFor)
+		}
+		slowInner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(slow.Close)
+	rt.shards[0].replicas[0].base = slow.URL
+	rt.shards[0].replicas[0].cl = client.New(slow.URL, client.Options{Timeout: -1})
+
+	info := infos[0]
+	start := time.Now()
+	status, b := postRaw(t, routerURL, "/v1/query", "",
+		fmt.Sprintf(`{"run":%q,"data":%q}`, info.id, info.targets[0]))
+	elapsed := time.Since(start)
+	if status != http.StatusOK {
+		t.Fatalf("hedged query: status %d body %s", status, b)
+	}
+	if elapsed >= slowFor {
+		t.Fatalf("hedged query took %v, want well under the %v straggler", elapsed, slowFor)
+	}
+	if rt.hedges.Value() == 0 || rt.hedgeWins.Value() == 0 {
+		t.Fatalf("hedge counters did not move: hedges=%d wins=%d",
+			rt.hedges.Value(), rt.hedgeWins.Value())
+	}
+}
+
+// TestRouterResponseCache drives the cache through its whole life cycle:
+// miss and store, hit with the trace id rewritten to the current
+// request's, and invalidation when a health poll observes the worker's
+// generation change.
+func TestRouterResponseCache(t *testing.T) {
+	specs, runs, infos := buildCorpus(t, []gen.RunClass{gen.Small()})
+	full := warehouse.New(0)
+	for _, sp := range specs {
+		if err := full.RegisterSpec(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range runs {
+		if err := full.LoadRun(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := server.New(obs.NewRegistry(), server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := provenance.NewEngine(full)
+	s.SetEngine(eng)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	rt, err := New(obs.NewRegistry(), Config{Workers: []string{ts.URL}, CacheEntries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+	ctx := context.Background()
+	rt.checkAll(ctx) // record the baseline generation
+
+	info := infos[0]
+	body := fmt.Sprintf(`{"run":%q,"data":%q}`, info.id, info.targets[0])
+
+	status1, b1 := postRaw(t, rts.URL, "/v1/query", "00000000000000a1", body)
+	if status1 != http.StatusOK {
+		t.Fatalf("first query: status %d body %s", status1, b1)
+	}
+	if rt.cacheMisses.Value() != 1 || rt.cacheHits.Value() != 0 {
+		t.Fatalf("after first query: misses=%d hits=%d", rt.cacheMisses.Value(), rt.cacheHits.Value())
+	}
+	if rt.cache.Len() != 1 {
+		t.Fatalf("cache entries %d, want 1", rt.cache.Len())
+	}
+
+	status2, b2 := postRaw(t, rts.URL, "/v1/query", "00000000000000a2", body)
+	if status2 != http.StatusOK {
+		t.Fatalf("second query: status %d body %s", status2, b2)
+	}
+	if rt.cacheHits.Value() != 1 {
+		t.Fatalf("second query did not hit the cache: hits=%d", rt.cacheHits.Value())
+	}
+	// The cached replay is the first answer with only the trace id
+	// swapped for the current request's.
+	want := bytes.Replace(b1, []byte("00000000000000a1"), []byte("00000000000000a2"), 1)
+	if !bytes.Equal(b2, want) {
+		t.Fatalf("cached replay differs beyond the trace id\nfirst:  %s\nreplay: %s", b1, b2)
+	}
+
+	// ?trace=1 must bypass the cache: the inline trace is per-request.
+	status3, b3 := postRaw(t, rts.URL, "/v1/query?trace=1", "00000000000000a3", body)
+	if status3 != http.StatusOK || !strings.Contains(string(b3), `"trace"`) {
+		t.Fatalf("traced query: status %d", status3)
+	}
+	if rt.cacheHits.Value() != 1 {
+		t.Fatalf("traced query must not be served from cache: hits=%d", rt.cacheHits.Value())
+	}
+
+	// The worker reloads its warehouse: the generation changes, the next
+	// health poll bumps the shard epoch, and the cached entry is dropped.
+	s.SetEngine(eng)
+	rt.checkAll(ctx)
+	if rt.cacheInvals.Value() == 0 {
+		t.Fatal("generation change did not count an invalidation")
+	}
+	status4, _ := postRaw(t, rts.URL, "/v1/query", "00000000000000a4", body)
+	if status4 != http.StatusOK {
+		t.Fatalf("post-invalidation query: status %d", status4)
+	}
+	if rt.cacheHits.Value() != 1 || rt.cacheMisses.Value() != 2 {
+		t.Fatalf("post-invalidation query should miss: hits=%d misses=%d",
+			rt.cacheHits.Value(), rt.cacheMisses.Value())
+	}
+}
+
+// TestRespCacheBounds unit-tests the LRU's entry and byte bounds.
+func TestRespCacheBounds(t *testing.T) {
+	c := newRespCache(2, 0)
+	mk := func(i int) *cacheEntry {
+		return &cacheEntry{path: "/p", reqBody: []byte(fmt.Sprintf("req%d", i)), body: []byte("resp")}
+	}
+	c.store(mk(1))
+	c.store(mk(2))
+	c.store(mk(3)) // evicts 1
+	if c.Len() != 2 {
+		t.Fatalf("len %d, want 2", c.Len())
+	}
+	if e, _ := c.lookup("/p", []byte("req1"), 0); e != nil {
+		t.Fatal("oldest entry should be evicted")
+	}
+	if e, _ := c.lookup("/p", []byte("req3"), 0); e == nil {
+		t.Fatal("newest entry missing")
+	}
+	// Epoch mismatch drops the entry and reports stale.
+	if _, stale := c.lookup("/p", []byte("req3"), 7); !stale {
+		t.Fatal("epoch mismatch should report stale")
+	}
+	if e, _ := c.lookup("/p", []byte("req3"), 7); e != nil {
+		t.Fatal("stale entry should be gone")
+	}
+
+	// Byte bound: tiny budget keeps only the newest entry.
+	c2 := newRespCache(100, 16)
+	c2.store(&cacheEntry{path: "/p", reqBody: []byte("aaaaaaaa"), body: []byte("bbbbbbbb")}) // 16 bytes
+	c2.store(&cacheEntry{path: "/p", reqBody: []byte("cccccccc"), body: []byte("dddddddd")}) // evicts first
+	if c2.Len() != 1 {
+		t.Fatalf("byte-bounded len %d, want 1", c2.Len())
+	}
+}
+
+// TestRouterRequestTooLarge checks the oversized-body bugfix on both
+// sides of the hop: the router and the worker answer 413 (not 400) with
+// the standard error body.
+func TestRouterRequestTooLarge(t *testing.T) {
+	specs, runs, _ := buildCorpus(t, []gen.RunClass{gen.Small()})
+	singleURL, routerURL, _ := buildCluster(t, 2, specs, runs)
+	big := fmt.Sprintf(`{"run":"r","data":%q}`, strings.Repeat("a", maxBodyBytes))
+	for _, base := range []string{routerURL, singleURL} {
+		status, body := postRaw(t, base, "/v1/query", "0000000000000bad", big)
+		if status != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s: oversized body status %d, want 413 (body %.120s)", base, status, body)
+		}
+		if !strings.Contains(string(body), `"error"`) || !strings.Contains(string(body), "0000000000000bad") {
+			t.Fatalf("%s: 413 body missing error/trace id: %s", base, body)
+		}
+	}
+}
+
+// TestRouterGatherCancel checks the semaphore bugfix: a cancelled
+// scatter-gather returns promptly with context errors for unvisited
+// shards instead of blocking on the fanout semaphore behind a hung
+// worker.
+func TestRouterGatherCancel(t *testing.T) {
+	hang := func() *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			<-r.Context().Done()
+		}))
+	}
+	w0, w1 := hang(), hang()
+	t.Cleanup(w0.Close)
+	t.Cleanup(w1.Close)
+	rt, err := New(obs.NewRegistry(), Config{
+		Workers:       []string{w0.URL, w1.URL},
+		Fanout:        1, // the second shard must wait for the first's slot
+		GatherTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, fails := rt.gather(ctx, func(ctx context.Context, cl *client.Client) (any, error) {
+		return cl.Runs(ctx)
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled gather took %v, want prompt return", elapsed)
+	}
+	if len(fails) != 2 {
+		t.Fatalf("cancelled gather reported %d failures, want 2: %+v", len(fails), fails)
+	}
+	var sawCtx bool
+	for _, f := range fails {
+		if strings.Contains(f.Error, "context canceled") {
+			sawCtx = true
+		}
+	}
+	if !sawCtx {
+		t.Fatalf("no shard reported the context error: %+v", fails)
+	}
+}
+
+// TestRouterCopyErrors checks the relay bugfix: a worker that dies
+// mid-body (Content-Length promised, connection cut short) is counted in
+// router.copy_errors instead of passing as a silent success.
+func TestRouterCopyErrors(t *testing.T) {
+	// A worker whose query responses promise more bytes than they send;
+	// the server closes the connection on the short write and the
+	// router's relay fails mid-body.
+	liar := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"ready": true, "runs_loaded": 1, "runs_total": 1}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", "100000")
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		fmt.Fprint(w, `{"trace_id": "xx"`)
+	}))
+	t.Cleanup(liar.Close)
+	rt, err := New(obs.NewRegistry(), Config{Workers: []string{liar.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+
+	resp, err := http.Post(rts.URL+"/v1/query", "application/json",
+		strings.NewReader(`{"run":"r","data":"d"}`))
+	if err == nil {
+		// The router commits the 200 status line before the relay fails,
+		// so the client sees a truncated body, not an HTTP error.
+		_, _ = httputilReadAll(resp)
+		resp.Body.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.copyErrors.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if rt.copyErrors.Value() == 0 {
+		t.Fatal("mid-body relay failure was not counted in router.copy_errors")
+	}
+}
+
+// httputilReadAll drains a response body, tolerating the transport error
+// a truncated relay produces.
+func httputilReadAll(resp *http.Response) ([]byte, error) {
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}
+
+// TestConcurrentBreakerHalfOpenReadmit races the per-replica breaker's
+// open/half-open/re-admit cycle against in-flight forwards and the
+// health loop, under -race (the "Concurrent" name opts it into the race
+// CI job). A flaky preferred replica cycles between cutting connections
+// and serving; the sibling stays healthy, so with failover every query
+// must answer 200 throughout.
+func TestConcurrentBreakerHalfOpenReadmit(t *testing.T) {
+	specs, runs, infos := buildCorpus(t, []gen.RunClass{gen.Small()})
+
+	_, routerURL, rt, servers := buildReplicatedCluster(t, 1, 2, specs, runs, func(cfg *Config) {
+		cfg.BreakerThreshold = 2
+		cfg.BreakerCooldown = 20 * time.Millisecond // fast half-open cycles
+		cfg.HealthInterval = 10 * time.Millisecond
+	})
+
+	// Replace the preferred replica with a flaky front over the same
+	// warehouse: while down it hijacks and drops every connection
+	// (transport error), while up it serves normally.
+	var down atomic.Bool
+	inner := servers[0][0].Config.Handler
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+					return
+				}
+			}
+			panic(http.ErrAbortHandler)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(flaky.Close)
+	rt.shards[0].replicas[0].base = flaky.URL
+	rt.shards[0].replicas[0].cl = client.New(flaky.URL, client.Options{Timeout: -1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go rt.HealthLoop(ctx)
+	go func() {
+		for ctx.Err() == nil {
+			down.Store(!down.Load())
+			time.Sleep(15 * time.Millisecond)
+		}
+	}()
+
+	const workers = 4
+	const iters = 40
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				info := infos[(w+i)%len(infos)]
+				status, b := postRaw(t, routerURL, "/v1/query", "",
+					fmt.Sprintf(`{"run":%q,"data":%q}`, info.id, info.targets[0]))
+				if status != http.StatusOK {
+					errc <- fmt.Errorf("worker %d iter %d: status %d body %.200s", w, i, status, b)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"sort"
@@ -27,15 +28,23 @@ const maxBodyBytes = 1 << 20
 
 // Config tunes a Router.
 type Config struct {
-	// Workers are the shard base URLs in shard order: Workers[k] serves
-	// shard k of len(Workers). The order must match the -n used by
-	// `zoom snapshot shard`; the ring places runs on indexes, not URLs.
+	// Workers are shard base URLs in shard order, one replica per shard:
+	// Workers[k] serves shard k of len(Workers). The order must match the
+	// -n used by `zoom snapshot shard`; the ring places runs on indexes,
+	// not URLs. Ignored when Shards is set.
 	Workers []string
-	// Replicas is the virtual-node count per shard (0 = DefaultReplicas).
-	// Must match the value used to split the snapshot.
+	// Shards groups worker base URLs into replica sets: Shards[k] lists
+	// the replicas serving shard k, in preference order (the router
+	// forwards to the first available replica and fails over to the
+	// next). Every replica of shard k must hold the same shard-k
+	// snapshot. Takes precedence over Workers.
+	Shards [][]string
+	// Replicas is the virtual-node count per shard on the placement ring
+	// (0 = DefaultReplicas). Must match the value used to split the
+	// snapshot. (Ring vnodes, not the replica sets above.)
 	Replicas int
-	// ForwardTimeout bounds one forwarded /v1/query or /v1/batch request
-	// (default 30s).
+	// ForwardTimeout bounds each forwarding attempt of a /v1/query or
+	// /v1/batch request (default 30s).
 	ForwardTimeout time.Duration
 	// GatherTimeout bounds each per-shard call of a scatter-gather and of
 	// a health poll (default 5s).
@@ -46,12 +55,28 @@ type Config struct {
 	// HealthInterval is the /readyz polling period (default 2s).
 	HealthInterval time.Duration
 	// BreakerThreshold is the consecutive forwarding failures that open a
-	// shard's circuit (default 3).
+	// replica's circuit (default 3).
 	BreakerThreshold int
 	// BreakerCooldown is how long an open circuit fails fast before the
 	// next attempt is allowed through (default 5s). A successful health
 	// poll closes the circuit early.
 	BreakerCooldown time.Duration
+	// HedgeDelay, when positive, launches a second attempt of a
+	// run-addressed request on the shard's next available replica after
+	// this delay; the first response wins and the loser is cancelled.
+	// Pick a p99-ish value for the workload. Zero disables hedging (the
+	// default) — it trades duplicate load for tail latency and only
+	// helps when replicas exist.
+	HedgeDelay time.Duration
+	// CacheEntries bounds the router-side response cache (entry count).
+	// Zero disables the cache (the default for embedded use; `zoom
+	// router` enables it by flag). Entries are keyed on the full request
+	// body and invalidated when the owning shard's worker generation
+	// changes.
+	CacheEntries int
+	// CacheBytes bounds the cache's total retained bytes (0 selects
+	// DefaultCacheBytes). Only meaningful when CacheEntries > 0.
+	CacheBytes int64
 	// MaxIdleConns bounds the keep-alive pool per worker (default 32).
 	MaxIdleConns int
 	// Transport overrides the shared HTTP transport (tests, custom pools).
@@ -87,39 +112,69 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
-// Router is a stateless scale-out front for N zoom workers: it places
-// run-addressed requests (/v1/query, /v1/batch) on the consistent-hash
-// ring and forwards them verbatim to the owning worker over pooled
-// keep-alive connections, and answers the catalog endpoints (/v1/runs,
-// /v1/stats) by bounded parallel scatter-gather with a deterministic
-// merge. Per-shard circuit breakers and /readyz polling turn a dead
-// worker into fast 502s naming the shard instead of per-request connect
-// timeouts, while the remaining shards keep answering.
+// Router is a stateless scale-out front for N zoom shards, each served
+// by a replica set of workers: it places run-addressed requests
+// (/v1/query, /v1/batch) on the consistent-hash ring and forwards them
+// to the shard's preferred replica over pooled keep-alive connections —
+// failing over to the next replica on transport error or open breaker,
+// optionally hedging slow requests — and answers the catalog endpoints
+// (/v1/runs, /v1/stats) by bounded parallel scatter-gather with a
+// deterministic merge. Per-replica circuit breakers and /readyz polling
+// keep a dead worker from blacking out its shard while a sibling holds
+// the same data, and an optional bounded response cache answers repeated
+// queries without a hop, invalidated by the worker generation the health
+// poll observes.
 type Router struct {
 	cfg    Config
 	ring   *Ring
 	shards []*shard
 	httpc  *http.Client
 	reg    *obs.Registry
+	cache  *respCache
 
-	requests  *obs.Counter
-	requestNs *obs.Histogram
-	forwards  *obs.Counter
-	fwdErrors *obs.Counter
-	fastFails *obs.Counter
-	gathers   *obs.Counter
-	partials  *obs.Counter
+	requests    *obs.Counter
+	requestNs   *obs.Histogram
+	forwards    *obs.Counter
+	fwdErrors   *obs.Counter
+	fastFails   *obs.Counter
+	failovers   *obs.Counter
+	hedges      *obs.Counter
+	hedgeWins   *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	cacheInvals *obs.Counter
+	copyErrors  *obs.Counter
+	gathers     *obs.Counter
+	partials    *obs.Counter
 }
 
-// New returns a router over cfg.Workers (at least one required), wired to
-// reg (one is created when nil). Start its health loop with HealthLoop or
-// let Serve do it.
+// New returns a router over cfg.Shards (or cfg.Workers as single-replica
+// shards; at least one shard required), wired to reg (one is created
+// when nil). Start its health loop with HealthLoop or let Serve do it.
 func New(reg *obs.Registry, cfg Config) (*Router, error) {
-	if len(cfg.Workers) == 0 {
+	groups := cfg.Shards
+	if len(groups) == 0 {
+		for _, w := range cfg.Workers {
+			groups = append(groups, []string{w})
+		}
+	}
+	if len(groups) == 0 {
 		return nil, errors.New("cluster: router needs at least one worker")
 	}
+	total := 0
+	for k, g := range groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("cluster: shard %d has no replicas", k)
+		}
+		for _, base := range g {
+			if base == "" {
+				return nil, fmt.Errorf("cluster: shard %d has an empty replica address", k)
+			}
+		}
+		total += len(g)
+	}
 	cfg = (&cfg).withDefaults()
-	ring, err := NewRing(len(cfg.Workers), cfg.Replicas)
+	ring, err := NewRing(len(groups), cfg.Replicas)
 	if err != nil {
 		return nil, err
 	}
@@ -129,31 +184,46 @@ func New(reg *obs.Registry, cfg Config) (*Router, error) {
 	rt := cfg.Transport
 	if rt == nil {
 		rt = &http.Transport{
-			MaxIdleConns:        cfg.MaxIdleConns * len(cfg.Workers),
+			MaxIdleConns:        cfg.MaxIdleConns * total,
 			MaxIdleConnsPerHost: cfg.MaxIdleConns,
 			IdleConnTimeout:     90 * time.Second,
 		}
 	}
 	r := &Router{
-		cfg:       cfg,
-		ring:      ring,
-		httpc:     &http.Client{Transport: rt},
-		reg:       reg,
-		requests:  reg.Counter("router.requests"),
-		requestNs: reg.Histogram("router.request_ns"),
-		forwards:  reg.Counter("router.forwards"),
-		fwdErrors: reg.Counter("router.forward_errors"),
-		fastFails: reg.Counter("router.fast_fails"),
-		gathers:   reg.Counter("router.gathers"),
-		partials:  reg.Counter("router.gather_partial"),
+		cfg:         cfg,
+		ring:        ring,
+		httpc:       &http.Client{Transport: rt},
+		reg:         reg,
+		requests:    reg.Counter("router.requests"),
+		requestNs:   reg.Histogram("router.request_ns"),
+		forwards:    reg.Counter("router.forwards"),
+		fwdErrors:   reg.Counter("router.forward_errors"),
+		fastFails:   reg.Counter("router.fast_fails"),
+		failovers:   reg.Counter("router.failovers"),
+		hedges:      reg.Counter("router.hedges"),
+		hedgeWins:   reg.Counter("router.hedge_wins"),
+		cacheHits:   reg.Counter("router.cache_hits"),
+		cacheMisses: reg.Counter("router.cache_misses"),
+		cacheInvals: reg.Counter("router.cache_invalidations"),
+		copyErrors:  reg.Counter("router.copy_errors"),
+		gathers:     reg.Counter("router.gathers"),
+		partials:    reg.Counter("router.gather_partial"),
 	}
-	for i, base := range cfg.Workers {
-		r.shards = append(r.shards, &shard{
-			index: i,
-			base:  base,
-			cl:    client.New(base, client.Options{Timeout: -1, Transport: rt}),
-			up:    reg.Gauge(fmt.Sprintf("router.shard.%d.up", i)),
-		})
+	if cfg.CacheEntries > 0 {
+		r.cache = newRespCache(cfg.CacheEntries, cfg.CacheBytes)
+	}
+	for k, g := range groups {
+		sh := &shard{index: k}
+		for j, base := range g {
+			sh.replicas = append(sh.replicas, &replica{
+				shard: k,
+				index: j,
+				base:  base,
+				cl:    client.New(base, client.Options{Timeout: -1, Transport: rt}),
+				up:    reg.Gauge(fmt.Sprintf("router.shard.%d.replica.%d.up", k, j)),
+			})
+		}
+		r.shards = append(r.shards, sh)
 	}
 	return r, nil
 }
@@ -233,9 +303,11 @@ func (rt *Router) Serve(ctx context.Context, ln net.Listener, drain time.Duratio
 
 // forward returns the handler for a run-addressed endpoint: peek at the
 // run id, place it on the ring, and relay the request/response verbatim
-// to/from the owning worker. The body passes through untouched in both
-// directions — the cluster's answers are byte-identical to the worker's
-// (and, by the differential suite, to a single node's).
+// to/from the shard's replicas. The body passes through untouched in
+// both directions — the cluster's answers are byte-identical to the
+// worker's (and, by the differential suite, to a single node's) — and a
+// cache hit replays the worker's bytes with only the trace id rewritten
+// to the current request's.
 func (rt *Router) forward(path string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		tr := obs.NewTraceWithID("POST "+path, r.Header.Get(TraceIDHeader))
@@ -243,6 +315,14 @@ func (rt *Router) forward(path string) http.Handler {
 		w.Header().Set(TraceIDHeader, tr.ID())
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
+					Error:   fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+					TraceID: tr.ID(),
+				})
+				return
+			}
 			writeJSON(w, http.StatusBadRequest,
 				errorBody{Error: "bad request: " + err.Error(), TraceID: tr.ID()})
 			return
@@ -259,47 +339,210 @@ func (rt *Router) forward(path string) http.Handler {
 		}
 		idx := rt.ring.Place(peek.Run)
 		sh := rt.shards[idx]
-		if reason := sh.state(time.Now()); reason != "" {
+
+		// The epoch is read before the lookup/forward so a generation
+		// change observed mid-flight invalidates conservatively.
+		epoch := sh.epoch.Load()
+		cacheable := rt.cache != nil && r.URL.RawQuery == ""
+		if cacheable {
+			ent, stale := rt.cache.lookup(path, body, epoch)
+			if stale {
+				rt.cacheInvals.Inc()
+			}
+			if ent != nil {
+				rt.cacheHits.Inc()
+				if ent.contentType != "" {
+					w.Header().Set("Content-Type", ent.contentType)
+				}
+				w.WriteHeader(http.StatusOK)
+				if _, werr := w.Write(rewriteTraceID(ent.body, ent.traceID, tr.ID())); werr != nil {
+					rt.copyError(tr, idx, werr)
+				}
+				return
+			}
+			rt.cacheMisses.Inc()
+		}
+
+		cands := sh.candidates(time.Now())
+		if len(cands) == 0 {
 			rt.fastFails.Inc()
 			writeJSON(w, http.StatusBadGateway, errorBody{
-				Error:   fmt.Sprintf("shard %d (%s) unavailable: %s", idx, sh.base, reason),
+				Error:   fmt.Sprintf("shard %d unavailable: %s", idx, sh.state(time.Now())),
 				TraceID: tr.ID(),
 			})
 			return
 		}
-		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ForwardTimeout)
-		defer cancel()
-		url := sh.base + path
-		if q := r.URL.RawQuery; q != "" {
-			url += "?" + q
-		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		resp, rep, release, err := rt.attempt(r.Context(), path, r.URL.RawQuery, tr.ID(), body, cands)
 		if err != nil {
-			writeJSON(w, http.StatusInternalServerError,
-				errorBody{Error: err.Error(), TraceID: tr.ID()})
-			return
-		}
-		req.Header.Set("Content-Type", "application/json")
-		req.Header.Set(TraceIDHeader, tr.ID())
-		resp, err := rt.httpc.Do(req)
-		if err != nil {
-			sh.fail(int32(rt.cfg.BreakerThreshold), rt.cfg.BreakerCooldown)
-			rt.fwdErrors.Inc()
+			base := ""
+			if rep != nil {
+				base = rep.base
+			}
 			writeJSON(w, http.StatusBadGateway, errorBody{
-				Error:   fmt.Sprintf("shard %d (%s) forward failed: %v", idx, sh.base, err),
+				Error:   fmt.Sprintf("shard %d (%s) forward failed: %v", idx, base, err),
 				TraceID: tr.ID(),
 			})
 			return
 		}
+		defer release()
 		defer resp.Body.Close()
-		sh.ok()
 		rt.forwards.Inc()
-		if ct := resp.Header.Get("Content-Type"); ct != "" {
+		ct := resp.Header.Get("Content-Type")
+		if ct != "" {
 			w.Header().Set("Content-Type", ct)
 		}
 		w.WriteHeader(resp.StatusCode)
-		io.Copy(w, resp.Body)
+		if cacheable && resp.StatusCode == http.StatusOK {
+			// Buffer a cache-sized prefix; if the body fits, the copy to
+			// the client and the stored entry are the same bytes.
+			data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxCacheBody+1))
+			if len(data) > 0 {
+				if _, werr := w.Write(data); werr != nil {
+					rt.copyError(tr, idx, werr)
+					return
+				}
+			}
+			if rerr != nil {
+				rt.copyError(tr, idx, rerr)
+				return
+			}
+			if len(data) <= maxCacheBody {
+				rt.cache.store(&cacheEntry{
+					path:        path,
+					reqBody:     body,
+					shard:       idx,
+					epoch:       epoch,
+					contentType: ct,
+					traceID:     tr.ID(),
+					body:        data,
+				})
+				return
+			}
+			// Too big to cache: stream the rest through.
+			if _, cerr := io.Copy(w, resp.Body); cerr != nil {
+				rt.copyError(tr, idx, cerr)
+			}
+			return
+		}
+		if _, cerr := io.Copy(w, resp.Body); cerr != nil {
+			// A mid-body client disconnect or worker reset is not a
+			// successful forward even though the status line went out.
+			rt.copyError(tr, idx, cerr)
+		}
 	})
+}
+
+// copyError records a response-relay failure: the status line was already
+// committed, so all the router can do is count it and name the trace.
+func (rt *Router) copyError(tr *obs.Trace, shard int, err error) {
+	rt.copyErrors.Inc()
+	log.Printf("zoom router: response copy failed: shard %d trace %s: %v", shard, tr.ID(), err)
+}
+
+// fwdResult is one replica attempt's outcome inside attempt.
+type fwdResult struct {
+	rep    *replica
+	resp   *http.Response
+	cancel context.CancelFunc
+	err    error
+	hedged bool
+}
+
+// attempt forwards body to the shard's candidate replicas: the preferred
+// replica first, failing over to the next on transport error, and — when
+// cfg.HedgeDelay is set — hedging with a second concurrent attempt on
+// the next candidate once the delay elapses. The first successful
+// response wins; losers are cancelled and drained. The returned release
+// func ends the winner's request context and must be called after the
+// response body has been consumed. Only transport-level failures feed
+// the breaker and trigger failover; a worker that answers (any status)
+// is alive and its response is relayed verbatim.
+func (rt *Router) attempt(parent context.Context, path, rawQuery, traceID string, body []byte, cands []*replica) (*http.Response, *replica, func(), error) {
+	results := make(chan fwdResult, len(cands))
+	next, inflight := 0, 0
+	launch := func(hedged bool) {
+		rep := cands[next]
+		next++
+		inflight++
+		actx, cancel := context.WithTimeout(parent, rt.cfg.ForwardTimeout)
+		go func() {
+			url := rep.base + path
+			if rawQuery != "" {
+				url += "?" + rawQuery
+			}
+			req, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(body))
+			if err != nil {
+				results <- fwdResult{rep: rep, cancel: cancel, err: err, hedged: hedged}
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set(TraceIDHeader, traceID)
+			resp, err := rt.httpc.Do(req)
+			results <- fwdResult{rep: rep, resp: resp, cancel: cancel, err: err, hedged: hedged}
+		}()
+	}
+	// drainLosers closes out attempts still in flight after a decision.
+	drainLosers := func(n int) {
+		if n <= 0 {
+			return
+		}
+		go func() {
+			for i := 0; i < n; i++ {
+				lr := <-results
+				lr.cancel()
+				if lr.resp != nil {
+					lr.resp.Body.Close()
+				}
+			}
+		}()
+	}
+
+	launch(false)
+	var hedgeC <-chan time.Time
+	if rt.cfg.HedgeDelay > 0 && len(cands) > 1 {
+		t := time.NewTimer(rt.cfg.HedgeDelay)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var lastErr error
+	var lastRep *replica
+	for inflight > 0 {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(cands) {
+				rt.hedges.Inc()
+				launch(true)
+			}
+		case res := <-results:
+			inflight--
+			if res.err != nil {
+				res.cancel()
+				if parent.Err() != nil {
+					// The client went away (or the whole request timed
+					// out): not the replica's fault — no breaker, no
+					// failover cascade.
+					drainLosers(inflight)
+					return nil, res.rep, nil, parent.Err()
+				}
+				res.rep.fail(int32(rt.cfg.BreakerThreshold), rt.cfg.BreakerCooldown)
+				rt.fwdErrors.Inc()
+				lastErr, lastRep = res.err, res.rep
+				if inflight == 0 && next < len(cands) {
+					rt.failovers.Inc()
+					launch(false)
+				}
+				continue
+			}
+			res.rep.ok()
+			if res.hedged {
+				rt.hedgeWins.Inc()
+			}
+			drainLosers(inflight)
+			return res.resp, res.rep, res.cancel, nil
+		}
+	}
+	return nil, lastRep, nil, lastErr
 }
 
 // ShardError describes one shard's failure inside a partial scatter-
@@ -312,10 +555,15 @@ type ShardError struct {
 
 // gather calls fn once per shard with bounded concurrency and returns
 // the per-shard results (nil where failed) plus the failures sorted by
-// shard index. Shards that are breaker-open or health-down are reported
-// failed without a request. Only transport-level failures feed the
-// breaker; a worker that answers (even with an error status) is alive.
-func (rt *Router) gather(ctx context.Context, fn func(context.Context, *shard) (any, error)) ([]any, []ShardError) {
+// shard index. Within a shard, fn runs against the preferred available
+// replica and fails over to the next on transport error; shards with no
+// available replica are reported failed without a request. Only
+// transport-level failures feed the breakers; a worker that answers
+// (even with an error status) is alive. Acquiring a fan-out slot
+// respects ctx, so a cancelled scatter-gather releases immediately and
+// reports a context error for unvisited shards instead of blocking on
+// the semaphore.
+func (rt *Router) gather(ctx context.Context, fn func(context.Context, *client.Client) (any, error)) ([]any, []ShardError) {
 	rt.gathers.Inc()
 	results := make([]any, len(rt.shards))
 	errs := make([]error, len(rt.shards))
@@ -325,32 +573,47 @@ func (rt *Router) gather(ctx context.Context, fn func(context.Context, *shard) (
 		wg.Add(1)
 		go func(i int, sh *shard) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
 			defer func() { <-sem }()
-			if reason := sh.state(time.Now()); reason != "" {
-				errs[i] = errors.New(reason)
+			cands := sh.candidates(time.Now())
+			if len(cands) == 0 {
+				errs[i] = errors.New(sh.state(time.Now()))
 				return
 			}
-			cctx, cancel := context.WithTimeout(ctx, rt.cfg.GatherTimeout)
-			defer cancel()
-			v, err := fn(cctx, sh)
-			if err != nil {
-				var ce *client.Error
-				if !errors.As(err, &ce) {
-					sh.fail(int32(rt.cfg.BreakerThreshold), rt.cfg.BreakerCooldown)
+			for _, rep := range cands {
+				cctx, cancel := context.WithTimeout(ctx, rt.cfg.GatherTimeout)
+				v, err := fn(cctx, rep.cl)
+				cancel()
+				if err != nil {
+					errs[i] = err
+					var ce *client.Error
+					if errors.As(err, &ce) {
+						// The worker answered; its error is the shard's
+						// answer — no failover past a live worker.
+						return
+					}
+					if ctx.Err() != nil {
+						return
+					}
+					rep.fail(int32(rt.cfg.BreakerThreshold), rt.cfg.BreakerCooldown)
+					continue
 				}
-				errs[i] = err
+				rep.ok()
+				results[i], errs[i] = v, nil
 				return
 			}
-			sh.ok()
-			results[i] = v
 		}(i, sh)
 	}
 	wg.Wait()
 	var fails []ShardError
 	for i, err := range errs {
 		if err != nil {
-			fails = append(fails, ShardError{Shard: i, Addr: rt.shards[i].base, Error: err.Error()})
+			fails = append(fails, ShardError{Shard: i, Addr: rt.shards[i].replicas[0].base, Error: err.Error()})
 		}
 	}
 	if len(fails) > 0 {
@@ -380,8 +643,8 @@ func (rt *Router) handleRuns(w http.ResponseWriter, r *http.Request) {
 	tr := obs.NewTraceWithID("GET /v1/runs", r.Header.Get(TraceIDHeader))
 	defer tr.Finish()
 	w.Header().Set(TraceIDHeader, tr.ID())
-	results, fails := rt.gather(r.Context(), func(ctx context.Context, sh *shard) (any, error) {
-		return sh.cl.Runs(ctx)
+	results, fails := rt.gather(r.Context(), func(ctx context.Context, cl *client.Client) (any, error) {
+		return cl.Runs(ctx)
 	})
 	seen := make(map[string]bool)
 	merged := make([]client.RunInfo, 0, 16)
@@ -429,8 +692,8 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	tr := obs.NewTraceWithID("GET /v1/stats", r.Header.Get(TraceIDHeader))
 	defer tr.Finish()
 	w.Header().Set(TraceIDHeader, tr.ID())
-	results, fails := rt.gather(r.Context(), func(ctx context.Context, sh *shard) (any, error) {
-		return sh.cl.Stats(ctx)
+	results, fails := rt.gather(r.Context(), func(ctx context.Context, cl *client.Client) (any, error) {
+		return cl.Stats(ctx)
 	})
 	resp := routerStatsResponse{TraceID: tr.ID(), ShardsTotal: len(rt.shards)}
 	for i, v := range results {
@@ -439,7 +702,7 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		resp.ShardsOK++
-		resp.Shards = append(resp.Shards, shardStats{Shard: i, Addr: rt.shards[i].base, Stats: sr.Stats})
+		resp.Shards = append(resp.Shards, shardStats{Shard: i, Addr: rt.shards[i].replicas[0].base, Stats: sr.Stats})
 	}
 	if len(fails) > 0 {
 		resp.Partial = true
@@ -448,29 +711,47 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// shardState is one row of GET /v1/shards and GET /readyz: the router's
-// current view of a worker.
-type shardState struct {
-	Shard      int    `json:"shard"`
+// replicaState is one replica's row inside a shardState.
+type replicaState struct {
+	Replica    int    `json:"replica"`
 	Addr       string `json:"addr"`
 	Ready      bool   `json:"ready"`
 	State      string `json:"state,omitempty"` // why unavailable; empty when forwardable
 	RunsLoaded int    `json:"runs_loaded"`
 	RunsTotal  int    `json:"runs_total"`
+	Generation int64  `json:"generation,omitempty"`
+}
+
+// shardState is one row of GET /v1/shards and GET /readyz: the router's
+// current view of a shard's replica set.
+type shardState struct {
+	Shard    int            `json:"shard"`
+	Ready    bool           `json:"ready"`
+	State    string         `json:"state,omitempty"` // why unavailable; empty when forwardable
+	Replicas []replicaState `json:"replicas"`
 }
 
 func (rt *Router) shardStates() []shardState {
 	now := time.Now()
 	out := make([]shardState, len(rt.shards))
 	for i, sh := range rt.shards {
-		out[i] = shardState{
-			Shard:      i,
-			Addr:       sh.base,
-			Ready:      sh.available(now),
-			State:      sh.state(now),
-			RunsLoaded: int(sh.loaded.Load()),
-			RunsTotal:  int(sh.total.Load()),
+		st := shardState{
+			Shard: i,
+			Ready: sh.available(now),
+			State: sh.state(now),
 		}
+		for j, rep := range sh.replicas {
+			st.Replicas = append(st.Replicas, replicaState{
+				Replica:    j,
+				Addr:       rep.base,
+				Ready:      rep.available(now),
+				State:      rep.state(now),
+				RunsLoaded: int(rep.loaded.Load()),
+				RunsTotal:  int(rep.total.Load()),
+				Generation: rep.gen.Load(),
+			})
+		}
+		out[i] = st
 	}
 	return out
 }
@@ -478,16 +759,20 @@ func (rt *Router) shardStates() []shardState {
 // handleShards reports the router's shard table from its current state,
 // without touching the workers.
 func (rt *Router) handleShards(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"shards":   rt.shardStates(),
 		"replicas": rt.cfg.Replicas,
-	})
+	}
+	if rt.cache != nil {
+		body["cache_entries"] = rt.cache.Len()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
-// handleReadyz polls every worker's /readyz live (also refreshing the
-// health state) and answers 200 only when all shards are ready — the
-// signal a cluster smoke test or orchestrator waits on before sending
-// traffic.
+// handleReadyz polls every replica's /readyz live (also refreshing the
+// health state) and answers 200 only when every shard has at least one
+// ready replica — the signal a cluster smoke test or orchestrator waits
+// on before sending traffic.
 func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	ready := rt.checkAll(r.Context())
 	status := http.StatusOK

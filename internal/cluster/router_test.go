@@ -281,8 +281,8 @@ func TestRouterDeadShardFast502(t *testing.T) {
 	dead := httptest.NewServer(http.NotFoundHandler())
 	deadURL := dead.URL
 	dead.Close()
-	rt.shards[0].base = deadURL
-	rt.shards[0].cl = client.New(deadURL, client.Options{Timeout: -1})
+	rt.shards[0].replicas[0].base = deadURL
+	rt.shards[0].replicas[0].cl = client.New(deadURL, client.Options{Timeout: -1})
 
 	deadRun, liveRun := byShard[0], byShard[1]
 	body := fmt.Sprintf(`{"run":%q,"data":%q}`, deadRun.id, deadRun.targets[0])

@@ -80,6 +80,12 @@ type Server struct {
 	runsLoaded atomic.Int64
 	runsTotal  atomic.Int64
 
+	// generation is an opaque warehouse generation reported on /readyz:
+	// seeded from the wall clock at construction (so two process
+	// incarnations never share a value) and bumped on every SetEngine. A
+	// router caches responses against it and invalidates when it changes.
+	generation atomic.Int64
+
 	// Request metrics, resolved once at construction.
 	requests  *obs.Counter
 	errCount  *obs.Counter
@@ -135,6 +141,7 @@ func New(reg *obs.Registry, cfg Config) (*Server, error) {
 		routes:    make(map[string]*routeMetrics),
 		views:     make(map[string]*core.UserView),
 	}
+	s.generation.Store(time.Now().UnixNano())
 	for _, key := range routeKeys {
 		s.routes[key] = newRouteMetrics(reg, key)
 	}
@@ -189,12 +196,16 @@ func (rm *routeMetrics) addInFlight(delta int64) {
 // the background after the listener is already up.
 func (s *Server) SetEngine(e *provenance.Engine) {
 	s.engine.Store(e)
+	s.generation.Add(1)
 	if e != nil {
 		s.ready.Set(1)
 	} else {
 		s.ready.Set(0)
 	}
 }
+
+// Generation returns the current warehouse generation (see readyzBody).
+func (s *Server) Generation() int64 { return s.generation.Load() }
 
 // Ready reports whether an engine is installed.
 func (s *Server) Ready() bool { return s.engine.Load() != nil }
@@ -216,9 +227,10 @@ func (s *Server) LoadProgress() (loaded, total int) {
 // progress, so an orchestrator (or a human with curl) can see how far
 // along a cold start is instead of a bare 503.
 type readyzBody struct {
-	Ready      bool `json:"ready"`
-	RunsLoaded int  `json:"runs_loaded"`
-	RunsTotal  int  `json:"runs_total"`
+	Ready      bool  `json:"ready"`
+	RunsLoaded int   `json:"runs_loaded"`
+	RunsTotal  int   `json:"runs_total"`
+	Generation int64 `json:"generation"`
 }
 
 // SlowLog returns the server's slow-query ring.
@@ -248,7 +260,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
 		loaded, total := s.LoadProgress()
-		body := readyzBody{Ready: s.Ready(), RunsLoaded: loaded, RunsTotal: total}
+		body := readyzBody{Ready: s.Ready(), RunsLoaded: loaded, RunsTotal: total, Generation: s.generation.Load()}
 		status := http.StatusOK
 		if !body.Ready {
 			status = http.StatusServiceUnavailable
@@ -383,6 +395,8 @@ func writeError(w http.ResponseWriter, tr *obs.Trace, err error) {
 		errors.Is(err, warehouse.ErrUnknownSpec),
 		errors.Is(err, warehouse.ErrUnknownView):
 		status = http.StatusNotFound
+	case errors.Is(err, errTooLarge):
+		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, errBadRequest),
 		errors.Is(err, provenance.ErrForeignView),
 		errors.Is(err, composite.ErrViewMismatch):
@@ -397,6 +411,10 @@ func writeError(w http.ResponseWriter, tr *obs.Trace, err error) {
 
 // errBadRequest tags client errors produced by the server itself.
 var errBadRequest = errors.New("bad request")
+
+// errTooLarge tags requests rejected by the body size cap; they answer
+// 413, not 400 — the request may be perfectly well-formed, just too big.
+var errTooLarge = errors.New("request body too large")
 
 // errNotReady answers API calls before the warehouse has loaded.
 func (s *Server) engineOr503(w http.ResponseWriter, tr *obs.Trace) *provenance.Engine {
@@ -543,6 +561,10 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("%w: limit is %d bytes", errTooLarge, mbe.Limit)
+		}
 		return fmt.Errorf("%w: %v", errBadRequest, err)
 	}
 	return nil

@@ -4,8 +4,12 @@
 # worker per shard plus `zoom router` in front, and check the full scale-out
 # surface — routed queries, the merged run catalog, aggregated readiness,
 # trace-id propagation through the hop, and the dead-worker path (fast 502
-# naming the dead shard while the survivor keeps answering). Exits non-zero
-# on the first failed check.
+# naming the dead shard while the survivor keeps answering). A second phase
+# reboots the cluster with two replicas per shard and checks replica-aware
+# routing: killing one replica must lose ZERO queries (failover), repeated
+# identical queries must hit the router response cache, and only killing
+# the sibling too brings the 502 back. Exits non-zero on the first failed
+# check.
 set -eu
 
 workdir=$(mktemp -d)
@@ -137,4 +141,95 @@ echo "cluster-smoke: dead shard fails fast, survivors keep answering"
 kill -TERM "$router_pid"
 wait "$router_pid" || fail "router exited non-zero on SIGTERM"
 pids="$w0_pid $w1_pid"
+
+# ---- Replica phase: 2 shards x 2 replicas, kill one replica, zero loss ----
+echo "cluster-smoke: booting replicated cluster (2 shards x 2 replicas)"
+for name in r0a r0b r1a r1b; do
+    case $name in
+        r0*) snap="$workdir/wh.json.shard0" ;;
+        *)   snap="$workdir/wh.json.shard1" ;;
+    esac
+    "$workdir/zoom" serve -warehouse "$snap" -addr 127.0.0.1:0 \
+        -expvar "" >"$workdir/$name.log" 2>&1 &
+    eval "${name}_pid=$!"
+    pids="$pids $!"
+done
+r0a=$(wait_listen "$workdir/r0a.log" "$r0a_pid") || fail "replica r0a never listened"
+r0b=$(wait_listen "$workdir/r0b.log" "$r0b_pid") || fail "replica r0b never listened"
+r1a=$(wait_listen "$workdir/r1a.log" "$r1a_pid") || fail "replica r1a never listened"
+r1b=$(wait_listen "$workdir/r1b.log" "$r1b_pid") || fail "replica r1b never listened"
+
+# Replica groups: `;` separates shards, `,` separates replicas of a shard.
+"$workdir/zoom" router -addr 127.0.0.1:0 -workers "$r0a,$r0b;$r1a,$r1b" \
+    -health-interval 200ms -hedge 250ms >"$workdir/router2.log" 2>&1 &
+router2_pid=$!
+pids="$pids $router2_pid"
+base=$(wait_listen "$workdir/router2.log" "$router2_pid") || fail "replicated router never listened"
+echo "cluster-smoke: replicated router at $base"
+
+ready=""
+for _ in $(seq 1 50); do
+    if curl -fsS "$base/readyz" 2>/dev/null | grep -q '"ready": true'; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+[ "${ready:-}" = 1 ] || fail "replicated router /readyz never became ready"
+
+# Repeated identical queries exercise the router response cache: the second
+# answer is served from the router without a worker round trip.
+body='{"run":"fig2","data":"d447","view":"joe"}'
+curl -fsS -X POST -H 'Content-Type: application/json' -d "$body" \
+    "$base/v1/query" >/dev/null || fail "replicated query (cache prime)"
+curl -fsS -X POST -H 'Content-Type: application/json' -d "$body" \
+    "$base/v1/query" >/dev/null || fail "replicated query (cache hit)"
+curl -fsS "$base/metrics" >"$workdir/metrics2.txt" || fail "GET /metrics on replicated router"
+grep -E '^zoom_router_cache_hits [1-9]' "$workdir/metrics2.txt" >/dev/null \
+    || fail "router response cache recorded no hits"
+echo "cluster-smoke: router response cache serving repeats"
+
+# Kill the PREFERRED replica of the shard that owns fig2, then hammer the
+# routed query: with a live sibling, not one request may fail.
+if curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"run":"fig2","data":"d447"}' "$r0a/v1/query" >/dev/null 2>&1; then
+    owner=0; pref_pid=$r0a_pid; sibl_pid=$r0b_pid
+else
+    owner=1; pref_pid=$r1a_pid; sibl_pid=$r1b_pid
+fi
+kill "$pref_pid"
+wait "$pref_pid" 2>/dev/null || true
+echo "cluster-smoke: killed preferred replica of shard $owner"
+
+i=0
+while [ "$i" -lt 20 ]; do
+    # A unique query string bypasses the response cache, forcing each
+    # request through the failover path rather than a cached answer.
+    status=$(curl -s -o "$workdir/failover.json" -w '%{http_code}' \
+        -X POST -H 'Content-Type: application/json' \
+        -d "$body" "$base/v1/query?i=$i")
+    [ "$status" = 200 ] || fail "query $i after replica kill returned $status, want 200 (zero-loss failover)"
+    i=$((i + 1))
+done
+grep -q '"data": "d447"' "$workdir/failover.json" || fail "failover answer wrong payload"
+code=$(curl -s -o /dev/null -w '%{http_code}' "$base/readyz")
+[ "$code" = 200 ] || fail "replicated router /readyz with one dead replica returned $code, want 200"
+curl -fsS "$base/metrics" >"$workdir/metrics3.txt" || fail "GET /metrics after replica kill"
+grep -E '^zoom_router_failovers [1-9]' "$workdir/metrics3.txt" >/dev/null \
+    || fail "replica kill recorded no failovers"
+echo "cluster-smoke: 20/20 queries answered across the replica kill"
+
+# Killing the sibling too exhausts shard $owner: now the 502 comes back.
+kill "$sibl_pid"
+wait "$sibl_pid" 2>/dev/null || true
+status=$(curl -s -o "$workdir/dead2.json" -w '%{http_code}' \
+    -X POST -H 'Content-Type: application/json' \
+    -d '{"run":"fig2","data":"d447"}' "$base/v1/query?j=1")
+[ "$status" = 502 ] || fail "query with both replicas dead returned $status, want 502"
+grep -q "shard $owner" "$workdir/dead2.json" || fail "502 does not name the exhausted shard"
+echo "cluster-smoke: exhausted shard fails fast once both replicas are gone"
+
+# Graceful shutdown of the replicated router.
+kill -TERM "$router2_pid"
+wait "$router2_pid" || fail "replicated router exited non-zero on SIGTERM"
 echo "cluster-smoke: PASS"

@@ -196,11 +196,15 @@ type StatsResponse struct {
 	Stats   json.RawMessage `json:"stats"`
 }
 
-// Readyz is the body of GET /readyz.
+// Readyz is the body of GET /readyz. Generation is an opaque warehouse
+// generation: it changes whenever the worker (re)installs an engine or
+// restarts, and a router invalidates cached responses for the worker's
+// shard when it observes a change. Zero means a pre-generation worker.
 type Readyz struct {
-	Ready      bool `json:"ready"`
-	RunsLoaded int  `json:"runs_loaded"`
-	RunsTotal  int  `json:"runs_total"`
+	Ready      bool  `json:"ready"`
+	RunsLoaded int   `json:"runs_loaded"`
+	RunsTotal  int   `json:"runs_total"`
+	Generation int64 `json:"generation,omitempty"`
 }
 
 // Query answers one provenance query.

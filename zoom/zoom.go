@@ -347,10 +347,17 @@ type (
 	Ring = cluster.Ring
 	// Router is the scatter-gather HTTP front over N workers.
 	Router = cluster.Router
-	// RouterConfig tunes a Router (worker addresses in shard order,
-	// timeouts, fan-out bound, health polling, circuit breaking).
+	// RouterConfig tunes a Router (replica groups in shard order,
+	// timeouts, fan-out bound, health polling, circuit breaking, request
+	// hedging, response caching).
 	RouterConfig = cluster.Config
 )
+
+// ParseWorkers parses a `-workers` style worker list into replica groups
+// in shard order: semicolons separate shards and commas separate
+// replicas within a shard ("a,b;c,d"); without any semicolon, commas
+// separate single-replica shards (the legacy syntax).
+func ParseWorkers(s string) [][]string { return cluster.ParseWorkers(s) }
 
 // NewRing returns a consistent-hash ring over n shards (replicas <= 0
 // selects the default virtual-node count; it must match across the
