@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke bench bench-smoke bench-ingest-smoke bench-labels-smoke bench-mmap-smoke bench-obs-smoke bench-shard-smoke bench-replica-smoke serve-smoke cluster-smoke ci
+.PHONY: all build vet test race fuzz-smoke bench bench-smoke bench-ingest-smoke bench-labels-smoke bench-mmap-smoke bench-obs-smoke bench-obs-cluster-smoke bench-shard-smoke bench-replica-smoke serve-smoke cluster-smoke ci
 
 all: ci
 
@@ -63,6 +63,12 @@ bench-mmap-smoke:
 bench-obs-smoke:
 	$(GO) test -run '^$$' -bench 'ObsOverhead' -benchtime=1x -benchmem .
 
+# Cluster observability overhead (O3): the routed query with tracing off
+# vs ?trace=1 cross-process stitching. The absolute comparison table is
+# `go run ./cmd/zoombench -only O3`.
+bench-obs-cluster-smoke:
+	$(GO) test -run '^$$' -bench 'ObsOverhead/routed' -benchtime=1x -benchmem .
+
 # One-iteration pass over the sharded-routing benchmarks (S1): direct vs
 # routed query latency at 1 and 4 shards plus the /v1/runs scatter-gather.
 # The throughput-scaling table itself is `go run ./cmd/zoombench -only S1`.
@@ -90,4 +96,4 @@ serve-smoke:
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
 
-ci: vet build test race fuzz-smoke bench-smoke bench-ingest-smoke bench-labels-smoke bench-mmap-smoke bench-obs-smoke bench-shard-smoke bench-replica-smoke serve-smoke cluster-smoke
+ci: vet build test race fuzz-smoke bench-smoke bench-ingest-smoke bench-labels-smoke bench-mmap-smoke bench-obs-smoke bench-obs-cluster-smoke bench-shard-smoke bench-replica-smoke serve-smoke cluster-smoke

@@ -792,6 +792,48 @@ func BenchmarkObsOverhead(b *testing.B) {
 			}
 		})
 	}
+
+	// Routed (O3): the same query through a 2-shard router, tracing off vs
+	// ?trace=1 with cross-process stitching. "routed/off" is every
+	// production request's state — the span machinery, the slowlog ring,
+	// and the per-replica instruments are all live but dormant, and the
+	// row must sit within noise of what PR 8's uninstrumented router paid
+	// (zoombench -only O3 publishes the absolute comparison).
+	g := gen.NewGenerator(37)
+	sp := g.Workflow(gen.Classes()[0], "bench-obs-routed")
+	full := warehouse.New(0)
+	if err := full.RegisterSpec(sp); err != nil {
+		b.Fatal(err)
+	}
+	type target struct{ run, data string }
+	var targets []target
+	for i := 0; i < 8; i++ {
+		r, _, err := g.Run(sp, gen.Small(), fmt.Sprintf("ob-run-%02d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := full.LoadRun(r); err != nil {
+			b.Fatal(err)
+		}
+		targets = append(targets, target{run: r.ID(), data: r.AllData()[0]})
+	}
+	c := shardCluster(b, full, 2)
+	ctx := context.Background()
+	for _, traced := range []bool{false, true} {
+		name := "routed/off"
+		if traced {
+			name = "routed/traced"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				t := targets[i%len(targets)]
+				if _, err := c.Query(ctx, client.QueryRequest{Run: t.run, Data: t.data, Trace: traced}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // mmapImage saves a multi-run warehouse as a v3 snapshot file and returns

@@ -13,10 +13,11 @@
 //	zoom save    -warehouse wh.json [-out wh.v3] [-format v3]   re-save in an explicit format
 //	zoom snapshot convert -in old.snap -out new.snap [-format v3]
 //	zoom snapshot shard -in wh.v3 -n 4 [-out prefix] [-replicas 128] [-format keep]
-//	zoom router  -workers http://h1:8081,http://h2:8082 [-addr :8090] [-replicas 128] [-drain 5s]
+//	zoom router  -workers http://h1:8081,http://h2:8082 [-addr :8090] [-replicas 128] [-slow 10ms] [-slowlog 128] [-drain 5s]
 //	zoom query   -warehouse wh.json -run id -data d447[,d448,...] [-parallel N] [-relevant ...] [-mode deep|immediate|derived] [-labels] [-dot] [-trace]
 //	zoom runs    -warehouse wh.json       list warehouse contents
 //	zoom stats   -warehouse wh.json [-json]  warehouse statistics and metrics
+//	zoom stats   -cluster http://router:8090 [-json]  aggregated cluster statistics via a router
 //	zoom ask     -warehouse wh.json -run id -q "deep(d447)" [-relevant ...]
 //	zoom compare -warehouse wh.json -a run1 -b run2
 package main
@@ -40,6 +41,7 @@ import (
 	"time"
 
 	"repro/zoom"
+	zoomclient "repro/zoom/client"
 )
 
 func main() {
@@ -248,6 +250,8 @@ func cmdRouter(args []string) error {
 	hedge := fs.Duration("hedge", 0, "hedge run-addressed requests on the next replica after this delay (0 = off; pick a p99-ish value)")
 	cacheEntries := fs.Int("cache", 4096, "response cache entries (0 disables; invalidated when a shard's worker generation changes)")
 	cacheBytes := fs.Int64("cache-bytes", 0, "response cache total byte bound (0 = 64MiB default)")
+	slow := fs.Duration("slow", 10*time.Millisecond, "router slowlog threshold at /debug/slowlog (negative logs every request)")
+	slowlogSize := fs.Int("slowlog", 128, "router slowlog ring size")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	_ = fs.Parse(args)
 	groups := zoom.ParseWorkers(*workers)
@@ -266,6 +270,8 @@ func cmdRouter(args []string) error {
 		HedgeDelay:       *hedge,
 		CacheEntries:     *cacheEntries,
 		CacheBytes:       *cacheBytes,
+		SlowThreshold:    *slow,
+		SlowLogSize:      *slowlogSize,
 	})
 	if err != nil {
 		return err
@@ -900,15 +906,22 @@ func printStats(sys *zoom.System) {
 // Stats structure — catalog, cache counters, index footprint, and the
 // metrics snapshot — as one JSON document. A metrics registry is attached
 // before loading, so the ingest section reflects the load just performed
-// (snapshot load time, runs loaded).
+// (snapshot load time, runs loaded). With -cluster it talks to a running
+// router instead of a local snapshot: GET /v1/cluster/stats returns the
+// router's own metrics plus every worker's registry merged into one
+// cluster-wide snapshot.
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
-	whPath := fs.String("warehouse", "", "warehouse snapshot file (required)")
+	whPath := fs.String("warehouse", "", "warehouse snapshot file (or use -cluster)")
+	clusterURL := fs.String("cluster", "", "router base URL; fetch aggregated cluster statistics instead of reading a snapshot")
 	asJSON := fs.Bool("json", false, "emit the full statistics, including the metrics snapshot, as JSON")
 	parallel := fs.Int("parallel", 0, "workers for parallel snapshot loading (0 = GOMAXPROCS)")
 	_ = fs.Parse(args)
+	if *clusterURL != "" {
+		return clusterStats(*clusterURL, *asJSON)
+	}
 	if *whPath == "" {
-		return fmt.Errorf("stats: -warehouse is required")
+		return fmt.Errorf("stats: -warehouse or -cluster is required")
 	}
 	reg := zoom.NewMetrics()
 	sys, err := loadSystemWith(*whPath, *parallel, reg)
@@ -924,6 +937,45 @@ func cmdStats(args []string) error {
 		return nil
 	}
 	printStats(sys)
+	return nil
+}
+
+// clusterStats implements `zoom stats -cluster URL`: one request to the
+// router answers for the whole cluster.
+func clusterStats(base string, asJSON bool) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cl := zoomclient.New(base, zoomclient.Options{})
+	cs, err := cl.ClusterStats(ctx)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if asJSON {
+		out, err := json.MarshalIndent(cs, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	fmt.Printf("cluster: %d/%d shards reporting (trace %s)\n", cs.ShardsOK, cs.ShardsTotal, cs.TraceID)
+	if cs.Partial {
+		fmt.Println("  PARTIAL: some shards failed to answer")
+	}
+	for _, sh := range cs.Shards {
+		fmt.Printf("  shard %d: %s\n", sh.Shard, sh.Addr)
+	}
+	// The merged snapshot's headline counters; the full document is -json.
+	var agg struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(cs.Cluster, &agg); err == nil && len(agg.Counters) > 0 {
+		for _, k := range []string{"http.requests", "http.errors", "http.slow_requests", "query.cache_hits", "query.cache_misses"} {
+			if v, ok := agg.Counters[k]; ok {
+				fmt.Printf("  %-22s %d\n", k, v)
+			}
+		}
+	}
 	return nil
 }
 

@@ -503,5 +503,6 @@ func Experiments() []Experiment {
 		{"L2", ExpMmap},
 		{"S1", ExpShard},
 		{"S2", ExpReplica},
+		{"O3", ExpObsCluster},
 	}
 }

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/provenance"
+	"repro/internal/server"
+	"repro/internal/warehouse"
+	"repro/zoom/client"
+)
+
+// obsClusterClients is the concurrent client count for the O3 drive —
+// enough to keep both shards busy without queueing dominating the tail.
+const obsClusterClients = 4
+
+// ExpObsCluster (O3) pins the cost of the cluster observability plane on
+// the routed query path. Three drives of the same workload through the
+// same 2-shard cluster: the untraced baseline (tracing machinery present
+// but dormant — the state every production request is in), the untraced
+// path with the router slowlog capturing EVERY request (threshold < 0,
+// the worst-case slowlog configuration), and ?trace=1 on every request —
+// worker span trees returned inline, stitched under the router's attempt
+// spans. The first two rows must agree within noise: spans and the
+// slowlog ring cost nothing until a request opts in. The traced row pays
+// for span recording, JSON re-encoding, and the splice; that delta is
+// the published price of a stitched distributed trace.
+func ExpObsCluster(o Options) *Report {
+	rep := &Report{
+		ID:    "O3",
+		Title: "Cluster observability overhead: untraced vs slowlog-all vs stitched ?trace=1",
+		Headers: []string{"config", "queries", "clients",
+			"throughput q/s", "p50 ms", "p99 ms", "slowlog entries"},
+	}
+
+	// Corpus: medium runs over 2 shards. Queries are served unguarded (no
+	// capacity gate) — O3 measures the router/worker code path itself, so
+	// an artificial service floor would only bury the overhead.
+	g := gen.NewGenerator(o.Seed + 31)
+	classes := gen.Classes()
+	sp := g.Workflow(classes[len(classes)-1], "o3-wf")
+	medium := runClasses(o)[1]
+	nRuns := 2 * o.RunsPerKind
+	targetsPerRun := o.Trials + 2
+
+	full := warehouse.New(0)
+	if err := full.RegisterSpec(sp); err != nil {
+		panic(err)
+	}
+	var queries []shardQuery
+	for i := 0; i < nRuns; i++ {
+		r, _, err := g.Run(sp, medium, fmt.Sprintf("o3-run-%02d", i))
+		if err != nil {
+			panic(err)
+		}
+		if err := full.LoadRun(r); err != nil {
+			panic(err)
+		}
+		all := r.AllData()
+		step := len(all) / targetsPerRun
+		if step < 1 {
+			step = 1
+		}
+		for j, taken := 0, 0; j < len(all) && taken < targetsPerRun; j, taken = j+step, taken+1 {
+			queries = append(queries, shardQuery{run: r.ID(), data: all[j]})
+		}
+	}
+	rand.New(rand.NewSource(o.Seed+31)).Shuffle(len(queries), func(i, j int) {
+		queries[i], queries[j] = queries[j], queries[i]
+	})
+
+	const shards = 2
+	ring, err := cluster.NewRing(shards, 0)
+	if err != nil {
+		panic(err)
+	}
+
+	configs := []struct {
+		name  string
+		trace bool
+		cfg   cluster.Config
+	}{
+		// Default threshold (10ms): small queries stay out of the slowlog.
+		{"routed untraced", false, cluster.Config{}},
+		{"routed untraced slowlog-all", false, cluster.Config{SlowThreshold: -1}},
+		{"routed traced+stitched", true, cluster.Config{SlowThreshold: -1}},
+	}
+	for _, c := range configs {
+		// A fresh cluster per row: closure caches and the slowlog start
+		// cold, so rows differ only in the observability configuration.
+		groups := make([][]string, shards)
+		var workers []*httptest.Server
+		for k := 0; k < shards; k++ {
+			sub, err := full.Subset(func(id string) bool { return ring.Place(id) == k })
+			if err != nil {
+				panic(err)
+			}
+			reg := obs.NewRegistry()
+			sub.AttachMetrics(reg)
+			s, err := server.New(reg, server.Config{})
+			if err != nil {
+				panic(err)
+			}
+			s.SetEngine(provenance.NewEngine(sub))
+			ts := httptest.NewServer(s.Handler())
+			workers = append(workers, ts)
+			groups[k] = []string{ts.URL}
+		}
+		c.cfg.Shards = groups
+		rt, err := cluster.New(obs.NewRegistry(), c.cfg)
+		if err != nil {
+			panic(err)
+		}
+		front := httptest.NewServer(rt.Handler())
+		cl := client.New(front.URL, client.Options{})
+
+		ctx := context.Background()
+		lat := make([]time.Duration, len(queries))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < obsClusterClients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(len(queries)) {
+						return
+					}
+					qs := time.Now()
+					_, err := cl.Query(ctx, client.QueryRequest{
+						Run: queries[i].run, Data: queries[i].data, Trace: c.trace,
+					})
+					lat[i] = time.Since(qs)
+					if err != nil {
+						panic(fmt.Sprintf("O3 %s: query %s/%s: %v", c.name, queries[i].run, queries[i].data, err))
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		rep.Append(c.name, len(queries), obsClusterClients,
+			float64(len(queries))/wall.Seconds(),
+			ms(percentileDuration(lat, 0.50)), ms(percentileDuration(lat, 0.99)),
+			rt.SlowLog().Len())
+
+		front.Close()
+		for _, ts := range workers {
+			ts.Close()
+		}
+	}
+
+	rep.Notes = append(rep.Notes,
+		"Same workload, same 2-shard cluster, three observability configurations.",
+		"Row 1 is the production default: tracing dormant, slowlog at the 10ms",
+		"threshold. Row 2 forces every request through the slowlog ring (threshold",
+		"< 0) without client-visible tracing — it must match row 1 within noise,",
+		"since the captured tree is the router's own spans only. Row 3 sends",
+		"?trace=1 on every request: the worker builds and returns its span tree",
+		"and the router splices it under the winning attempt span (a decode,",
+		"re-encode, and byte splice per response). Production requests opt into",
+		"that cost one request at a time; this row is the worst case, not a tax.",
+		"Loopback transport as in S1/S2: deltas are directional, not absolute.")
+	return rep
+}

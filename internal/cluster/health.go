@@ -29,7 +29,9 @@ func (rt *Router) checkAll(ctx context.Context) bool {
 				defer func() { <-sem }()
 				hctx, cancel := context.WithTimeout(ctx, rt.cfg.GatherTimeout)
 				defer cancel()
+				t0 := time.Now()
 				rz, err := rep.cl.Ready(hctx)
+				rep.recordPoll(time.Since(t0), err)
 				if err != nil {
 					rep.setHealth(false, 0, 0)
 					return

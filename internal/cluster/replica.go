@@ -44,7 +44,43 @@ type replica struct {
 	fails     atomic.Int32
 	openUntil atomic.Int64
 
-	up *obs.Gauge // router.shard.<i>.replica.<j>.up: 1 when forwardable
+	// Last health-poll reading: duration, completion time, and error
+	// string (nil pointer when the poll succeeded). A flapping replica is
+	// visible in /v1/shards between state transitions, not only when the
+	// verdict flips.
+	pollDurNs  atomic.Int64
+	pollAtUnix atomic.Int64 // unix nanos of the last completed poll
+	pollErr    atomic.Pointer[string]
+
+	up       *obs.Gauge   // router.shard.<i>.replica.<j>.up: 1 when forwardable
+	breaker  *obs.Gauge   // ...breaker_open: 1 while the circuit is open
+	pollNs   *obs.Gauge   // ...poll_ns: latency of the last health poll
+	attempts *obs.Counter // ...attempts: forward attempts sent here
+	errors   *obs.Counter // ...errors: transport-failed attempts
+}
+
+// recordPoll stores one health-poll outcome.
+func (r *replica) recordPoll(d time.Duration, err error) {
+	r.pollDurNs.Store(d.Nanoseconds())
+	r.pollAtUnix.Store(time.Now().UnixNano())
+	if err != nil {
+		msg := err.Error()
+		r.pollErr.Store(&msg)
+	} else {
+		r.pollErr.Store(nil)
+	}
+	r.pollNs.Set(d.Nanoseconds())
+}
+
+// lastPoll returns the last poll's latency, completion time, and error
+// string ("" when it succeeded); zero values before the first poll.
+func (r *replica) lastPoll() (durNs, atUnixNs int64, errMsg string) {
+	durNs = r.pollDurNs.Load()
+	atUnixNs = r.pollAtUnix.Load()
+	if p := r.pollErr.Load(); p != nil {
+		errMsg = *p
+	}
+	return durNs, atUnixNs, errMsg
 }
 
 // available reports whether the router should attempt a forward: the
@@ -76,6 +112,7 @@ func (r *replica) state(now time.Time) string {
 func (r *replica) fail(threshold int32, cooldown time.Duration) {
 	if r.fails.Add(1) >= threshold {
 		r.openUntil.Store(time.Now().Add(cooldown).UnixNano())
+		r.breaker.Set(1)
 	}
 	r.setUp(false)
 }
@@ -84,6 +121,7 @@ func (r *replica) fail(threshold int32, cooldown time.Duration) {
 func (r *replica) ok() {
 	r.fails.Store(0)
 	r.openUntil.Store(0)
+	r.breaker.Set(0)
 	r.setUp(true)
 }
 
@@ -99,6 +137,7 @@ func (r *replica) setHealth(ready bool, loaded, total int) {
 	if ready {
 		r.fails.Store(0)
 		r.openUntil.Store(0)
+		r.breaker.Set(0)
 	}
 	r.setUp(ready)
 }
@@ -135,6 +174,15 @@ type shard struct {
 	// health poll observes any replica's warehouse generation change, so
 	// entries cached against the old data become unservable.
 	epoch atomic.Uint64
+
+	// Per-shard series (router.shard.<k>.*), folded into shard="<k>"
+	// labels by the Prometheus renderer, next to the router's unlabeled
+	// totals.
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	failovers   *obs.Counter
+	hedges      *obs.Counter
+	hedgeWins   *obs.Counter
 }
 
 // candidates returns the shard's available replicas in preference order.

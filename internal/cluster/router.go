@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -23,8 +24,23 @@ import (
 // it in turn, so one id names the request in every log on the path.
 const TraceIDHeader = client.TraceIDHeader
 
+// ParentSpanHeader carries the router's attempt-span reference to the
+// worker on traced requests, so the worker's returned span tree can name
+// the router attempt it answers (see client.ParentSpanHeader).
+const ParentSpanHeader = client.ParentSpanHeader
+
 // maxBodyBytes bounds forwarded request bodies (same cap as the worker).
 const maxBodyBytes = 1 << 20
+
+// maxStitchBody bounds how much of a traced worker response the router
+// buffers to splice the stitched span tree in. A bigger body is relayed
+// unmodified (with the worker's own trace still inline) rather than
+// buffered without bound.
+const maxStitchBody = 16 << 20
+
+// DefaultSlowThreshold is the router slowlog threshold when none is
+// configured (same default as the worker's).
+const DefaultSlowThreshold = 10 * time.Millisecond
 
 // Config tunes a Router.
 type Config struct {
@@ -81,6 +97,13 @@ type Config struct {
 	MaxIdleConns int
 	// Transport overrides the shared HTTP transport (tests, custom pools).
 	Transport http.RoundTripper
+	// SlowThreshold is the request duration at or above which a routed
+	// request enters the router slowlog at /debug/slowlog, span tree
+	// included. Zero selects DefaultSlowThreshold; negative logs every
+	// request (useful in tests and smoke scripts).
+	SlowThreshold time.Duration
+	// SlowLogSize bounds the router slowlog ring (default 128).
+	SlowLogSize int
 }
 
 func (c *Config) withDefaults() Config {
@@ -109,6 +132,12 @@ func (c *Config) withDefaults() Config {
 	if out.MaxIdleConns <= 0 {
 		out.MaxIdleConns = 32
 	}
+	if out.SlowThreshold == 0 {
+		out.SlowThreshold = DefaultSlowThreshold
+	}
+	if out.SlowLogSize <= 0 {
+		out.SlowLogSize = 128
+	}
 	return out
 }
 
@@ -131,8 +160,10 @@ type Router struct {
 	httpc  *http.Client
 	reg    *obs.Registry
 	cache  *respCache
+	slow   *obs.SlowLog
 
 	requests    *obs.Counter
+	slowCount   *obs.Counter
 	requestNs   *obs.Histogram
 	forwards    *obs.Counter
 	fwdErrors   *obs.Counter
@@ -189,12 +220,15 @@ func New(reg *obs.Registry, cfg Config) (*Router, error) {
 			IdleConnTimeout:     90 * time.Second,
 		}
 	}
+	obs.AttachRuntime(reg)
 	r := &Router{
 		cfg:         cfg,
 		ring:        ring,
 		httpc:       &http.Client{Transport: rt},
 		reg:         reg,
+		slow:        obs.NewSlowLog(cfg.SlowLogSize),
 		requests:    reg.Counter("router.requests"),
+		slowCount:   reg.Counter("router.slow_requests"),
 		requestNs:   reg.Histogram("router.request_ns"),
 		forwards:    reg.Counter("router.forwards"),
 		fwdErrors:   reg.Counter("router.forward_errors"),
@@ -213,14 +247,26 @@ func New(reg *obs.Registry, cfg Config) (*Router, error) {
 		r.cache = newRespCache(cfg.CacheEntries, cfg.CacheBytes)
 	}
 	for k, g := range groups {
-		sh := &shard{index: k}
+		sh := &shard{
+			index:       k,
+			cacheHits:   reg.Counter(fmt.Sprintf("router.shard.%d.cache_hits", k)),
+			cacheMisses: reg.Counter(fmt.Sprintf("router.shard.%d.cache_misses", k)),
+			failovers:   reg.Counter(fmt.Sprintf("router.shard.%d.failovers", k)),
+			hedges:      reg.Counter(fmt.Sprintf("router.shard.%d.hedges", k)),
+			hedgeWins:   reg.Counter(fmt.Sprintf("router.shard.%d.hedge_wins", k)),
+		}
 		for j, base := range g {
+			prefix := fmt.Sprintf("router.shard.%d.replica.%d.", k, j)
 			sh.replicas = append(sh.replicas, &replica{
-				shard: k,
-				index: j,
-				base:  base,
-				cl:    client.New(base, client.Options{Timeout: -1, Transport: rt}),
-				up:    reg.Gauge(fmt.Sprintf("router.shard.%d.replica.%d.up", k, j)),
+				shard:    k,
+				index:    j,
+				base:     base,
+				cl:       client.New(base, client.Options{Timeout: -1, Transport: rt}),
+				up:       reg.Gauge(prefix + "up"),
+				breaker:  reg.Gauge(prefix + "breaker_open"),
+				pollNs:   reg.Gauge(prefix + "poll_ns"),
+				attempts: reg.Counter(prefix + "attempts"),
+				errors:   reg.Counter(prefix + "errors"),
 			})
 		}
 		r.shards = append(r.shards, sh)
@@ -252,11 +298,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // Handler returns the router's route table.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("POST /v1/query", rt.measured(rt.forward("/v1/query")))
-	mux.Handle("POST /v1/batch", rt.measured(rt.forward("/v1/batch")))
-	mux.Handle("GET /v1/runs", rt.measured(http.HandlerFunc(rt.handleRuns)))
-	mux.Handle("GET /v1/stats", rt.measured(http.HandlerFunc(rt.handleStats)))
+	mux.Handle("POST /v1/query", rt.traced("POST /v1/query", rt.forward("/v1/query")))
+	mux.Handle("POST /v1/batch", rt.traced("POST /v1/batch", rt.forward("/v1/batch")))
+	mux.Handle("GET /v1/runs", rt.traced("GET /v1/runs", rt.handleRuns))
+	mux.Handle("GET /v1/stats", rt.traced("GET /v1/stats", rt.handleStats))
+	mux.Handle("GET /v1/cluster/stats", rt.traced("GET /v1/cluster/stats", rt.handleClusterStats))
 	mux.HandleFunc("GET /v1/shards", rt.handleShards)
+	mux.HandleFunc("GET /debug/slowlog", rt.handleSlowlog)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -266,13 +314,75 @@ func (rt *Router) Handler() http.Handler {
 	return mux
 }
 
-// measured wraps a handler with the router's request counter/histogram.
-func (rt *Router) measured(h http.Handler) http.Handler {
+// statusWriter records the response status for the slowlog.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// routerHandler is a routed endpoint body: it runs under the request's
+// trace (created at the boundary by traced) and records spans on its root.
+type routerHandler func(tr *obs.Trace, w http.ResponseWriter, r *http.Request)
+
+// traced wraps a routed endpoint with the request boundary: a trace (a
+// valid inbound X-Zoom-Trace-Id is adopted — anything malformed is
+// replaced, never echoed), the request counter/histogram, and slowlog
+// capture when the request runs at or over the threshold. The captured
+// tree is the router's spans — route.pick, cache.lookup, each
+// replica.attempt — plus, for traced requests, the worker's stitched
+// subtree, so a slow entry shows where the time went across the hop.
+func (rt *Router) traced(route string, h routerHandler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTraceWithID(route, r.Header.Get(TraceIDHeader))
+		w.Header().Set(TraceIDHeader, tr.ID())
+		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
-		h.ServeHTTP(w, r)
+		h(tr, sw, r)
+		dur := time.Since(start)
+		node := tr.Finish()
 		rt.requests.Inc()
-		rt.requestNs.Observe(time.Since(start).Nanoseconds())
+		rt.requestNs.Observe(dur.Nanoseconds())
+		if dur >= rt.cfg.SlowThreshold {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			rt.slowCount.Inc()
+			rt.slow.Add(obs.SlowEntry{
+				Time:    time.Now(),
+				TraceID: tr.ID(),
+				Route:   route,
+				Request: r.URL.RequestURI(),
+				Status:  status,
+				DurNs:   dur.Nanoseconds(),
+				Trace:   node,
+			})
+		}
+	})
+}
+
+// SlowLog returns the router's slow-request ring.
+func (rt *Router) SlowLog() *obs.SlowLog { return rt.slow }
+
+// handleSlowlog serves the router slowlog, newest first.
+func (rt *Router) handleSlowlog(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"threshold_ns": rt.cfg.SlowThreshold.Nanoseconds(),
+		"entries":      rt.slow.Entries(),
 	})
 }
 
@@ -301,18 +411,29 @@ func (rt *Router) Serve(ctx context.Context, ln net.Listener, drain time.Duratio
 	return err
 }
 
+// wantInlineTrace mirrors the worker's ?trace=1 check: the client asked
+// for the span tree inline in the response body.
+func wantInlineTrace(r *http.Request) bool {
+	switch r.URL.Query().Get("trace") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
 // forward returns the handler for a run-addressed endpoint: peek at the
 // run id, place it on the ring, and relay the request/response verbatim
 // to/from the shard's replicas. The body passes through untouched in
 // both directions — the cluster's answers are byte-identical to the
 // worker's (and, by the differential suite, to a single node's) — and a
 // cache hit replays the worker's bytes with only the trace id rewritten
-// to the current request's.
-func (rt *Router) forward(path string) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		tr := obs.NewTraceWithID("POST "+path, r.Header.Get(TraceIDHeader))
-		defer tr.Finish()
-		w.Header().Set(TraceIDHeader, tr.ID())
+// to the current request's. The one exception is ?trace=1 (never
+// cacheable, since any query string bypasses the cache): the worker's
+// inline span tree is spliced out of the body and grafted under the
+// winning replica.attempt span, so the client gets ONE stitched tree
+// covering both hops instead of the worker's fragment.
+func (rt *Router) forward(path string) routerHandler {
+	return func(tr *obs.Trace, w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 		if err != nil {
 			var mbe *http.MaxBytesError
@@ -337,20 +458,39 @@ func (rt *Router) forward(path string) http.Handler {
 				errorBody{Error: "bad request: a JSON body with a run id is required", TraceID: tr.ID()})
 			return
 		}
+		pick := tr.Root().StartChild("route.pick")
 		idx := rt.ring.Place(peek.Run)
 		sh := rt.shards[idx]
+		pick.SetTag("run", peek.Run)
+		pick.SetTag("shard", strconv.Itoa(idx))
+		pick.End()
 
 		// The epoch is read before the lookup/forward so a generation
-		// change observed mid-flight invalidates conservatively.
+		// change observed mid-flight invalidates conservatively. The
+		// cache.lookup span is recorded in every configuration — its
+		// outcome tag says which case this request was (disabled, bypass
+		// for a query string, hit, miss), so a trace always answers "did
+		// the cache see this?".
 		epoch := sh.epoch.Load()
 		cacheable := rt.cache != nil && r.URL.RawQuery == ""
-		if cacheable {
+		look := tr.Root().StartChild("cache.lookup")
+		switch {
+		case rt.cache == nil:
+			look.SetTag("outcome", "disabled")
+			look.End()
+		case !cacheable:
+			look.SetTag("outcome", "bypass")
+			look.End()
+		default:
 			ent, stale := rt.cache.lookup(path, body, epoch)
 			if stale {
 				rt.cacheInvals.Inc()
 			}
 			if ent != nil {
+				look.SetTag("outcome", "hit")
+				look.End()
 				rt.cacheHits.Inc()
+				sh.cacheHits.Inc()
 				if ent.contentType != "" {
 					w.Header().Set("Content-Type", ent.contentType)
 				}
@@ -360,7 +500,10 @@ func (rt *Router) forward(path string) http.Handler {
 				}
 				return
 			}
+			look.SetTag("outcome", "miss")
+			look.End()
 			rt.cacheMisses.Inc()
+			sh.cacheMisses.Inc()
 		}
 
 		cands := sh.candidates(time.Now())
@@ -372,7 +515,8 @@ func (rt *Router) forward(path string) http.Handler {
 			})
 			return
 		}
-		resp, rep, release, err := rt.attempt(r.Context(), path, r.URL.RawQuery, tr.ID(), body, cands)
+		wantTrace := wantInlineTrace(r)
+		resp, rep, winSpan, release, err := rt.attempt(r.Context(), tr, sh, path, r.URL.RawQuery, body, cands, wantTrace)
 		if err != nil {
 			base := ""
 			if rep != nil {
@@ -391,7 +535,41 @@ func (rt *Router) forward(path string) http.Handler {
 		if ct != "" {
 			w.Header().Set("Content-Type", ct)
 		}
+
+		if wantTrace && resp.StatusCode == http.StatusOK {
+			// Buffer the traced response and splice the worker's span tree
+			// out of the body, grafting it under the winning attempt span;
+			// the rewritten body then carries the full stitched tree. An
+			// over-sized body is relayed unmodified instead of buffered
+			// without bound.
+			data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxStitchBody+1))
+			if rerr == nil && len(data) <= maxStitchBody {
+				w.WriteHeader(http.StatusOK)
+				if _, werr := w.Write(rt.stitch(tr, winSpan, data)); werr != nil {
+					rt.copyError(tr, idx, werr)
+				}
+				return
+			}
+			w.WriteHeader(http.StatusOK)
+			if len(data) > 0 {
+				if _, werr := w.Write(data); werr != nil {
+					rt.copyError(tr, idx, werr)
+					return
+				}
+			}
+			if rerr != nil {
+				rt.copyError(tr, idx, rerr)
+				return
+			}
+			if _, cerr := io.Copy(w, resp.Body); cerr != nil {
+				rt.copyError(tr, idx, cerr)
+			}
+			return
+		}
+
 		w.WriteHeader(resp.StatusCode)
+		relay := tr.Root().StartChild("relay")
+		defer relay.End()
 		if cacheable && resp.StatusCode == http.StatusOK {
 			// Buffer a cache-sized prefix; if the body fits, the copy to
 			// the client and the stored entry are the same bytes.
@@ -429,7 +607,38 @@ func (rt *Router) forward(path string) http.Handler {
 			// successful forward even though the status line went out.
 			rt.copyError(tr, idx, cerr)
 		}
-	})
+	}
+}
+
+// stitch splices the worker's inline span tree out of a traced response
+// body and replaces it with the router's full tree, the worker's tree
+// adopted under the winning attempt span. The body is otherwise relayed
+// byte-for-byte: the worker's trace value is located as verbatim source
+// bytes (json.RawMessage) and swapped in place, so field order,
+// indentation, and every other byte the worker wrote survive. On any
+// decode surprise the body passes through unmodified — a stitching bug
+// degrades to the worker's own trace, never to a corrupt response.
+func (rt *Router) stitch(tr *obs.Trace, winSpan *obs.Span, data []byte) []byte {
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return data
+	}
+	raw, ok := doc["trace"]
+	if !ok {
+		return data
+	}
+	var node obs.SpanNode
+	if err := json.Unmarshal(raw, &node); err != nil {
+		return data
+	}
+	winSpan.Adopt(node)
+	snap := tr.Snapshot()
+	// Depth-1 value under the worker's SetIndent("", "  ") document.
+	nb, err := json.MarshalIndent(snap, "  ", "  ")
+	if err != nil {
+		return data
+	}
+	return bytes.Replace(data, raw, nb, 1)
 }
 
 // copyError records a response-relay failure: the status line was already
@@ -442,6 +651,7 @@ func (rt *Router) copyError(tr *obs.Trace, shard int, err error) {
 // fwdResult is one replica attempt's outcome inside attempt.
 type fwdResult struct {
 	rep    *replica
+	span   *obs.Span
 	resp   *http.Response
 	cancel context.CancelFunc
 	err    error
@@ -457,13 +667,31 @@ type fwdResult struct {
 // response body has been consumed. Only transport-level failures feed
 // the breaker and trigger failover; a worker that answers (any status)
 // is alive and its response is relayed verbatim.
-func (rt *Router) attempt(parent context.Context, path, rawQuery, traceID string, body []byte, cands []*replica) (*http.Response, *replica, func(), error) {
+//
+// Every launch records a replica.attempt span under the trace root,
+// tagged with the replica address and how it ended (won / failed /
+// cancelled), so a failover or hedge race reads directly off the tree.
+// Each span also carries a span reference ("<traceid>.a<n>") that, on
+// traced requests, travels to the worker in X-Zoom-Parent-Span; the
+// worker tags its root with the same reference, so the stitched subtree
+// names the exact attempt it answered even after the trees are merged.
+func (rt *Router) attempt(parent context.Context, tr *obs.Trace, sh *shard, path, rawQuery string, body []byte, cands []*replica, wantTrace bool) (*http.Response, *replica, *obs.Span, func(), error) {
 	results := make(chan fwdResult, len(cands))
-	next, inflight := 0, 0
+	next, inflight, attemptSeq := 0, 0, 0
 	launch := func(hedged bool) {
 		rep := cands[next]
 		next++
 		inflight++
+		ref := fmt.Sprintf("%s.a%d", tr.ID(), attemptSeq)
+		attemptSeq++
+		sp := tr.Root().StartChild("replica.attempt")
+		sp.SetTag("addr", rep.base)
+		sp.SetTag("replica", strconv.Itoa(rep.index))
+		sp.SetTag("span", ref)
+		if hedged {
+			sp.SetTag("hedged", "true")
+		}
+		rep.attempts.Inc()
 		actx, cancel := context.WithTimeout(parent, rt.cfg.ForwardTimeout)
 		go func() {
 			url := rep.base + path
@@ -472,13 +700,16 @@ func (rt *Router) attempt(parent context.Context, path, rawQuery, traceID string
 			}
 			req, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(body))
 			if err != nil {
-				results <- fwdResult{rep: rep, cancel: cancel, err: err, hedged: hedged}
+				results <- fwdResult{rep: rep, span: sp, cancel: cancel, err: err, hedged: hedged}
 				return
 			}
 			req.Header.Set("Content-Type", "application/json")
-			req.Header.Set(TraceIDHeader, traceID)
+			req.Header.Set(TraceIDHeader, tr.ID())
+			if wantTrace {
+				req.Header.Set(ParentSpanHeader, ref)
+			}
 			resp, err := rt.httpc.Do(req)
-			results <- fwdResult{rep: rep, resp: resp, cancel: cancel, err: err, hedged: hedged}
+			results <- fwdResult{rep: rep, span: sp, resp: resp, cancel: cancel, err: err, hedged: hedged}
 		}()
 	}
 	// drainLosers closes out attempts still in flight after a decision.
@@ -493,6 +724,8 @@ func (rt *Router) attempt(parent context.Context, path, rawQuery, traceID string
 				if lr.resp != nil {
 					lr.resp.Body.Close()
 				}
+				lr.span.SetTag("outcome", "cancelled")
+				lr.span.End()
 			}
 		}()
 	}
@@ -512,24 +745,30 @@ func (rt *Router) attempt(parent context.Context, path, rawQuery, traceID string
 			hedgeC = nil
 			if next < len(cands) {
 				rt.hedges.Inc()
+				sh.hedges.Inc()
 				launch(true)
 			}
 		case res := <-results:
 			inflight--
 			if res.err != nil {
 				res.cancel()
+				res.span.SetTag("outcome", "failed")
+				res.span.SetTag("error", res.err.Error())
+				res.span.End()
+				res.rep.errors.Inc()
 				if parent.Err() != nil {
 					// The client went away (or the whole request timed
 					// out): not the replica's fault — no breaker, no
 					// failover cascade.
 					drainLosers(inflight)
-					return nil, res.rep, nil, parent.Err()
+					return nil, res.rep, nil, nil, parent.Err()
 				}
 				res.rep.fail(int32(rt.cfg.BreakerThreshold), rt.cfg.BreakerCooldown)
 				rt.fwdErrors.Inc()
 				lastErr, lastRep = res.err, res.rep
 				if inflight == 0 && next < len(cands) {
 					rt.failovers.Inc()
+					sh.failovers.Inc()
 					launch(false)
 				}
 				continue
@@ -537,12 +776,15 @@ func (rt *Router) attempt(parent context.Context, path, rawQuery, traceID string
 			res.rep.ok()
 			if res.hedged {
 				rt.hedgeWins.Inc()
+				sh.hedgeWins.Inc()
 			}
+			res.span.SetTag("outcome", "won")
+			res.span.End()
 			drainLosers(inflight)
-			return res.resp, res.rep, res.cancel, nil
+			return res.resp, res.rep, res.span, res.cancel, nil
 		}
 	}
-	return nil, lastRep, nil, lastErr
+	return nil, lastRep, nil, nil, lastErr
 }
 
 // ShardError describes one shard's failure inside a partial scatter-
@@ -639,10 +881,7 @@ type routerRunsResponse struct {
 // deterministically: dedup by run id (first shard wins — shards are
 // disjoint under a correct split, so this only matters for overlapping
 // hand-built deployments), then sort by id.
-func (rt *Router) handleRuns(w http.ResponseWriter, r *http.Request) {
-	tr := obs.NewTraceWithID("GET /v1/runs", r.Header.Get(TraceIDHeader))
-	defer tr.Finish()
-	w.Header().Set(TraceIDHeader, tr.ID())
+func (rt *Router) handleRuns(tr *obs.Trace, w http.ResponseWriter, r *http.Request) {
 	results, fails := rt.gather(r.Context(), func(ctx context.Context, cl *client.Client) (any, error) {
 		return cl.Runs(ctx)
 	})
@@ -688,10 +927,7 @@ type routerStatsResponse struct {
 	FailedShards []ShardError `json:"failed_shards,omitempty"`
 }
 
-func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
-	tr := obs.NewTraceWithID("GET /v1/stats", r.Header.Get(TraceIDHeader))
-	defer tr.Finish()
-	w.Header().Set(TraceIDHeader, tr.ID())
+func (rt *Router) handleStats(tr *obs.Trace, w http.ResponseWriter, r *http.Request) {
 	results, fails := rt.gather(r.Context(), func(ctx context.Context, cl *client.Client) (any, error) {
 		return cl.Stats(ctx)
 	})
@@ -711,15 +947,74 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// replicaState is one replica's row inside a shardState.
+// clusterStatsResponse is the GET /v1/cluster/stats body: the router's
+// own metrics snapshot, a merged cluster-wide snapshot (every worker's
+// registry summed twice — once unprefixed into the totals, once under a
+// shard.<k>. prefix that the Prometheus renderer folds into a shard
+// label), and each worker's raw stats document for drill-down.
+type clusterStatsResponse struct {
+	TraceID      string        `json:"trace_id"`
+	ShardsTotal  int           `json:"shards_total"`
+	ShardsOK     int           `json:"shards_ok"`
+	Router       *obs.Snapshot `json:"router"`
+	Cluster      *obs.Snapshot `json:"cluster"`
+	Shards       []shardStats  `json:"shards"`
+	Partial      bool          `json:"partial,omitempty"`
+	FailedShards []ShardError  `json:"failed_shards,omitempty"`
+}
+
+// handleClusterStats scatter-gathers every shard's /v1/stats and merges
+// the workers' metrics registries into one cluster-wide snapshot:
+// counters and gauges sum, histograms merge bucket-wise with recomputed
+// quantiles. One scrape of the router answers "how is the cluster doing"
+// without visiting N workers.
+func (rt *Router) handleClusterStats(tr *obs.Trace, w http.ResponseWriter, r *http.Request) {
+	results, fails := rt.gather(r.Context(), func(ctx context.Context, cl *client.Client) (any, error) {
+		return cl.Stats(ctx)
+	})
+	router := rt.reg.Snapshot()
+	cluster := &obs.Snapshot{}
+	resp := clusterStatsResponse{TraceID: tr.ID(), ShardsTotal: len(rt.shards), Router: &router, Cluster: cluster}
+	for i, v := range results {
+		sr, ok := v.(*client.StatsResponse)
+		if !ok || sr == nil {
+			continue
+		}
+		resp.ShardsOK++
+		resp.Shards = append(resp.Shards, shardStats{Shard: i, Addr: rt.shards[i].replicas[0].base, Stats: sr.Stats})
+		// The worker's stats document embeds its metrics snapshot under
+		// the Go field name (warehouse.Stats has no json tags).
+		var doc struct {
+			Metrics *obs.Snapshot
+		}
+		if err := json.Unmarshal(sr.Stats, &doc); err != nil || doc.Metrics == nil {
+			continue
+		}
+		obs.MergeInto(cluster, *doc.Metrics, "")
+		obs.MergeInto(cluster, *doc.Metrics, fmt.Sprintf("shard.%d.", i))
+	}
+	if len(fails) > 0 {
+		resp.Partial = true
+		resp.FailedShards = fails
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// replicaState is one replica's row inside a shardState. The last_poll
+// fields mirror the health loop's most recent /readyz reading — latency,
+// completion time, and error — so a flapping or slow replica is visible
+// in /v1/shards between verdict flips.
 type replicaState struct {
-	Replica    int    `json:"replica"`
-	Addr       string `json:"addr"`
-	Ready      bool   `json:"ready"`
-	State      string `json:"state,omitempty"` // why unavailable; empty when forwardable
-	RunsLoaded int    `json:"runs_loaded"`
-	RunsTotal  int    `json:"runs_total"`
-	Generation int64  `json:"generation,omitempty"`
+	Replica      int    `json:"replica"`
+	Addr         string `json:"addr"`
+	Ready        bool   `json:"ready"`
+	State        string `json:"state,omitempty"` // why unavailable; empty when forwardable
+	RunsLoaded   int    `json:"runs_loaded"`
+	RunsTotal    int    `json:"runs_total"`
+	Generation   int64  `json:"generation,omitempty"`
+	LastPollNs   int64  `json:"last_poll_ns,omitempty"`
+	LastPollUnix int64  `json:"last_poll_unix_ns,omitempty"`
+	LastError    string `json:"last_error,omitempty"`
 }
 
 // shardState is one row of GET /v1/shards and GET /readyz: the router's
@@ -741,14 +1036,18 @@ func (rt *Router) shardStates() []shardState {
 			State: sh.state(now),
 		}
 		for j, rep := range sh.replicas {
+			pollNs, pollAt, pollErr := rep.lastPoll()
 			st.Replicas = append(st.Replicas, replicaState{
-				Replica:    j,
-				Addr:       rep.base,
-				Ready:      rep.available(now),
-				State:      rep.state(now),
-				RunsLoaded: int(rep.loaded.Load()),
-				RunsTotal:  int(rep.total.Load()),
-				Generation: rep.gen.Load(),
+				Replica:      j,
+				Addr:         rep.base,
+				Ready:        rep.available(now),
+				State:        rep.state(now),
+				RunsLoaded:   int(rep.loaded.Load()),
+				RunsTotal:    int(rep.total.Load()),
+				Generation:   rep.gen.Load(),
+				LastPollNs:   pollNs,
+				LastPollUnix: pollAt,
+				LastError:    pollErr,
 			})
 		}
 		out[i] = st

@@ -1,0 +1,105 @@
+// Snapshot merging: how the router's /v1/cluster/stats folds N worker
+// registries into one document. Counters and gauges sum; histograms merge
+// bucket-wise (the power-of-two bucket bounds are identical across
+// processes, so the merge is exact at bucket resolution) with quantiles
+// recomputed from the merged distribution. Merging under a "shard.<k>."
+// prefix keeps each worker's series distinguishable — the Prometheus
+// renderer folds that prefix into a shard="<k>" label — while a second
+// unprefixed merge accumulates fleet-wide totals.
+package obs
+
+import "sort"
+
+// MergeInto folds src into dst, prefixing every series name. Counter and
+// gauge values add onto any existing entry; histograms combine with
+// MergeHistograms; info series overwrite (they are constant label sets,
+// not accumulators). dst's maps are allocated on demand, so merging into
+// a zero Snapshot works.
+func MergeInto(dst *Snapshot, src Snapshot, prefix string) {
+	if len(src.Counters) > 0 && dst.Counters == nil {
+		dst.Counters = make(map[string]int64, len(src.Counters))
+	}
+	for name, v := range src.Counters {
+		dst.Counters[prefix+name] += v
+	}
+	if len(src.Gauges) > 0 && dst.Gauges == nil {
+		dst.Gauges = make(map[string]int64, len(src.Gauges))
+	}
+	for name, v := range src.Gauges {
+		dst.Gauges[prefix+name] += v
+	}
+	if len(src.Histograms) > 0 && dst.Histograms == nil {
+		dst.Histograms = make(map[string]HistogramSnapshot, len(src.Histograms))
+	}
+	for name, h := range src.Histograms {
+		dst.Histograms[prefix+name] = MergeHistograms(dst.Histograms[prefix+name], h)
+	}
+	if len(src.Infos) > 0 && dst.Infos == nil {
+		dst.Infos = make(map[string]map[string]string, len(src.Infos))
+	}
+	for name, labels := range src.Infos {
+		cp := make(map[string]string, len(labels))
+		for k, v := range labels {
+			cp[k] = v
+		}
+		dst.Infos[prefix+name] = cp
+	}
+}
+
+// MergeHistograms combines two histogram snapshots taken from histograms
+// with the same bucket layout (any two obs.Histograms qualify): counts
+// add bucket-wise by upper bound, Sum and Count add, Max takes the
+// larger, cumulative counts and the P50/P99 bucket bounds are recomputed
+// from the merged distribution.
+func MergeHistograms(a, b HistogramSnapshot) HistogramSnapshot {
+	if a.Count == 0 && len(a.Buckets) == 0 {
+		return b
+	}
+	if b.Count == 0 && len(b.Buckets) == 0 {
+		return a
+	}
+	counts := make(map[int64]int64, len(a.Buckets)+len(b.Buckets))
+	for _, bk := range a.Buckets {
+		counts[bk.UpperBound] += bk.Count
+	}
+	for _, bk := range b.Buckets {
+		counts[bk.UpperBound] += bk.Count
+	}
+	bounds := make([]int64, 0, len(counts))
+	for ub := range counts {
+		bounds = append(bounds, ub)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	out := HistogramSnapshot{Count: a.Count + b.Count, Sum: a.Sum + b.Sum, Max: a.Max}
+	if b.Max > out.Max {
+		out.Max = b.Max
+	}
+	var cum int64
+	for _, ub := range bounds {
+		cum += counts[ub]
+		out.Buckets = append(out.Buckets, Bucket{UpperBound: ub, Count: counts[ub], Cum: cum})
+	}
+	out.P50 = mergedQuantile(out.Buckets, out.Count, 50)
+	out.P99 = mergedQuantile(out.Buckets, out.Count, 99)
+	return out
+}
+
+// mergedQuantile mirrors quantile over an explicit bucket list.
+func mergedQuantile(buckets []Bucket, total, pct int64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := (pct*total + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	for _, b := range buckets {
+		if b.Cum >= rank {
+			return b.UpperBound
+		}
+	}
+	if n := len(buckets); n > 0 {
+		return buckets[n-1].UpperBound
+	}
+	return 0
+}

@@ -218,6 +218,13 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	infos    map[string]map[string]string
+
+	// hookMu guards hooks separately from mu: hooks run BEFORE Snapshot
+	// takes mu, so a hook may freely Set gauges it resolved at attach time
+	// (or even create instruments) without deadlocking.
+	hookMu sync.Mutex
+	hooks  []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -226,7 +233,40 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		infos:    make(map[string]map[string]string),
 	}
+}
+
+// OnSnapshot registers fn to run at the start of every Snapshot call,
+// before the registry is read — the seam lazy instrumentation hangs off
+// (AttachRuntime samples the Go runtime here, so gauges are current at
+// every scrape but cost nothing between scrapes). fn may record to any
+// instrument; it runs outside the registry lock. No-op on a nil registry.
+func (r *Registry) OnSnapshot(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.hookMu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.hookMu.Unlock()
+}
+
+// Info records a constant labeled series (build info, version stamps):
+// the snapshot carries the label set verbatim and the Prometheus
+// exposition renders it as a gauge with value 1, the conventional
+// `*_info{...} 1` shape. Setting the same name twice replaces the label
+// set. No-op on a nil registry.
+func (r *Registry) Info(name string, labels map[string]string) {
+	if r == nil {
+		return
+	}
+	cp := make(map[string]string, len(labels))
+	for k, v := range labels {
+		cp[k] = v
+	}
+	r.mu.Lock()
+	r.infos[name] = cp
+	r.mu.Unlock()
 }
 
 // Counter returns the named counter, creating it on first use. Returns nil
@@ -283,15 +323,24 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Infos      map[string]map[string]string `json:"infos,omitempty"`
 }
 
-// Snapshot reads every instrument. Under concurrent recording each value
-// is individually exact; the set is not one instantaneous cut. A nil
-// registry snapshots to the zero Snapshot.
+// Snapshot reads every instrument, after running any OnSnapshot hooks.
+// Under concurrent recording each value is individually exact; the set is
+// not one instantaneous cut. A nil registry snapshots to the zero
+// Snapshot.
 func (r *Registry) Snapshot() Snapshot {
 	var s Snapshot
 	if r == nil {
 		return s
+	}
+	r.hookMu.Lock()
+	hooks := make([]func(), len(r.hooks))
+	copy(hooks, r.hooks)
+	r.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -306,6 +355,16 @@ func (r *Registry) Snapshot() Snapshot {
 	s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Snapshot()
+	}
+	if len(r.infos) > 0 {
+		s.Infos = make(map[string]map[string]string, len(r.infos))
+		for name, labels := range r.infos {
+			cp := make(map[string]string, len(labels))
+			for k, v := range labels {
+				cp[k] = v
+			}
+			s.Infos[name] = cp
+		}
 	}
 	return s
 }

@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTagsAndAdoptRoundTrip(t *testing.T) {
+	tr := NewTrace("POST /v1/query")
+	pick := tr.Root().StartChild("route.pick")
+	pick.SetTag("run", "r1")
+	pick.SetTag("shard", "0")
+	pick.End()
+	att := tr.Root().StartChild("replica.attempt")
+	att.SetTag("addr", "http://w0")
+
+	// A worker's finished tree, as it would arrive decoded from JSON.
+	worker := SpanNode{
+		Name:    "POST /v1/query",
+		StartNs: 0,
+		DurNs:   500,
+		Tags:    map[string]string{"parent_span": tr.ID() + ".a0"},
+		Children: []SpanNode{
+			{Name: "query.lookup", StartNs: 10, DurNs: 100},
+		},
+	}
+	att.Adopt(worker)
+	att.End()
+	node := tr.Finish()
+
+	// Tags survive a JSON round trip.
+	b, err := json.Marshal(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SpanNode
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Find("route.pick"); got == nil || got.Tags["run"] != "r1" || got.Tags["shard"] != "0" {
+		t.Fatalf("route.pick tags lost: %+v", got)
+	}
+	// The adopted subtree hangs under the attempt span and was rebased
+	// onto the adopting span's start offset.
+	attNode := back.Find("replica.attempt")
+	if attNode == nil || len(attNode.Children) != 1 {
+		t.Fatalf("adopted subtree missing: %+v", attNode)
+	}
+	adopted := attNode.Children[0]
+	if adopted.Tags["parent_span"] != tr.ID()+".a0" {
+		t.Fatalf("adopted root tags lost: %+v", adopted)
+	}
+	if adopted.StartNs != attNode.StartNs {
+		t.Fatalf("adopted root not rebased: start %d, attempt start %d", adopted.StartNs, attNode.StartNs)
+	}
+	if lk := back.Find("query.lookup"); lk == nil || lk.StartNs != attNode.StartNs+10 {
+		t.Fatalf("adopted child not rebased: %+v", lk)
+	}
+	// Nil-safety: both new methods are no-ops on nil spans.
+	var nilSpan *Span
+	nilSpan.SetTag("k", "v")
+	nilSpan.Adopt(worker)
+}
+
+func TestSanitizeHeaderToken(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"", ""},
+		{"abc123.a0", "abc123.a0"},
+		{"A-Z_z.9", "A-Z_z.9"},
+		{"has space", ""},
+		{"quote\"", ""},
+		{"newline\n", ""},
+		{"semi;colon", ""},
+		{strings.Repeat("a", MaxHeaderToken), strings.Repeat("a", MaxHeaderToken)},
+		{strings.Repeat("a", MaxHeaderToken+1), ""},
+	}
+	for _, c := range cases {
+		if got := SanitizeHeaderToken(c.in); got != c.want {
+			t.Errorf("SanitizeHeaderToken(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSlowLogEvictionOrder(t *testing.T) {
+	sl := NewSlowLog(3)
+	for i := 0; i < 5; i++ {
+		sl.Add(SlowEntry{TraceID: fmt.Sprintf("%016d", i), DurNs: int64(i)})
+	}
+	if sl.Len() != 3 {
+		t.Fatalf("len %d, want 3", sl.Len())
+	}
+	got := sl.Entries()
+	// Newest first; the two oldest entries were evicted.
+	want := []string{"0000000000000004", "0000000000000003", "0000000000000002"}
+	for i, e := range got {
+		if e.TraceID != want[i] {
+			t.Fatalf("entries[%d] = %s, want %s (full: %+v)", i, e.TraceID, want[i], got)
+		}
+	}
+}
+
+// TestSlowLogConcurrentAdd hammers one ring from many goroutines (run
+// under -race by `make race`): the ring must stay consistent — exactly
+// `size` entries retained, every retained entry intact.
+func TestSlowLogConcurrentAdd(t *testing.T) {
+	const size, writers, perWriter = 8, 8, 200
+	sl := NewSlowLog(size)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				sl.Add(SlowEntry{
+					TraceID: fmt.Sprintf("%08d%08d", w, i),
+					Route:   "POST /v1/query",
+					DurNs:   int64(i),
+				})
+				if i%32 == 0 {
+					_ = sl.Entries()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if sl.Len() != size {
+		t.Fatalf("len %d, want %d", sl.Len(), size)
+	}
+	for _, e := range sl.Entries() {
+		if len(e.TraceID) != 16 || e.Route != "POST /v1/query" {
+			t.Fatalf("torn entry: %+v", e)
+		}
+	}
+}
+
+func TestMergeInto(t *testing.T) {
+	mk := func(reqs int64, lat ...int64) Snapshot {
+		reg := NewRegistry()
+		reg.Counter("http.requests").Add(reqs)
+		reg.Gauge("server.ready").Set(1)
+		h := reg.Histogram("http.request_ns")
+		for _, v := range lat {
+			h.Observe(v)
+		}
+		reg.Info("runtime.build_info", map[string]string{"go_version": "go1.x"})
+		return reg.Snapshot()
+	}
+	var dst Snapshot
+	MergeInto(&dst, mk(3, 100, 200), "")
+	MergeInto(&dst, mk(5, 1000), "")
+	MergeInto(&dst, mk(5, 1000), "shard.1.")
+
+	if dst.Counters["http.requests"] != 8 {
+		t.Fatalf("merged counter %d, want 8", dst.Counters["http.requests"])
+	}
+	if dst.Counters["shard.1.http.requests"] != 5 {
+		t.Fatalf("prefixed counter %d, want 5", dst.Counters["shard.1.http.requests"])
+	}
+	if dst.Gauges["server.ready"] != 2 {
+		t.Fatalf("merged gauge %d, want 2 (summed)", dst.Gauges["server.ready"])
+	}
+	h := dst.Histograms["http.request_ns"]
+	if h.Count != 3 || h.Sum != 1300 || h.Max != 1000 {
+		t.Fatalf("merged histogram count/sum/max = %d/%d/%d", h.Count, h.Sum, h.Max)
+	}
+	// Cumulative counts must be recomputed and end at Count.
+	if n := len(h.Buckets); n == 0 || h.Buckets[n-1].Cum != h.Count {
+		t.Fatalf("merged buckets not cumulative: %+v", h.Buckets)
+	}
+	for i := 1; i < len(h.Buckets); i++ {
+		if h.Buckets[i].UpperBound <= h.Buckets[i-1].UpperBound {
+			t.Fatalf("merged bucket bounds unsorted: %+v", h.Buckets)
+		}
+		if h.Buckets[i].Cum < h.Buckets[i-1].Cum {
+			t.Fatalf("merged Cum not monotone: %+v", h.Buckets)
+		}
+	}
+	if h.P50 <= 0 || h.P99 < h.P50 {
+		t.Fatalf("merged quantiles implausible: p50=%d p99=%d", h.P50, h.P99)
+	}
+	if dst.Infos["runtime.build_info"]["go_version"] != "go1.x" {
+		t.Fatalf("info not merged: %+v", dst.Infos)
+	}
+	if dst.Infos["shard.1.runtime.build_info"] == nil {
+		t.Fatalf("prefixed info not merged: %+v", dst.Infos)
+	}
+}
+
+func TestPromShardReplicaLabels(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("router.shard.0.cache_hits").Add(7)
+	reg.Counter("router.shard.1.cache_hits").Add(9)
+	reg.Gauge("router.shard.0.replica.1.up").Set(1)
+	reg.Counter("shard.2.http.requests").Add(4)
+	var sb strings.Builder
+	WritePrometheus(&sb, reg.Snapshot(), "zoom")
+	out := sb.String()
+	for _, want := range []string{
+		"zoom_router_cache_hits{shard=\"0\"} 7",
+		"zoom_router_cache_hits{shard=\"1\"} 9",
+		"zoom_router_up{replica=\"1\",shard=\"0\"} 1",
+		"zoom_http_requests{shard=\"2\"} 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One # TYPE line per family even when labels split the series.
+	if n := strings.Count(out, "# TYPE zoom_router_cache_hits counter"); n != 1 {
+		t.Errorf("want one TYPE line for the folded family, got %d", n)
+	}
+}
+
+func TestPromInfoSeries(t *testing.T) {
+	reg := NewRegistry()
+	reg.Info("runtime.build_info", map[string]string{
+		"go_version": "go1.24",
+		"goos":       "linux",
+		"tricky":     `a"b\c`,
+	})
+	var sb strings.Builder
+	WritePrometheus(&sb, reg.Snapshot(), "zoom")
+	out := sb.String()
+	if !strings.Contains(out, `zoom_runtime_build_info{go_version="go1.24",goos="linux",tricky="a\"b\\c"} 1`) {
+		t.Fatalf("info series missing or mis-escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE zoom_runtime_build_info gauge") {
+		t.Fatalf("info series untyped:\n%s", out)
+	}
+}
+
+func TestAttachRuntime(t *testing.T) {
+	reg := NewRegistry()
+	AttachRuntime(reg)
+	time.Sleep(2 * time.Millisecond) // let uptime tick past zero
+	s := reg.Snapshot()
+	if s.Gauges["runtime.goroutines"] <= 0 {
+		t.Fatalf("goroutines gauge = %d", s.Gauges["runtime.goroutines"])
+	}
+	if s.Gauges["runtime.heap_bytes"] <= 0 {
+		t.Fatalf("heap gauge = %d", s.Gauges["runtime.heap_bytes"])
+	}
+	if s.Infos["runtime.build_info"]["go_version"] == "" {
+		t.Fatalf("build info missing: %+v", s.Infos)
+	}
+	// The gauges refresh per snapshot, not once at attach.
+	s2 := reg.Snapshot()
+	if s2.Gauges["runtime.uptime_seconds"] < s.Gauges["runtime.uptime_seconds"] {
+		t.Fatalf("uptime went backwards: %d then %d",
+			s.Gauges["runtime.uptime_seconds"], s2.Gauges["runtime.uptime_seconds"])
+	}
+}

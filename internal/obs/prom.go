@@ -29,19 +29,53 @@ var outcomeLabels = map[string]bool{"hit": true, "miss": true, "shared-wait": tr
 // (http.query.status.2xx / .4xx / .5xx) become one family per route.
 var classLabels = map[string]bool{"1xx": true, "2xx": true, "3xx": true, "4xx": true, "5xx": true}
 
+// allDigits reports whether s is a non-empty decimal string.
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
 // promSplit maps a registry name to a sanitized metric name and an
-// optional label pair.
+// optional label set. Two foldings apply: a "shard.<n>" or "replica.<n>"
+// segment pair anywhere in the name becomes a shard="n" / replica="n"
+// label (so router.shard.0.replica.1.up and the cluster-stats merge's
+// shard.0.http.requests render as ONE family split by labels, the shape
+// Prometheus aggregation needs), and a trailing outcome/status-class
+// segment becomes an outcome="..." / class="..." label as before.
 func promSplit(namespace, name string) (metric, labels string) {
+	var pairs []string
+	if strings.Contains(name, "shard.") || strings.Contains(name, "replica.") {
+		segs := strings.Split(name, ".")
+		kept := make([]string, 0, len(segs))
+		for i := 0; i < len(segs); i++ {
+			if (segs[i] == "shard" || segs[i] == "replica") && i+1 < len(segs) && allDigits(segs[i+1]) {
+				pairs = append(pairs, segs[i]+`="`+segs[i+1]+`"`)
+				i++
+				continue
+			}
+			kept = append(kept, segs[i])
+		}
+		name = strings.Join(kept, ".")
+	}
 	if i := strings.LastIndexByte(name, '.'); i >= 0 {
 		switch tail := name[i+1:]; {
 		case outcomeLabels[tail]:
-			labels = `outcome="` + tail + `"`
+			pairs = append(pairs, `outcome="`+tail+`"`)
 			name = name[:i]
 		case classLabels[tail]:
-			labels = `class="` + tail + `"`
+			pairs = append(pairs, `class="`+tail+`"`)
 			name = name[:i]
 		}
 	}
+	sort.Strings(pairs)
+	labels = strings.Join(pairs, ",")
 	var b strings.Builder
 	if namespace != "" {
 		b.WriteString(namespace)
@@ -94,6 +128,17 @@ func sortedKeys[V any](m map[string]V) []string {
 	return ks
 }
 
+// infoLabels renders an info series' label map as sorted, escaped
+// Prometheus label pairs.
+func infoLabels(labels map[string]string) string {
+	parts := make([]string, 0, len(labels))
+	for _, k := range sortedKeys(labels) {
+		v := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(labels[k])
+		parts = append(parts, k+`="`+v+`"`)
+	}
+	return strings.Join(parts, ",")
+}
+
 // joinLabels merges a family label set with an extra pair (for le).
 func joinLabels(labels, extra string) string {
 	switch {
@@ -124,6 +169,13 @@ func WritePrometheus(w io.Writer, s Snapshot, namespace string) {
 		fmt.Fprintf(w, "# TYPE %s gauge\n", fam)
 		for _, ser := range gauges[fam] {
 			fmt.Fprintf(w, "%s%s %d\n", fam, joinLabels(ser.labels, ""), s.Gauges[ser.name])
+		}
+	}
+	infoFams, infos := groupFamilies(namespace, sortedKeys(s.Infos))
+	for _, fam := range infoFams {
+		fmt.Fprintf(w, "# TYPE %s gauge\n", fam)
+		for _, ser := range infos[fam] {
+			fmt.Fprintf(w, "%s%s 1\n", fam, joinLabels(ser.labels, infoLabels(s.Infos[ser.name])))
 		}
 	}
 	histFams, hists := groupFamilies(namespace, sortedKeys(s.Histograms))

@@ -1,0 +1,71 @@
+// Process runtime instrumentation: goroutine count, heap occupancy, GC
+// pause distribution, uptime, and build info, sampled lazily at snapshot
+// time. Both tiers of the cluster (worker and router) attach this so a
+// scrape of either /metrics answers "is this process healthy?" without a
+// sidecar exporter — and the cluster stats merge sums them into
+// fleet-wide totals.
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// AttachRuntime registers runtime gauges on the registry, sampled by an
+// OnSnapshot hook — the process pays one ReadMemStats per scrape and
+// nothing between scrapes:
+//
+//	runtime.goroutines      current goroutine count
+//	runtime.heap_bytes      live heap (HeapAlloc)
+//	runtime.heap_objects    live heap object count
+//	runtime.gc_runs         completed GC cycles
+//	runtime.uptime_seconds  seconds since AttachRuntime
+//	runtime.gc_pause_ns     histogram of individual GC pause times
+//	runtime.build_info      info series: go version, GOOS, GOARCH
+//
+// Attaching twice would double-sample, so callers attach once per
+// registry (the server and router constructors do). No-op on a nil
+// registry.
+func AttachRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	goroutines := reg.Gauge("runtime.goroutines")
+	heapBytes := reg.Gauge("runtime.heap_bytes")
+	heapObjects := reg.Gauge("runtime.heap_objects")
+	gcRuns := reg.Gauge("runtime.gc_runs")
+	uptime := reg.Gauge("runtime.uptime_seconds")
+	gcPause := reg.Histogram("runtime.gc_pause_ns")
+	reg.Info("runtime.build_info", map[string]string{
+		"go_version": runtime.Version(),
+		"goos":       runtime.GOOS,
+		"goarch":     runtime.GOARCH,
+	})
+	start := time.Now()
+	var mu sync.Mutex // snapshots may race; the pause-feed needs a cut
+	var lastNumGC uint32
+	reg.OnSnapshot(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		heapBytes.Set(int64(ms.HeapAlloc))
+		heapObjects.Set(int64(ms.HeapObjects))
+		gcRuns.Set(int64(ms.NumGC))
+		uptime.Set(int64(time.Since(start).Seconds()))
+		mu.Lock()
+		// Feed pauses observed since the previous snapshot into the
+		// histogram. PauseNs is a 256-entry ring indexed by GC cycle; if
+		// more than 256 cycles passed between scrapes the overwritten
+		// ones are gone — the histogram is a sample, not a ledger.
+		from := lastNumGC
+		if ms.NumGC-from > uint32(len(ms.PauseNs)) {
+			from = ms.NumGC - uint32(len(ms.PauseNs))
+		}
+		for i := from; i < ms.NumGC; i++ {
+			gcPause.Observe(int64(ms.PauseNs[i%uint32(len(ms.PauseNs))]))
+		}
+		lastNumGC = ms.NumGC
+		mu.Unlock()
+	})
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowEntry is one request a server considered slow: when it finished,
+// how long it took, which route and request it was, and the full span tree
+// so the slow stage is identifiable after the fact without re-running the
+// query under a profiler. Both tiers use it — the worker logs its own
+// handling, the router logs the whole forwarded request (including the
+// worker's stitched subtree when the request was traced).
+type SlowEntry struct {
+	Time    time.Time `json:"time"`
+	TraceID string    `json:"trace_id"`
+	Route   string    `json:"route"`
+	Request string    `json:"request,omitempty"`
+	Status  int       `json:"status"`
+	DurNs   int64     `json:"dur_ns"`
+	Trace   SpanNode  `json:"trace"`
+}
+
+// SlowLog is a bounded ring buffer of slow requests. Adding the
+// (size+1)-th entry overwrites the oldest; memory stays O(size) no matter
+// how long the server runs. Safe for concurrent use.
+type SlowLog struct {
+	mu   sync.Mutex
+	buf  []SlowEntry
+	next int // index the next entry lands in
+	full bool
+}
+
+// NewSlowLog returns a ring holding the most recent size entries
+// (minimum 1).
+func NewSlowLog(size int) *SlowLog {
+	if size < 1 {
+		size = 1
+	}
+	return &SlowLog{buf: make([]SlowEntry, size)}
+}
+
+// Add records one slow request, evicting the oldest when full.
+func (l *SlowLog) Add(e SlowEntry) {
+	l.mu.Lock()
+	l.buf[l.next] = e
+	l.next++
+	if l.next == len(l.buf) {
+		l.next, l.full = 0, true
+	}
+	l.mu.Unlock()
+}
+
+// Len returns the number of entries currently held.
+func (l *SlowLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.full {
+		return len(l.buf)
+	}
+	return l.next
+}
+
+// Entries returns the held entries, newest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.full {
+		n = len(l.buf)
+	}
+	out := make([]SlowEntry, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, l.buf[(l.next-i+len(l.buf))%len(l.buf)])
+	}
+	return out
+}

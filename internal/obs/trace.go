@@ -90,6 +90,31 @@ func ValidTraceID(id string) bool {
 	return true
 }
 
+// MaxHeaderToken bounds SanitizeHeaderToken's accepted length.
+const MaxHeaderToken = 64
+
+// SanitizeHeaderToken validates an inbound correlation token (the
+// X-Zoom-Parent-Span header a router sends with a forwarded request): at
+// most MaxHeaderToken bytes, drawn entirely from [a-zA-Z0-9._-]. Anything
+// else — control characters, quotes, an over-long value — returns "", so
+// a hostile header can never reach a log line, a span tag, or a response
+// body. The trace-id header has its own, stricter gate (ValidTraceID).
+func SanitizeHeaderToken(s string) string {
+	if len(s) == 0 || len(s) > MaxHeaderToken {
+		return ""
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return s
+}
+
 // ID returns the trace id (16 hex digits) — the value of X-Zoom-Trace-Id.
 func (t *Trace) ID() string { return t.id }
 
@@ -134,6 +159,49 @@ type Span struct {
 	mu       sync.Mutex
 	endNs    int64 // 0 while running
 	children []*Span
+	tags     map[string]string
+	adopted  []SpanNode // imported subtrees (see Adopt)
+}
+
+// SetTag annotates the span with a key/value pair (replica address, cache
+// outcome, shard index). Safe (and a no-op) on a nil receiver; safe for
+// concurrent use with snapshots.
+func (s *Span) SetTag(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.tags == nil {
+		s.tags = make(map[string]string, 4)
+	}
+	s.tags[key] = value
+	s.mu.Unlock()
+}
+
+// Adopt grafts an imported, already-finished span tree (a worker's span
+// tree decoded from a forwarded response) under s as a child subtree. The
+// imported tree's StartNs values are relative to ITS trace's start; Adopt
+// rebases them onto this trace's timeline by adding s's own start offset,
+// so the child renders inside its parent on one shared timeline. (Clock
+// skew between the two processes is unknowable without synchronized
+// clocks; the convention is that the adopted root begins when the
+// adopting span does.) Safe (and a no-op) on a nil receiver.
+func (s *Span) Adopt(node SpanNode) {
+	if s == nil {
+		return
+	}
+	rebase(&node, s.startNs)
+	s.mu.Lock()
+	s.adopted = append(s.adopted, node)
+	s.mu.Unlock()
+}
+
+// rebase shifts every StartNs in the tree by off.
+func rebase(n *SpanNode, off int64) {
+	n.StartNs += off
+	for i := range n.Children {
+		rebase(&n.Children[i], off)
+	}
 }
 
 // Trace returns the trace the span belongs to (nil on a nil span).
@@ -176,17 +244,27 @@ func (s *Span) snapshot() SpanNode {
 	end := s.endNs
 	kids := make([]*Span, len(s.children))
 	copy(kids, s.children)
+	var tags map[string]string
+	if len(s.tags) > 0 {
+		tags = make(map[string]string, len(s.tags))
+		for k, v := range s.tags {
+			tags[k] = v
+		}
+	}
+	adopted := make([]SpanNode, len(s.adopted))
+	copy(adopted, s.adopted)
 	s.mu.Unlock()
 	if end == 0 {
 		end = time.Since(s.tr.t0).Nanoseconds()
 	}
-	n := SpanNode{Name: s.name, StartNs: s.startNs, DurNs: end - s.startNs}
+	n := SpanNode{Name: s.name, StartNs: s.startNs, DurNs: end - s.startNs, Tags: tags}
 	if n.DurNs < 0 {
 		n.DurNs = 0
 	}
 	for _, c := range kids {
 		n.Children = append(n.Children, c.snapshot())
 	}
+	n.Children = append(n.Children, adopted...)
 	return n
 }
 
@@ -194,10 +272,11 @@ func (s *Span) snapshot() SpanNode {
 // StartNs is relative to the trace start, so a rendering can lay spans out
 // on one shared timeline.
 type SpanNode struct {
-	Name     string     `json:"name"`
-	StartNs  int64      `json:"start_ns"`
-	DurNs    int64      `json:"dur_ns"`
-	Children []SpanNode `json:"children,omitempty"`
+	Name     string            `json:"name"`
+	StartNs  int64             `json:"start_ns"`
+	DurNs    int64             `json:"dur_ns"`
+	Tags     map[string]string `json:"tags,omitempty"`
+	Children []SpanNode        `json:"children,omitempty"`
 }
 
 // Find returns the first node with the given name in a depth-first walk of

@@ -129,6 +129,7 @@ func New(reg *obs.Registry, cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 	}
+	obs.AttachRuntime(reg)
 	s := &Server{
 		reg:       reg,
 		cfg:       cfg,
@@ -321,6 +322,11 @@ type apiHandler func(ctx context.Context, tr *obs.Trace, w http.ResponseWriter, 
 // a router hop onto a worker, so both slow logs name the same trace.
 const TraceIDHeader = "X-Zoom-Trace-Id"
 
+// ParentSpanHeader carries, on traced routed requests, the router's
+// attempt-span reference; the worker tags its root span with the
+// sanitized value so the stitched tree names the attempt it answered.
+const ParentSpanHeader = "X-Zoom-Parent-Span"
+
 // routeKey maps a route ("POST /v1/query") to its metrics key ("query").
 func routeKey(route string) string {
 	if i := strings.LastIndexByte(route, '/'); i >= 0 {
@@ -337,6 +343,13 @@ func (s *Server) traced(route string, h apiHandler) http.Handler {
 	rm := s.routes[routeKey(route)]
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		tr := obs.NewTraceWithID(route, r.Header.Get(TraceIDHeader))
+		if ps := obs.SanitizeHeaderToken(r.Header.Get(ParentSpanHeader)); ps != "" {
+			// A routed, traced request names the router attempt span it
+			// answers; the tag survives into the returned tree so the
+			// router's stitch is verifiable end-to-end. A malformed header
+			// is dropped, never echoed.
+			tr.Root().SetTag("parent_span", ps)
+		}
 		ctx := tr.Context(r.Context())
 		w.Header().Set(TraceIDHeader, tr.ID())
 		sw := &statusWriter{ResponseWriter: w}

@@ -160,8 +160,10 @@ r1a=$(wait_listen "$workdir/r1a.log" "$r1a_pid") || fail "replica r1a never list
 r1b=$(wait_listen "$workdir/r1b.log" "$r1b_pid") || fail "replica r1b never listened"
 
 # Replica groups: `;` separates shards, `,` separates replicas of a shard.
+# -slow -1ms logs every request to /debug/slowlog so the stitched-trace
+# check below can read the tree back out of the ring.
 "$workdir/zoom" router -addr 127.0.0.1:0 -workers "$r0a,$r0b;$r1a,$r1b" \
-    -health-interval 200ms -hedge 250ms >"$workdir/router2.log" 2>&1 &
+    -health-interval 200ms -hedge 250ms -slow -1ms >"$workdir/router2.log" 2>&1 &
 router2_pid=$!
 pids="$pids $router2_pid"
 base=$(wait_listen "$workdir/router2.log" "$router2_pid") || fail "replicated router never listened"
@@ -188,6 +190,38 @@ curl -fsS "$base/metrics" >"$workdir/metrics2.txt" || fail "GET /metrics on repl
 grep -E '^zoom_router_cache_hits [1-9]' "$workdir/metrics2.txt" >/dev/null \
     || fail "router response cache recorded no hits"
 echo "cluster-smoke: router response cache serving repeats"
+
+# Stitched distributed trace: ?trace=1 through the router must return ONE
+# span tree holding the router's spans (route.pick, cache.lookup,
+# replica.attempt) with the worker's engine spans grafted under the
+# winning attempt, the worker subtree naming its attempt via parent_span.
+strace=beefcafe01234567
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -H "X-Zoom-Trace-Id: $strace" -d "$body" \
+    "$base/v1/query?trace=1" >"$workdir/stitched.json" || fail "traced routed query"
+grep -q '"name": "route.pick"' "$workdir/stitched.json" || fail "stitched tree misses route.pick"
+grep -q '"name": "cache.lookup"' "$workdir/stitched.json" || fail "stitched tree misses cache.lookup"
+grep -q '"name": "replica.attempt"' "$workdir/stitched.json" || fail "stitched tree misses replica.attempt"
+grep -q '"name": "query.lookup"' "$workdir/stitched.json" || fail "stitched tree misses the worker's query.lookup"
+grep -q "\"parent_span\": \"$strace.a0\"" "$workdir/stitched.json" \
+    || fail "worker subtree does not name the router attempt it answered"
+# The same stitched tree sits in the router slowlog (threshold < 0).
+curl -fsS "$base/debug/slowlog" >"$workdir/slowlog.json" || fail "GET /debug/slowlog"
+grep -q "\"trace_id\": \"$strace\"" "$workdir/slowlog.json" || fail "traced request missing from router slowlog"
+grep -q '"name": "replica.attempt"' "$workdir/slowlog.json" || fail "slowlog entry lost the span tree"
+echo "cluster-smoke: stitched trace spans router and worker"
+
+# Aggregated cluster stats: the workers' registries merge into one
+# snapshot, unprefixed totals plus shard.<k>.-prefixed series.
+curl -fsS "$base/v1/cluster/stats" >"$workdir/cstats.json" || fail "GET /v1/cluster/stats"
+grep -q '"shards_ok": 2' "$workdir/cstats.json" || fail "cluster stats shards_ok != 2"
+grep -q '"http.requests"' "$workdir/cstats.json" || fail "merged snapshot misses http.requests"
+grep -q '"shard.0.http.requests"' "$workdir/cstats.json" || fail "merged snapshot misses shard.0. series"
+grep -q '"router.requests"' "$workdir/cstats.json" || fail "cluster stats misses the router's own snapshot"
+# /v1/shards carries each replica's last health-poll reading.
+curl -fsS "$base/v1/shards" >"$workdir/shards2.json" || fail "GET /v1/shards on replicated router"
+grep -q '"last_poll_ns"' "$workdir/shards2.json" || fail "/v1/shards misses last_poll_ns"
+echo "cluster-smoke: cluster stats aggregation ok"
 
 # Kill the PREFERRED replica of the shard that owns fig2, then hammer the
 # routed query: with a live sibling, not one request may fail.

@@ -28,6 +28,14 @@ import (
 // TraceIDHeader is the header carrying the request/response trace id.
 const TraceIDHeader = "X-Zoom-Trace-Id"
 
+// ParentSpanHeader carries the router-side parent span reference on a
+// forwarded request: the router stamps each replica attempt's span
+// reference here, and the worker tags its root span with the (sanitized)
+// value, so a stitched trace shows exactly which router attempt a worker
+// subtree answers. Workers accept at most 64 bytes of [A-Za-z0-9._-];
+// anything else is dropped.
+const ParentSpanHeader = "X-Zoom-Parent-Span"
+
 // DefaultTimeout bounds a request when Options.Timeout is zero.
 const DefaultTimeout = 30 * time.Second
 
@@ -103,6 +111,11 @@ type QueryRequest struct {
 	// TraceID, when a valid 16-hex id, is sent in X-Zoom-Trace-Id and
 	// adopted by the server. Not part of the JSON body.
 	TraceID string `json:"-"`
+	// Trace requests the span tree inline (?trace=1). Against a router
+	// this returns the stitched tree: router spans with the worker's
+	// subtree grafted under the winning replica attempt. Not part of the
+	// JSON body.
+	Trace bool `json:"-"`
 }
 
 // BatchRequest is the body of POST /v1/batch.
@@ -113,6 +126,7 @@ type BatchRequest struct {
 	Relevant []string `json:"relevant,omitempty"`
 	Workers  int      `json:"workers,omitempty"`
 	TraceID  string   `json:"-"`
+	Trace    bool     `json:"-"`
 }
 
 // Execution mirrors the server's execution DTO.
@@ -196,6 +210,43 @@ type StatsResponse struct {
 	Stats   json.RawMessage `json:"stats"`
 }
 
+// ClusterWorkerStats is one worker's raw stats document inside a
+// ClusterStatsResponse, tagged with its shard index and address.
+type ClusterWorkerStats struct {
+	Shard int             `json:"shard"`
+	Addr  string          `json:"addr"`
+	Stats json.RawMessage `json:"stats"`
+}
+
+// ClusterStatsResponse is the body of GET /v1/cluster/stats on a router:
+// the router's own registry snapshot, the merged worker registries
+// (per-shard series under "shard.<k>." prefixes plus unprefixed
+// fleet-wide totals), and each worker's raw stats document. The snapshot
+// documents are kept raw so this package stays dependency-free; decode
+// them into repro/internal/obs.Snapshot (or any structurally-matching
+// type) as needed.
+type ClusterStatsResponse struct {
+	TraceID      string               `json:"trace_id"`
+	ShardsTotal  int                  `json:"shards_total"`
+	ShardsOK     int                  `json:"shards_ok"`
+	Router       json.RawMessage      `json:"router"`
+	Cluster      json.RawMessage      `json:"cluster"`
+	Shards       []ClusterWorkerStats `json:"shards"`
+	Partial      bool                 `json:"partial,omitempty"`
+	FailedShards json.RawMessage      `json:"failed_shards,omitempty"`
+}
+
+// ClusterStats fetches a router's aggregated cluster statistics. Only
+// routers serve /v1/cluster/stats; against a plain worker this returns a
+// 404 *Error.
+func (c *Client) ClusterStats(ctx context.Context) (*ClusterStatsResponse, error) {
+	var out ClusterStatsResponse
+	if err := c.getJSON(ctx, "/v1/cluster/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Readyz is the body of GET /readyz. Generation is an opaque warehouse
 // generation: it changes whenever the worker (re)installs an engine or
 // restarts, and a router invalidates cached responses for the worker's
@@ -209,8 +260,12 @@ type Readyz struct {
 
 // Query answers one provenance query.
 func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	path := "/v1/query"
+	if req.Trace {
+		path += "?trace=1"
+	}
 	var out QueryResponse
-	if err := c.postJSON(ctx, "/v1/query", req.TraceID, req, &out); err != nil {
+	if err := c.postJSON(ctx, path, req.TraceID, req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -218,8 +273,12 @@ func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 
 // Batch answers many queries of one run/view in one request.
 func (c *Client) Batch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	path := "/v1/batch"
+	if req.Trace {
+		path += "?trace=1"
+	}
 	var out BatchResponse
-	if err := c.postJSON(ctx, "/v1/batch", req.TraceID, req, &out); err != nil {
+	if err := c.postJSON(ctx, path, req.TraceID, req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
